@@ -1,0 +1,74 @@
+"""T-PERF -- simulation substrate performance.
+
+Times the three hot substrate operations as the circuit grows (RC
+ladders of 10..200 sections): MNA assembly, a batched 401-point AC
+sweep, and a full fault-dictionary build on the biquad CUT. These bound
+the cost of everything above them (dictionary, GA, diagnosis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import rc_ladder
+from repro.faults import FaultDictionary, parametric_universe
+from repro.sim import ACAnalysis, MnaSystem
+from repro.units import log_frequency_grid
+
+from _helpers import write_report
+
+
+@pytest.mark.parametrize("sections", [10, 50, 100, 200])
+def bench_tperf_ac_sweep(benchmark, sections):
+    info = rc_ladder(sections=sections)
+    grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 401)
+    analysis = ACAnalysis(info.circuit)
+
+    response = benchmark(
+        lambda: analysis.transfer(info.output_node, grid))
+    assert np.all(np.isfinite(response.magnitude_db))
+
+
+@pytest.mark.parametrize("sections", [10, 100])
+def bench_tperf_mna_assembly(benchmark, sections):
+    info = rc_ladder(sections=sections)
+    system = benchmark(lambda: MnaSystem(info.circuit))
+    # n node unknowns + 1 source branch.
+    assert system.dim == sections + 2
+
+
+def bench_tperf_biquad_dictionary(benchmark, cut, cut_universe):
+    grid = log_frequency_grid(cut.f_min_hz, cut.f_max_hz, 401)
+    dictionary = benchmark(
+        lambda: FaultDictionary.build(cut_universe, cut.output_node,
+                                      grid,
+                                      input_source=cut.input_source))
+    assert len(dictionary) == 56
+
+
+def bench_tperf_summary(benchmark, out_dir):
+    """Record the scaling table (solve time vs unknowns) once."""
+    import time
+
+    def measure():
+        rows = []
+        for sections in (10, 50, 100, 200):
+            info = rc_ladder(sections=sections)
+            grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 401)
+            analysis = ACAnalysis(info.circuit)
+            started = time.perf_counter()
+            analysis.transfer(info.output_node, grid)
+            elapsed = time.perf_counter() - started
+            rows.append([sections, analysis.system.dim,
+                         elapsed * 1e3])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from repro.viz import table, write_csv
+    headers = ["ladder sections", "MNA unknowns", "401-pt sweep [ms]"]
+    formatted = [[r[0], r[1], f"{r[2]:.1f}"] for r in rows]
+    write_csv(out_dir / "tperf.csv", headers, rows)
+    text = "\n".join(["T-PERF: AC sweep scaling (dense batched solve)",
+                      "", table(headers, formatted)])
+    write_report(out_dir, "tperf_report.txt", text)

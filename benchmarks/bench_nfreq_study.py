@@ -1,0 +1,76 @@
+"""T-NFREQ -- test-vector length study (n = 1, 2, 3 frequencies).
+
+The paper argues for a *minimal* set of frequencies and uses two; this
+study quantifies what each additional frequency buys. In n > 2 the
+intersection count generalises to a proximity surrogate and the
+perpendicular classifier works unchanged in R^n (DESIGN.md, decision 2).
+
+Expected shape: one frequency cannot separate 7 components (massive
+trajectory overlap on a line); two frequencies reach the paper's
+operating point; a third adds margin/robustness at 50 % more test time.
+"""
+
+from __future__ import annotations
+
+from repro.ga import FrequencySpace, GAConfig, GeneticAlgorithm
+from repro.ga.fitness import MarginFitness
+from repro.trajectory import SignatureMapper
+from repro.viz import table, write_csv
+
+from _helpers import score_test_vector
+from _helpers import SEED, write_report
+
+NOISE_DB = 0.02
+GA_BUDGET = GAConfig(population_size=64, generations=10)
+
+
+def bench_tnfreq_study(benchmark, cut, cut_universe, cut_surface,
+                       out_dir):
+    def run_study():
+        rows = []
+        for count in (1, 2, 3):
+            space = FrequencySpace(cut.f_min_hz, cut.f_max_hz, count)
+            mapper = SignatureMapper(
+                tuple(float(i + 1) for i in range(count)))
+            # Margin-based fitness: the 2-D-only crossing count is not
+            # defined for n=1 and saturates for n=3, the margin works
+            # in every dimension.
+            fitness = MarginFitness(cut_surface, mapper,
+                                    margin_scale=0.01)
+            result = GeneticAlgorithm(space, fitness, GA_BUDGET).run(
+                seed=SEED)
+            clean = score_test_vector(cut, cut_universe,
+                                      result.best_freqs_hz)
+            noisy = score_test_vector(cut, cut_universe,
+                                      result.best_freqs_hz,
+                                      noise_db=NOISE_DB, repeats=3,
+                                      seed=SEED)
+            margin = fitness.metrics_for(
+                result.best_freqs_hz).min_separation
+            rows.append([count,
+                         "/".join(f"{f:.0f}"
+                                  for f in result.best_freqs_hz),
+                         clean.group_accuracy, noisy.group_accuracy,
+                         margin])
+        return rows
+
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    headers = ["n freqs", "test vector [Hz]", "clean grp acc",
+               "noisy grp acc", "margin [dB]"]
+    formatted = [[r[0], r[1], f"{r[2] * 100:.1f}%", f"{r[3] * 100:.1f}%",
+                  f"{r[4]:.4f}"] for r in rows]
+    write_csv(out_dir / "tnfreq.csv", headers, rows)
+    lines = ["T-NFREQ: test-vector length study "
+             f"(margin fitness, {GA_BUDGET.population_size}x"
+             f"{GA_BUDGET.generations} GA, noise {NOISE_DB} dB)", "",
+             table(headers, formatted), ""]
+
+    # --- Shape checks -------------------------------------------------
+    by_count = {row[0]: row for row in rows}
+    assert by_count[2][2] >= by_count[1][2], \
+        "two frequencies must not separate worse than one"
+    assert by_count[3][4] >= by_count[2][4] * 0.5, \
+        "a third frequency should not collapse the margin"
+    lines.append("shape check PASSED: the paper's n=2 operating point "
+                 "dominates n=1; n=3 buys margin")
+    write_report(out_dir, "tnfreq_report.txt", "\n".join(lines))

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""GA study on the KHN state-variable filter: floors and knobs.
+
+Two lessons on a 9-passive CUT:
+
+1. **Structural fitness floor.** The KHN has exact overlap classes --
+   R4/R5 enter only as a ratio, R6/C1 and R7/C2 only as products -- so
+   trajectories of class members coincide and no test vector can remove
+   those "common pathways". The paper fitness 1/(1+I) is pinned at its
+   floor 1/(1+16) over the *full* fault universe, whatever the GA does.
+
+2. **Hyper-parameters, once the problem is well-posed.** Restricting
+   the search to one representative per class makes I = 0 reachable,
+   and then the GA knobs the paper fixes (population, mutation,
+   selection) can be compared meaningfully.
+
+Run:  python examples/state_variable_ga_study.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    FaultDictionary,
+    GAConfig,
+    GeneticAlgorithm,
+    PaperFitness,
+    ResponseSurface,
+    khn_state_variable,
+    parametric_universe,
+)
+from repro.ga import FrequencySpace
+from repro.units import log_frequency_grid
+from repro.viz import table
+
+SEEDS = range(4)
+
+# One representative per structural overlap class of the KHN:
+# {R1} {R2} {R3} {R4,R5} {R6,C1} {R7,C2}.
+CLASS_REPRESENTATIVES = ("R1", "R2", "R3", "R4", "R6", "R7")
+
+
+def main() -> None:
+    info = khn_state_variable(q=2.0)
+    universe = parametric_universe(info.circuit,
+                                   components=info.faultable)
+    grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 301)
+    dictionary = FaultDictionary.build(universe, info.output_node, grid)
+    surface = ResponseSurface(dictionary)
+    space = FrequencySpace(info.f_min_hz, info.f_max_hz, 2)
+
+    # Lesson 1: the structural floor of the full universe.
+    full = PaperFitness(surface)
+    result = GeneticAlgorithm(space, full, GAConfig.paper()).run(seed=0)
+    floor = 1.0 / (1.0 + 16.0)
+    print(f"CUT: {info.circuit.name} "
+          f"({len(info.faultable)} fault targets)")
+    print(f"full-universe GA best fitness: {result.best_fitness:.4f} "
+          f"(structural floor 1/(1+16) = {floor:.4f})")
+    print("  -> R4/R5, R6/C1 and R7/C2 overlap exactly; no frequency "
+          "pair can separate them.")
+    print()
+
+    # Lesson 2: hyper-parameter study on the well-posed search.
+    base = GAConfig(population_size=64, generations=10)
+    variants = {
+        "base (64x10, roulette)": base,
+        "small population (16)": dataclasses.replace(
+            base, population_size=16),
+        "high mutation (0.8)": dataclasses.replace(
+            base, mutation_rate=0.8),
+        "no crossover": dataclasses.replace(base, crossover_rate=0.0),
+        "tournament selection": dataclasses.replace(
+            base, selection="tournament"),
+        "paper budget (128x15)": GAConfig.paper(),
+    }
+
+    rows = []
+    for label, config in variants.items():
+        fitness = PaperFitness(surface,
+                               components=CLASS_REPRESENTATIVES)
+        best = []
+        for seed in SEEDS:
+            fitness.cache_clear()
+            run = GeneticAlgorithm(space, fitness, config).run(seed=seed)
+            best.append(run.best_fitness)
+        rows.append([
+            label,
+            f"{np.mean(best):.3f}",
+            f"{np.mean([b >= 1.0 for b in best]) * 100:.0f}%",
+            config.population_size * config.generations,
+        ])
+
+    print("search over class representatives "
+          f"{CLASS_REPRESENTATIVES}:")
+    print()
+    print(table(["configuration", "mean best fitness",
+                 "reached I=0", "eval budget"], rows))
+    print()
+    print("reading: once the degenerate classes are collapsed the "
+          "plateau is easy to reach; even small budgets usually find a "
+          "conflict-free test vector, which is why the paper's 128x15 "
+          "configuration converges so comfortably.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Robustness study: measurement noise and manufacturing tolerances.
+
+A production test never sees the textbook circuit: every healthy
+component sits somewhere inside its tolerance band and the instrument
+adds noise. This example stresses the trajectory diagnosis with both
+effects and compares the paper's 1/(1+I) fitness against the
+margin-aware extension -- the library's headline ablation, here as a
+runnable script.
+
+Run:  python examples/tolerance_robustness.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CombinedFitness,
+    FaultDictionary,
+    GAConfig,
+    GeneticAlgorithm,
+    PaperFitness,
+    ResponseSurface,
+    TrajectoryClassifier,
+    TrajectorySet,
+    SignatureMapper,
+    parametric_universe,
+    tow_thomas_biquad,
+)
+from repro.diagnosis import ambiguity_groups, evaluate_classifier, \
+    make_test_cases
+from repro.ga import FrequencySpace
+from repro.units import log_frequency_grid
+from repro.viz import table
+
+# One representative per structural ambiguity class of the biquad
+# (R3/R5 and R4/C2 cannot be split by magnitude signatures; see
+# DESIGN.md).
+CLASS_REPRESENTATIVES = ("R1", "R2", "C1", "R3", "R4")
+STRUCTURAL_GROUPS = (frozenset({"R1"}), frozenset({"R2"}),
+                     frozenset({"C1"}), frozenset({"R3", "R5"}),
+                     frozenset({"R4", "C2"}))
+
+
+def evaluate_vector(info, universe, freqs, noise_db, tolerance, seed):
+    """Exact-at-test-vector classifier, scored under stress."""
+    mapper = SignatureMapper(freqs)
+    exact = FaultDictionary.build(universe, info.output_node,
+                                  np.array(sorted(freqs)),
+                                  input_source=info.input_source)
+    trajectories = TrajectorySet.from_source(exact, mapper)
+    classifier = TrajectoryClassifier(trajectories, golden=exact.golden)
+    cases = make_test_cases(info, mapper,
+                            components=universe.components,
+                            deviations=(-0.25, 0.25),
+                            noise_db=noise_db, tolerance=tolerance,
+                            repeats=5, seed=seed)
+    return evaluate_classifier(classifier, cases,
+                               groups=STRUCTURAL_GROUPS)
+
+
+def main() -> None:
+    info = tow_thomas_biquad(ideal_opamps=False)
+    universe = parametric_universe(info.circuit,
+                                   components=info.faultable)
+    grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 401)
+    surface = ResponseSurface(
+        FaultDictionary.build(universe, info.output_node, grid,
+                              input_source=info.input_source))
+    space = FrequencySpace(info.f_min_hz, info.f_max_hz, 2)
+    config = GAConfig(population_size=64, generations=10)
+
+    searches = {
+        "paper 1/(1+I)": PaperFitness(surface),
+        "margin-aware": CombinedFitness(
+            surface, components=CLASS_REPRESENTATIVES, margin_scale=0.1),
+    }
+    stress_levels = [
+        ("clean", 0.0, 0.0),
+        ("0.02 dB noise", 0.02, 0.0),
+        ("1% tolerance", 0.0, 0.01),
+        ("noise + tolerance", 0.02, 0.01),
+    ]
+
+    rows = []
+    for label, fitness in searches.items():
+        result = GeneticAlgorithm(space, fitness, config).run(seed=1)
+        freqs = result.best_freqs_hz
+        scores = []
+        for _, noise_db, tolerance in stress_levels:
+            evaluation = evaluate_vector(info, universe, freqs,
+                                         noise_db, tolerance, seed=99)
+            scores.append(f"{evaluation.group_accuracy * 100:.1f}%")
+        rows.append([label,
+                     f"{freqs[0]:.0f}/{freqs[1]:.0f}"] + scores)
+
+    headers = (["fitness", "f1/f2 [Hz]"] +
+               [name for name, _, _ in stress_levels])
+    print("structural-class accuracy under measurement stress "
+          "(biquad CUT, held-out +/-25%):")
+    print()
+    print(table(headers, rows))
+    print()
+    print("reading: the paper fitness stops at 'no intersections' and "
+          "may pick a fragile test vector; rewarding the separation "
+          "margin keeps the diagnosis stable once real-world noise and "
+          "tolerances arrive.")
+
+
+if __name__ == "__main__":
+    main()

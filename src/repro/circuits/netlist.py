@@ -1,0 +1,309 @@
+"""The :class:`Circuit` container: an analog netlist.
+
+A circuit is an ordered collection of named components plus convenience
+constructors (``add_resistor`` and friends). It validates connectivity,
+supports structural queries used by fault injection (lookup by name,
+cloning with a replaced component), and exposes small-signal metadata
+(which source is the input, which node is the output) through
+:class:`CircuitInfo` in :mod:`repro.circuits.library`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import CircuitError
+from ..units import parse_value
+from .components import (
+    CCCS,
+    CCVS,
+    GROUND,
+    Capacitor,
+    Component,
+    CurrentSource,
+    IdealOpAmp,
+    Inductor,
+    OpAmpMacro,
+    Resistor,
+    TwoTerminal,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An analog circuit netlist.
+
+    Components are kept in insertion order (deterministic MNA assembly and
+    reproducible fault universes depend on this). Names must be unique.
+
+    >>> ckt = Circuit("divider")
+    >>> _ = ckt.add_voltage_source("VIN", "in", "0", dc=0.0, ac=1.0)
+    >>> _ = ckt.add_resistor("R1", "in", "out", "10k")
+    >>> _ = ckt.add_resistor("R2", "out", "0", "10k")
+    >>> sorted(ckt.nodes)
+    ['0', 'in', 'out']
+    """
+
+    def __init__(self, name: str = "circuit",
+                 components: Iterable[Component] = ()) -> None:
+        if not name or not isinstance(name, str):
+            raise CircuitError("circuit name must be a non-empty string")
+        self.name = name
+        self._components: Dict[str, Component] = {}
+        for component in components:
+            self.add(component)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __getitem__(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise CircuitError(
+                f"{self.name}: no component named {name!r}; "
+                f"have {sorted(self._components)}") from None
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, {len(self)} components, "
+                f"{len(self.nodes)} nodes)")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Add a component; its name must be unique within the circuit."""
+        if component.name in self._components:
+            raise CircuitError(
+                f"{self.name}: duplicate component name {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def add_resistor(self, name: str, positive: str, negative: str,
+                     value: float | str) -> Resistor:
+        return self.add(Resistor(name, positive, negative, parse_value(value)))
+
+    def add_capacitor(self, name: str, positive: str, negative: str,
+                      value: float | str) -> Capacitor:
+        return self.add(Capacitor(name, positive, negative, parse_value(value)))
+
+    def add_inductor(self, name: str, positive: str, negative: str,
+                     value: float | str) -> Inductor:
+        return self.add(Inductor(name, positive, negative, parse_value(value)))
+
+    def add_voltage_source(self, name: str, positive: str, negative: str,
+                           dc: float | str = 0.0, ac: float | str = 0.0,
+                           ac_phase_deg: float = 0.0) -> VoltageSource:
+        return self.add(VoltageSource(name, positive, negative,
+                                      parse_value(dc), parse_value(ac),
+                                      ac_phase_deg))
+
+    def add_current_source(self, name: str, positive: str, negative: str,
+                           dc: float | str = 0.0, ac: float | str = 0.0,
+                           ac_phase_deg: float = 0.0) -> CurrentSource:
+        return self.add(CurrentSource(name, positive, negative,
+                                      parse_value(dc), parse_value(ac),
+                                      ac_phase_deg))
+
+    def add_vcvs(self, name: str, positive: str, negative: str,
+                 ctrl_positive: str, ctrl_negative: str,
+                 gain: float = 1.0) -> VCVS:
+        return self.add(VCVS(name, positive, negative,
+                             ctrl_positive, ctrl_negative, float(gain)))
+
+    def add_vccs(self, name: str, positive: str, negative: str,
+                 ctrl_positive: str, ctrl_negative: str,
+                 transconductance: float = 1.0) -> VCCS:
+        return self.add(VCCS(name, positive, negative,
+                             ctrl_positive, ctrl_negative,
+                             float(transconductance)))
+
+    def add_ccvs(self, name: str, positive: str, negative: str,
+                 ctrl_source: str, transresistance: float = 1.0) -> CCVS:
+        return self.add(CCVS(name, positive, negative, ctrl_source,
+                             float(transresistance)))
+
+    def add_cccs(self, name: str, positive: str, negative: str,
+                 ctrl_source: str, gain: float = 1.0) -> CCCS:
+        return self.add(CCCS(name, positive, negative, ctrl_source,
+                             float(gain)))
+
+    def add_ideal_opamp(self, name: str, in_positive: str, in_negative: str,
+                        output: str) -> IdealOpAmp:
+        return self.add(IdealOpAmp(name, in_positive, in_negative, output))
+
+    def add_opamp_macro(self, name: str, in_positive: str, in_negative: str,
+                        output: str, **params: float) -> OpAmpMacro:
+        return self.add(OpAmpMacro(name, in_positive, in_negative, output,
+                                   params=params))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> Tuple[Component, ...]:
+        """All components in insertion order."""
+        return tuple(self._components.values())
+
+    @property
+    def component_names(self) -> Tuple[str, ...]:
+        return tuple(self._components)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All node names, ground included, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for component in self:
+            for node in component.nodes:
+                seen.setdefault(node, None)
+        return tuple(seen)
+
+    def components_of_type(self, *types: type) -> Tuple[Component, ...]:
+        """All components that are instances of any of ``types``."""
+        return tuple(c for c in self if isinstance(c, types))
+
+    @property
+    def passive_names(self) -> Tuple[str, ...]:
+        """Names of R, L and C elements -- the usual fault targets."""
+        return tuple(c.name for c in
+                     self.components_of_type(Resistor, Capacitor, Inductor))
+
+    @property
+    def source_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in
+                     self.components_of_type(VoltageSource, CurrentSource))
+
+    def ac_source_name(self) -> str:
+        """Name of the unique source with a non-zero AC specification."""
+        ac_sources = [c.name for c in
+                      self.components_of_type(VoltageSource, CurrentSource)
+                      if c.ac_magnitude > 0.0]
+        if not ac_sources:
+            raise CircuitError(
+                f"{self.name}: no source has an AC magnitude; AC analysis "
+                "needs exactly one stimulus")
+        if len(ac_sources) > 1:
+            raise CircuitError(
+                f"{self.name}: multiple AC sources {ac_sources}; the "
+                "transfer-function analyses expect exactly one stimulus")
+        return ac_sources[0]
+
+    # ------------------------------------------------------------------
+    # Structural validation
+    # ------------------------------------------------------------------
+    def connectivity_graph(self) -> "nx.Graph":
+        """Undirected node graph: an edge per component terminal pair.
+
+        Controlled-source *sensing* terminals do not conduct, but they do
+        constrain the solution, so they are included as edges here --
+        this graph answers "is the netlist one electrical problem?".
+        """
+        graph = nx.Graph()
+        for component in self:
+            nodes = component.nodes
+            graph.add_nodes_from(nodes)
+            anchor = nodes[0]
+            for other in nodes[1:]:
+                graph.add_edge(anchor, other, component=component.name)
+        return graph
+
+    def validate(self) -> None:
+        """Raise :class:`CircuitError` on structural problems.
+
+        Checks: non-empty, ground reference present, single connected
+        electrical problem, and current-controlled sources referencing an
+        existing voltage source.
+        """
+        if len(self) == 0:
+            raise CircuitError(f"{self.name}: circuit has no components")
+        graph = self.connectivity_graph()
+        if GROUND not in graph:
+            raise CircuitError(
+                f"{self.name}: no ground node {GROUND!r}; every circuit "
+                "needs a reference node")
+        pieces = list(nx.connected_components(graph))
+        if len(pieces) > 1:
+            floating = [sorted(piece) for piece in pieces
+                        if GROUND not in piece]
+            raise CircuitError(
+                f"{self.name}: circuit is not connected; "
+                f"floating island(s): {floating}")
+        for component in self.components_of_type(CCVS, CCCS):
+            source = self._components.get(component.ctrl_source)
+            if source is None:
+                raise CircuitError(
+                    f"{self.name}: {component.name} references missing "
+                    f"controlling source {component.ctrl_source!r}")
+            if not isinstance(source, VoltageSource):
+                raise CircuitError(
+                    f"{self.name}: {component.name} control element "
+                    f"{component.ctrl_source!r} must be a voltage source "
+                    "(SPICE ammeter semantics)")
+
+    # ------------------------------------------------------------------
+    # Cloning / mutation (fault injection support)
+    # ------------------------------------------------------------------
+    def clone(self, name: Optional[str] = None) -> "Circuit":
+        """Shallow copy (components are immutable, so sharing is safe)."""
+        return Circuit(name or self.name, self.components)
+
+    def with_component(self, replacement: Component,
+                       name: Optional[str] = None) -> "Circuit":
+        """Copy of the circuit with one component replaced (same name).
+
+        The replacement occupies the original's position in insertion
+        order, keeping MNA assembly deterministic across fault injection.
+        """
+        if replacement.name not in self._components:
+            raise CircuitError(
+                f"{self.name}: cannot replace unknown component "
+                f"{replacement.name!r}")
+        new_components = [replacement if c.name == replacement.name else c
+                          for c in self]
+        return Circuit(name or self.name, new_components)
+
+    def with_value(self, component_name: str, value: float,
+                   name: Optional[str] = None) -> "Circuit":
+        """Copy with a two-terminal component's value replaced."""
+        component = self[component_name]
+        if not isinstance(component, TwoTerminal):
+            raise CircuitError(
+                f"{self.name}: {component_name!r} has no scalar value "
+                f"(it is a {type(component).__name__})")
+        return self.with_component(component.with_value(value), name)
+
+    def scaled_value(self, component_name: str, factor: float,
+                     name: Optional[str] = None) -> "Circuit":
+        """Copy with a component's value multiplied by ``factor``."""
+        component = self[component_name]
+        if not isinstance(component, TwoTerminal):
+            raise CircuitError(
+                f"{self.name}: {component_name!r} has no scalar value")
+        return self.with_value(component_name, component.value * factor, name)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable one-line-per-component description."""
+        lines = [f"circuit {self.name}: {len(self)} components, "
+                 f"{len(self.nodes)} nodes"]
+        for component in self:
+            lines.append(f"  {type(component).__name__:<14} {component.name:<8} "
+                         f"nodes={','.join(component.nodes)}")
+        return "\n".join(lines)

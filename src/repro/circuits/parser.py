@@ -1,0 +1,280 @@
+"""SPICE-like netlist text parser and writer.
+
+Supports the subset of SPICE card syntax the library needs: passives,
+independent sources with AC specifications, the four controlled sources,
+and op-amps via an ``X``-card with the built-in models ``ideal_opamp`` and
+``opamp_macro``. Comments (``*`` full-line, ``;`` trailing), blank lines,
+continuation lines (``+``), a title line and ``.end`` are handled.
+
+Example
+-------
+::
+
+    * Sallen-Key low-pass
+    VIN in 0 DC 0 AC 1
+    R1 in a 10k
+    R2 a b 10k
+    C1 a out 22n
+    C2 b 0 10n
+    XOP1 b out out ideal_opamp
+    .end
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..errors import NetlistParseError
+from ..units import format_value, parse_value
+from .components import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    Component,
+    CurrentSource,
+    IdealOpAmp,
+    Inductor,
+    OpAmpMacro,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .netlist import Circuit
+
+__all__ = ["parse_netlist", "parse_netlist_file", "write_netlist",
+           "circuit_to_netlist"]
+
+_OPAMP_MODELS = ("ideal_opamp", "opamp_macro")
+
+
+def _tokenize(line: str) -> List[str]:
+    """Split a card into tokens, allowing ``key=value`` to stay intact."""
+    return line.split()
+
+
+def _parse_source_params(tokens: Sequence[str], name: str,
+                         line_number: int, line: str):
+    """Parse ``[DC v] [AC mag [phase]]`` trailing tokens of a V/I card."""
+    dc = 0.0
+    ac = 0.0
+    phase = 0.0
+    index = 0
+    tokens = list(tokens)
+    # A bare leading number is the DC value (SPICE allows "V1 a 0 5").
+    if tokens and tokens[0].upper() not in ("DC", "AC"):
+        try:
+            dc = parse_value(tokens[0])
+            index = 1
+        except Exception as exc:
+            raise NetlistParseError(
+                f"{name}: bad source value {tokens[0]!r}",
+                line_number, line) from exc
+    while index < len(tokens):
+        keyword = tokens[index].upper()
+        if keyword == "DC":
+            if index + 1 >= len(tokens):
+                raise NetlistParseError(f"{name}: DC needs a value",
+                                        line_number, line)
+            dc = parse_value(tokens[index + 1])
+            index += 2
+        elif keyword == "AC":
+            if index + 1 >= len(tokens):
+                raise NetlistParseError(f"{name}: AC needs a magnitude",
+                                        line_number, line)
+            ac = parse_value(tokens[index + 1])
+            index += 2
+            if index < len(tokens):
+                try:
+                    phase = parse_value(tokens[index])
+                    index += 1
+                except Exception:
+                    pass  # next token starts a different keyword
+        else:
+            raise NetlistParseError(
+                f"{name}: unexpected token {tokens[index]!r}",
+                line_number, line)
+    return dc, ac, phase
+
+
+def _parse_card(line: str, line_number: int) -> Optional[Component]:
+    tokens = _tokenize(line)
+    name = tokens[0]
+    kind = name[0].upper()
+    rest = tokens[1:]
+
+    def need(count: int, what: str) -> None:
+        if len(rest) < count:
+            raise NetlistParseError(
+                f"{name}: expected at least {count} fields ({what})",
+                line_number, line)
+
+    if kind == "R":
+        need(3, "node node value")
+        return Resistor(name, rest[0], rest[1], parse_value(rest[2]))
+    if kind == "C":
+        need(3, "node node value")
+        return Capacitor(name, rest[0], rest[1], parse_value(rest[2]))
+    if kind == "L":
+        need(3, "node node value")
+        return Inductor(name, rest[0], rest[1], parse_value(rest[2]))
+    if kind == "V":
+        need(2, "node node [DC v] [AC mag phase]")
+        dc, ac, phase = _parse_source_params(rest[2:], name, line_number, line)
+        return VoltageSource(name, rest[0], rest[1], dc, ac, phase)
+    if kind == "I":
+        need(2, "node node [DC v] [AC mag phase]")
+        dc, ac, phase = _parse_source_params(rest[2:], name, line_number, line)
+        return CurrentSource(name, rest[0], rest[1], dc, ac, phase)
+    if kind == "E":
+        need(5, "out+ out- ctrl+ ctrl- gain")
+        return VCVS(name, rest[0], rest[1], rest[2], rest[3],
+                    parse_value(rest[4]))
+    if kind == "G":
+        need(5, "out+ out- ctrl+ ctrl- gm")
+        return VCCS(name, rest[0], rest[1], rest[2], rest[3],
+                    parse_value(rest[4]))
+    if kind == "H":
+        need(4, "out+ out- vsource gain")
+        return CCVS(name, rest[0], rest[1], rest[2], parse_value(rest[3]))
+    if kind == "F":
+        need(4, "out+ out- vsource gain")
+        return CCCS(name, rest[0], rest[1], rest[2], parse_value(rest[3]))
+    if kind == "X":
+        need(4, "in+ in- out model [param=value ...]")
+        model = rest[3].lower()
+        if model not in _OPAMP_MODELS:
+            raise NetlistParseError(
+                f"{name}: unknown subcircuit model {rest[3]!r}; "
+                f"supported: {_OPAMP_MODELS}", line_number, line)
+        params = {}
+        for token in rest[4:]:
+            if "=" not in token:
+                raise NetlistParseError(
+                    f"{name}: expected param=value, got {token!r}",
+                    line_number, line)
+            key, _, value = token.partition("=")
+            params[key.lower()] = parse_value(value)
+        if model == "ideal_opamp":
+            if params:
+                raise NetlistParseError(
+                    f"{name}: ideal_opamp takes no parameters",
+                    line_number, line)
+            return IdealOpAmp(name, rest[0], rest[1], rest[2])
+        return OpAmpMacro(name, rest[0], rest[1], rest[2], params=params)
+    raise NetlistParseError(
+        f"unsupported card type {name[0]!r} in {name!r}", line_number, line)
+
+
+def parse_netlist(text: str, name: Optional[str] = None) -> Circuit:
+    """Parse SPICE-like netlist text into a :class:`Circuit`.
+
+    The first line is treated as a title if it does not parse as a card
+    (SPICE convention). The circuit name defaults to that title.
+    """
+    raw_lines = text.splitlines()
+    # Join continuation lines first ("+" cards extend the previous card).
+    logical: List[tuple] = []  # (line_number, text)
+    for number, raw in enumerate(raw_lines, start=1):
+        stripped = raw.split(";", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        if stripped.lstrip().startswith("+") and logical:
+            prev_number, prev_text = logical[-1]
+            logical[-1] = (prev_number,
+                           prev_text + " " + stripped.lstrip()[1:].strip())
+            continue
+        logical.append((number, stripped.strip()))
+
+    circuit_name = name or "netlist"
+    components: List[Component] = []
+    for position, (line_number, line) in enumerate(logical):
+        if line.startswith("*"):
+            if position == 0 and name is None:
+                circuit_name = line.lstrip("* ").strip() or circuit_name
+            continue
+        lowered = line.lower()
+        if lowered.startswith(".end"):
+            break
+        if lowered.startswith("."):
+            # Analysis cards (.ac, .op, ...) are accepted and ignored:
+            # the library drives analyses through its Python API.
+            continue
+        if position == 0 and not re.match(r"^[RCLVIEGHFX]", line,
+                                          re.IGNORECASE):
+            if name is None:
+                circuit_name = line
+            continue
+        components.append(_parse_card(line, line_number))
+
+    if not components:
+        raise NetlistParseError("netlist contains no components")
+    circuit = Circuit(circuit_name, components)
+    circuit.validate()
+    return circuit
+
+
+def parse_netlist_file(path: str | Path,
+                       name: Optional[str] = None) -> Circuit:
+    """Parse a netlist file; the circuit name defaults to the file stem."""
+    path = Path(path)
+    return parse_netlist(path.read_text(),
+                         name=name or path.stem)
+
+
+def circuit_to_netlist(circuit: Circuit) -> str:
+    """Serialise a :class:`Circuit` back to netlist text."""
+    lines = [f"* {circuit.name}"]
+    for component in circuit:
+        lines.append(_format_card(component))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_netlist(circuit: Circuit, path: str | Path) -> Path:
+    """Write the circuit to a netlist file and return the path."""
+    path = Path(path)
+    path.write_text(circuit_to_netlist(circuit))
+    return path
+
+
+def _format_card(component: Component) -> str:
+    if isinstance(component, (Resistor, Capacitor, Inductor)):
+        return (f"{component.name} {component.positive} {component.negative} "
+                f"{format_value(component.value)}")
+    if isinstance(component, VoltageSource) or isinstance(component,
+                                                          CurrentSource):
+        card = (f"{component.name} {component.positive} "
+                f"{component.negative} DC {format_value(component.value)}")
+        if component.ac_magnitude > 0.0:
+            card += f" AC {format_value(component.ac_magnitude)}"
+            if component.ac_phase_deg:
+                card += f" {component.ac_phase_deg:g}"
+        return card
+    if isinstance(component, VCVS):
+        return (f"{component.name} {component.positive} {component.negative} "
+                f"{component.ctrl_positive} {component.ctrl_negative} "
+                f"{component.gain:g}")
+    if isinstance(component, VCCS):
+        return (f"{component.name} {component.positive} {component.negative} "
+                f"{component.ctrl_positive} {component.ctrl_negative} "
+                f"{component.transconductance:g}")
+    if isinstance(component, CCVS):
+        return (f"{component.name} {component.positive} {component.negative} "
+                f"{component.ctrl_source} {component.transresistance:g}")
+    if isinstance(component, CCCS):
+        return (f"{component.name} {component.positive} {component.negative} "
+                f"{component.ctrl_source} {component.gain:g}")
+    if isinstance(component, IdealOpAmp):
+        return (f"{component.name} {component.in_positive} "
+                f"{component.in_negative} {component.output} ideal_opamp")
+    if isinstance(component, OpAmpMacro):
+        params = " ".join(f"{key}={format_value(value)}"
+                          for key, value in sorted(component.params.items()))
+        return (f"{component.name} {component.in_positive} "
+                f"{component.in_negative} {component.output} opamp_macro "
+                f"{params}")
+    raise NetlistParseError(
+        f"cannot serialise component type {type(component).__name__}")

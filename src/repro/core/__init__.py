@@ -1,0 +1,6 @@
+"""End-to-end fault-trajectory ATPG pipeline."""
+
+from .atpg import ATPGResult, FaultTrajectoryATPG
+from .config import PipelineConfig
+
+__all__ = ["FaultTrajectoryATPG", "ATPGResult", "PipelineConfig"]

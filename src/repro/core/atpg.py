@@ -1,0 +1,213 @@
+"""The end-to-end fault-trajectory ATPG pipeline.
+
+Chains every stage of the paper's method:
+
+1. fault universe (parametric grid on the faultable components);
+2. fault simulation -> fault dictionary on a dense AC grid;
+3. response surface (fast signature interpolation);
+4. GA search for the optimal test vector (fitness per configuration);
+5. final trajectory set + perpendicular classifier + ambiguity report.
+
+``FaultTrajectoryATPG(info).run(seed=...)`` returns an
+:class:`ATPGResult` that can diagnose unknown responses/points and
+evaluate itself on held-out faults.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.library import CircuitInfo
+from ..diagnosis.classifier import Diagnosis, TrajectoryClassifier
+from ..diagnosis.evaluate import (
+    EvaluationResult,
+    HELD_OUT_DEVIATIONS,
+    ambiguity_groups,
+    evaluate_classifier,
+    make_test_cases,
+)
+from ..errors import ReproError
+from ..faults.dictionary import FaultDictionary
+from ..faults.surface import ResponseSurface
+from ..faults.universe import FaultUniverse, parametric_universe
+from ..ga.encoding import FrequencySpace
+from ..ga.engine import GAResult, GeneticAlgorithm
+from ..ga.fitness import (
+    CombinedFitness,
+    MarginFitness,
+    PaperFitness,
+    TrajectoryFitness,
+)
+from ..sim.ac import FrequencyResponse
+from ..trajectory.mapping import SignatureMapper
+from ..trajectory.metrics import TrajectoryMetrics, evaluate_metrics
+from ..trajectory.trajectory import TrajectorySet
+from ..units import log_frequency_grid
+from .config import PipelineConfig
+
+__all__ = ["FaultTrajectoryATPG", "ATPGResult"]
+
+
+@dataclass
+class ATPGResult:
+    """Everything the pipeline produced, ready for diagnosis."""
+
+    info: CircuitInfo
+    config: PipelineConfig
+    universe: FaultUniverse
+    dictionary: FaultDictionary
+    surface: ResponseSurface
+    ga_result: GAResult
+    test_vector_hz: Tuple[float, ...]
+    mapper: SignatureMapper
+    trajectories: TrajectorySet
+    classifier: TrajectoryClassifier
+    metrics: TrajectoryMetrics
+    groups: Tuple[FrozenSet[str], ...]
+    elapsed_seconds: float
+
+    # ------------------------------------------------------------------
+    def diagnose_point(self, point: np.ndarray) -> Diagnosis:
+        """Diagnose a signature-space point."""
+        return self.classifier.classify_point(point)
+
+    def diagnose_response(self, response: FrequencyResponse) -> Diagnosis:
+        """Diagnose a measured magnitude response."""
+        return self.classifier.classify_response(response)
+
+    def evaluate(self, deviations: Sequence[float] = HELD_OUT_DEVIATIONS,
+                 noise_db: float = 0.0, tolerance: float = 0.0,
+                 repeats: int = 1,
+                 seed: Optional[int] = None) -> EvaluationResult:
+        """Score the pipeline on held-out deviations (see evaluate.py)."""
+        cases = make_test_cases(
+            self.info, self.mapper,
+            components=self.universe.components,
+            deviations=deviations, noise_db=noise_db,
+            tolerance=tolerance, repeats=repeats, seed=seed)
+        return evaluate_classifier(self.classifier, cases,
+                                   groups=self.groups)
+
+    def report(self) -> str:
+        """Human-readable run summary."""
+        freqs = ", ".join(f"{f:,.4g} Hz" for f in self.test_vector_hz)
+        groups = ", ".join("{" + ",".join(sorted(g)) + "}"
+                           for g in self.groups if len(g) > 1)
+        lines = [
+            f"circuit: {self.info.circuit.name} "
+            f"({len(self.universe.components)} fault targets, "
+            f"{len(self.universe)} dictionary faults)",
+            f"test vector: [{freqs}]",
+            f"GA fitness: {self.ga_result.best_fitness:.4f} "
+            f"({self.ga_result.generations_run} generations, "
+            f"{self.ga_result.evaluations} evaluations)",
+            f"trajectory conflicts: {self.metrics.intersections} "
+            f"crossings, {self.metrics.common_pathways} overlaps",
+            f"min separation: {self.metrics.min_separation:.4g}",
+            f"ambiguity groups (<= {self.config.ambiguity_threshold}): "
+            f"{groups or 'none'}",
+            f"pipeline time: {self.elapsed_seconds:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+class FaultTrajectoryATPG:
+    """Orchestrates the full paper flow for one circuit."""
+
+    def __init__(self, info: CircuitInfo,
+                 config: Optional[PipelineConfig] = None,
+                 components: Optional[Sequence[str]] = None) -> None:
+        self.info = info
+        self.config = config or PipelineConfig.paper()
+        self.components = tuple(components) if components \
+            else tuple(info.faultable)
+        if not self.components:
+            raise ReproError(
+                f"{info.circuit.name}: no faultable components")
+
+    # ------------------------------------------------------------------
+    def build_dictionary(self) -> Tuple[FaultUniverse, FaultDictionary]:
+        """Stages 1-2: fault universe + fault simulation."""
+        universe = parametric_universe(
+            self.info.circuit, components=self.components,
+            deviations=self.config.deviations)
+        grid = log_frequency_grid(self.info.f_min_hz, self.info.f_max_hz,
+                                  self.config.dictionary_points)
+        dictionary = FaultDictionary.build(
+            universe, self.info.output_node, grid,
+            input_source=self.info.input_source)
+        return universe, dictionary
+
+    def make_fitness(self, surface: ResponseSurface) -> TrajectoryFitness:
+        """Stage 4a: the configured fitness function."""
+        # The template's frequencies are placeholders: the fitness swaps
+        # in each candidate test vector via mapper.with_freqs().
+        placeholder = tuple(float(i + 1)
+                            for i in range(self.config.num_frequencies))
+        mapper_template = SignatureMapper(
+            placeholder, scale=self.config.signature_scale,
+            relative_to_golden=self.config.relative_to_golden)
+        kind = self.config.fitness
+        if kind == "paper":
+            return PaperFitness(surface, mapper_template,
+                                overlap_weight=self.config.overlap_weight)
+        if kind == "margin":
+            return MarginFitness(surface, mapper_template,
+                                 margin_scale=self.config.margin_scale)
+        return CombinedFitness(
+            surface, mapper_template,
+            overlap_weight=self.config.overlap_weight,
+            margin_weight=self.config.margin_weight,
+            margin_scale=self.config.margin_scale)
+
+    def run(self, seed: Optional[int] = None) -> ATPGResult:
+        """Execute the full pipeline."""
+        started = time.perf_counter()
+        universe, dictionary = self.build_dictionary()
+        surface = ResponseSurface(dictionary)
+
+        space = FrequencySpace(self.info.f_min_hz, self.info.f_max_hz,
+                               self.config.num_frequencies)
+        fitness = self.make_fitness(surface)
+        ga = GeneticAlgorithm(space, fitness, self.config.ga)
+        ga_result = ga.run(seed=seed)
+        test_vector = ga_result.best_freqs_hz
+
+        mapper = SignatureMapper(
+            test_vector, scale=self.config.signature_scale,
+            relative_to_golden=self.config.relative_to_golden)
+        # Final artefacts are re-simulated *exactly at the test vector*:
+        # a mini-dictionary whose grid is the test frequencies themselves.
+        # Interpolating the dense-grid dictionary instead would inject a
+        # few-mdB error -- larger than the separation of near-degenerate
+        # trajectory pairs (R3/R5, R4/C2 on the biquad CUT).
+        exact = FaultDictionary.build(
+            universe, self.info.output_node,
+            np.array(sorted(test_vector), dtype=float),
+            input_source=self.info.input_source)
+        trajectories = TrajectorySet.from_source(exact, mapper)
+        metrics = evaluate_metrics(trajectories)
+        groups = ambiguity_groups(trajectories,
+                                  self.config.ambiguity_threshold)
+        classifier = TrajectoryClassifier(trajectories,
+                                          golden=exact.golden)
+        elapsed = time.perf_counter() - started
+        return ATPGResult(
+            info=self.info,
+            config=self.config,
+            universe=universe,
+            dictionary=dictionary,
+            surface=surface,
+            ga_result=ga_result,
+            test_vector_hz=test_vector,
+            mapper=mapper,
+            trajectories=trajectories,
+            classifier=classifier,
+            metrics=metrics,
+            groups=groups,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,40 @@
+"""Fault diagnosis: trajectory classifier, baselines, evaluation."""
+
+from .baselines import (
+    NearestNeighborClassifier,
+    exhaustive_search,
+    random_test_vectors,
+)
+from .catastrophic import (
+    CatastrophicDiagnosis,
+    CatastrophicScreen,
+    HybridClassifier,
+)
+from .classifier import Diagnosis, TrajectoryClassifier
+from .evaluate import (
+    CaseResult,
+    EvaluationResult,
+    HELD_OUT_DEVIATIONS,
+    DiagnosisCase,
+    ambiguity_groups,
+    evaluate_classifier,
+    make_test_cases,
+)
+
+__all__ = [
+    "Diagnosis",
+    "TrajectoryClassifier",
+    "CatastrophicDiagnosis",
+    "CatastrophicScreen",
+    "HybridClassifier",
+    "NearestNeighborClassifier",
+    "random_test_vectors",
+    "exhaustive_search",
+    "DiagnosisCase",
+    "CaseResult",
+    "EvaluationResult",
+    "HELD_OUT_DEVIATIONS",
+    "make_test_cases",
+    "evaluate_classifier",
+    "ambiguity_groups",
+]

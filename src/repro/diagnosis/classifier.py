@@ -1,0 +1,174 @@
+"""The fault-trajectory diagnoser.
+
+Section 2.3 / Fig. 3 (right): *"Given a point in the Cartesian plane due
+to an unknown fault, it can be assigned to a PW segment, which would be
+the segment with the highest probability to be the right one. Such
+operation is done drawing perpendiculars from known fault trajectories to
+the point where the unknown fault is."*
+
+:class:`TrajectoryClassifier` implements exactly that rule:
+
+1. project the unknown point onto every trajectory segment;
+2. prefer segments onto which a perpendicular *foot* exists (the
+   unclamped projection falls inside the segment) -- the paper's
+   "segments from which perpendiculars exist";
+3. among the preferred set, pick the smallest distance; fall back to
+   endpoint distance when no perpendicular exists anywhere;
+4. the winning segment's trajectory names the faulty component, and the
+   foot parameter interpolates the estimated deviation.
+
+The classifier works in any signature dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DiagnosisError
+from ..sim.ac import FrequencyResponse
+from ..trajectory.geometry import project_point_onto_segments
+from ..trajectory.trajectory import TrajectorySet
+
+__all__ = ["Diagnosis", "TrajectoryClassifier"]
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Outcome of classifying one unknown fault point."""
+
+    component: str
+    estimated_deviation: float
+    distance: float
+    perpendicular: bool
+    margin: float
+    point: Tuple[float, ...]
+    ranking: Tuple[Tuple[str, float], ...]
+
+    @property
+    def ambiguous(self) -> bool:
+        """True when the runner-up component is almost as close.
+
+        The margin threshold is relative: a runner-up within 10 % of the
+        winning distance (or within 1e-9 absolute for on-trajectory
+        points) cannot be ruled out.
+        """
+        if len(self.ranking) < 2:
+            return False
+        runner_up = self.ranking[1][1]
+        return runner_up - self.distance <= max(0.1 * runner_up, 1e-9)
+
+    def summary(self) -> str:
+        kind = "perpendicular" if self.perpendicular else "endpoint"
+        return (f"fault on {self.component} "
+                f"(estimated {self.estimated_deviation * 100.0:+.1f}%), "
+                f"{kind} distance {self.distance:.4g}, "
+                f"margin {self.margin:.4g}")
+
+
+class TrajectoryClassifier:
+    """Nearest-segment classifier over a trajectory set."""
+
+    def __init__(self, trajectories: TrajectorySet,
+                 golden: Optional[FrequencyResponse] = None) -> None:
+        self.trajectories = trajectories
+        self.golden = golden
+        starts, ends, owners = trajectories.all_segments()
+        self._starts = starts
+        self._ends = ends
+        self._owners = owners
+        # Local segment index within the owning trajectory, per flat
+        # segment (deviation estimation needs the local index).
+        locals_: List[int] = []
+        for trajectory in trajectories:
+            locals_.extend(range(trajectory.num_segments))
+        self._local_index = np.array(locals_, dtype=int)
+
+    # ------------------------------------------------------------------
+    def classify_point(self, point: np.ndarray) -> Diagnosis:
+        """Diagnose a signature-space point (the paper's (*) point)."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.trajectories.dimension,):
+            raise DiagnosisError(
+                f"point has dimension {point.shape}, trajectories have "
+                f"{self.trajectories.dimension}")
+        distances, t_values, interior = project_point_onto_segments(
+            point, self._starts, self._ends)
+
+        # Paper rule: segments with an interior perpendicular foot are
+        # preferred; endpoint-only proximity is the fallback.
+        if np.any(interior):
+            candidate_mask = interior
+            perpendicular = True
+        else:
+            candidate_mask = np.ones_like(interior, dtype=bool)
+            perpendicular = False
+        masked = np.where(candidate_mask, distances, np.inf)
+        winner = int(np.argmin(masked))
+
+        owner = int(self._owners[winner])
+        trajectory = self.trajectories.trajectories[owner]
+        deviation = trajectory.interpolate_deviation(
+            int(self._local_index[winner]), float(t_values[winner]))
+
+        ranking = self._component_ranking(distances)
+        margin = self._margin(ranking, trajectory.component)
+        return Diagnosis(
+            component=trajectory.component,
+            estimated_deviation=deviation,
+            distance=float(distances[winner]),
+            perpendicular=perpendicular,
+            margin=margin,
+            point=tuple(float(x) for x in point),
+            ranking=ranking,
+        )
+
+    def classify_response(self, response: FrequencyResponse) -> Diagnosis:
+        """Diagnose a measured/simulated response.
+
+        Requires the classifier to have been built with the golden
+        response when the mapper is golden-relative.
+        """
+        mapper = self.trajectories.mapper
+        golden = self.golden if mapper.relative_to_golden else None
+        if mapper.relative_to_golden and golden is None:
+            raise DiagnosisError(
+                "classifier needs the golden response to map measured "
+                "responses; pass golden= at construction")
+        point = mapper.signature(response, golden)
+        return self.classify_point(point)
+
+    # ------------------------------------------------------------------
+    def _component_ranking(self, distances: np.ndarray
+                           ) -> Tuple[Tuple[str, float], ...]:
+        """Best clamped distance per component, ascending."""
+        best: Dict[str, float] = {}
+        for index, trajectory in enumerate(self.trajectories.trajectories):
+            mask = self._owners == index
+            best[trajectory.component] = float(distances[mask].min())
+        ordered = sorted(best.items(), key=lambda item: item[1])
+        return tuple(ordered)
+
+    @staticmethod
+    def _margin(ranking: Tuple[Tuple[str, float], ...],
+                winner: str) -> float:
+        """Distance gap between the winner and the closest other
+        component (infinite for a single-trajectory set)."""
+        others = [distance for component, distance in ranking
+                  if component != winner]
+        if not others:
+            return float("inf")
+        winner_distance = dict(ranking)[winner]
+        return float(min(others) - winner_distance)
+
+    def is_fault_free(self, point: np.ndarray,
+                      threshold: float) -> bool:
+        """Go/no-go test: the point is 'golden' if it sits within
+        ``threshold`` of the origin (for golden-relative mappers)."""
+        if not self.trajectories.mapper.relative_to_golden:
+            raise DiagnosisError(
+                "fault-free test requires a golden-relative mapper")
+        point = np.asarray(point, dtype=float)
+        return bool(np.linalg.norm(point) <= threshold)

@@ -1,0 +1,272 @@
+"""Diagnosis evaluation harness.
+
+Measures how well a classifier identifies *held-out* faults: deviations
+that are not in the dictionary grid (the paper's dictionary stores +/-10,
+20, 30, 40 %; realistic unknown faults fall between those points, which is
+precisely what trajectories interpolate). Optional measurement noise and
+component-tolerance Monte Carlo stress the method the way a bench
+measurement would.
+
+Also provides :func:`ambiguity_groups`: components whose trajectories stay
+within a distance threshold of each other form an equivalence class that
+no diagnosis using this signature can split -- the honest unit of
+accuracy accounting for circuits with structural degeneracies (the
+Tow-Thomas CUT has two such pairs, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, \
+    Tuple
+
+import numpy as np
+
+from ..circuits.library import CircuitInfo
+from ..errors import DiagnosisError
+from ..faults.models import ParametricFault
+from ..sim.ac import ACAnalysis
+from ..trajectory.mapping import SignatureMapper
+from ..trajectory.metrics import pairwise_separations
+from ..trajectory.trajectory import TrajectorySet
+from .classifier import Diagnosis
+
+__all__ = [
+    "DiagnosisCase",
+    "CaseResult",
+    "EvaluationResult",
+    "PointClassifier",
+    "make_test_cases",
+    "evaluate_classifier",
+    "ambiguity_groups",
+    "HELD_OUT_DEVIATIONS",
+]
+
+# Default held-out deviations: between the dictionary's 10%-grid points.
+HELD_OUT_DEVIATIONS = (-0.35, -0.25, -0.15, 0.15, 0.25, 0.35)
+
+
+class PointClassifier(Protocol):
+    """Anything that can diagnose a signature point."""
+
+    def classify_point(self, point: np.ndarray) -> Diagnosis: ...
+
+
+@dataclass(frozen=True)
+class DiagnosisCase:
+    """One unknown fault presented to a classifier."""
+
+    true_component: str
+    true_deviation: float
+    point: np.ndarray
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """A test case together with the classifier's verdict."""
+
+    case: DiagnosisCase
+    diagnosis: Diagnosis
+
+    @property
+    def correct(self) -> bool:
+        return self.diagnosis.component == self.case.true_component
+
+    @property
+    def deviation_error(self) -> float:
+        return (self.diagnosis.estimated_deviation -
+                self.case.true_deviation)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated diagnosis quality over a case set."""
+
+    results: List[CaseResult]
+    groups: Tuple[FrozenSet[str], ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cases(self) -> int:
+        return len(self.results)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of cases whose exact component was identified."""
+        if not self.results:
+            raise DiagnosisError("no cases evaluated")
+        return sum(r.correct for r in self.results) / len(self.results)
+
+    @property
+    def group_accuracy(self) -> float:
+        """Accuracy at ambiguity-group granularity.
+
+        A prediction inside the true component's ambiguity group counts
+        as correct -- the finest resolution the signature permits.
+        """
+        if not self.results:
+            raise DiagnosisError("no cases evaluated")
+        lookup: Dict[str, FrozenSet[str]] = {}
+        for group in self.groups:
+            for member in group:
+                lookup[member] = group
+        correct = 0
+        for result in self.results:
+            true = result.case.true_component
+            predicted = result.diagnosis.component
+            group = lookup.get(true, frozenset((true,)))
+            correct += predicted in group
+        return correct / len(self.results)
+
+    def per_component_accuracy(self) -> Dict[str, float]:
+        totals: Dict[str, int] = {}
+        hits: Dict[str, int] = {}
+        for result in self.results:
+            name = result.case.true_component
+            totals[name] = totals.get(name, 0) + 1
+            hits[name] = hits.get(name, 0) + int(result.correct)
+        return {name: hits[name] / totals[name] for name in totals}
+
+    def confusion(self) -> Dict[Tuple[str, str], int]:
+        """(true, predicted) -> count."""
+        table: Dict[Tuple[str, str], int] = {}
+        for result in self.results:
+            key = (result.case.true_component,
+                   result.diagnosis.component)
+            table[key] = table.get(key, 0) + 1
+        return table
+
+    def deviation_mae(self) -> float:
+        """Mean absolute deviation-estimation error on correct cases."""
+        errors = [abs(r.deviation_error) for r in self.results
+                  if r.correct]
+        if not errors:
+            return float("nan")
+        return float(np.mean(errors))
+
+    def deviation_rmse(self) -> float:
+        errors = [r.deviation_error for r in self.results if r.correct]
+        if not errors:
+            return float("nan")
+        return float(np.sqrt(np.mean(np.square(errors))))
+
+    def summary(self) -> str:
+        lines = [
+            f"cases: {self.num_cases}",
+            f"component accuracy: {self.accuracy * 100.0:.1f}%",
+        ]
+        if self.groups:
+            groups = ", ".join("{" + ",".join(sorted(g)) + "}"
+                               for g in self.groups if len(g) > 1)
+            lines.append(
+                f"group accuracy:     {self.group_accuracy * 100.0:.1f}% "
+                f"(ambiguity groups: {groups or 'none'})")
+        lines.append(
+            f"deviation MAE (correct cases): "
+            f"{self.deviation_mae() * 100.0:.2f} pp")
+        for name, value in sorted(self.per_component_accuracy().items()):
+            lines.append(f"  {name:<6} {value * 100.0:6.1f}%")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+def make_test_cases(info: CircuitInfo, mapper: SignatureMapper,
+                    components: Optional[Sequence[str]] = None,
+                    deviations: Sequence[float] = HELD_OUT_DEVIATIONS,
+                    noise_db: float = 0.0,
+                    tolerance: float = 0.0,
+                    repeats: int = 1,
+                    rng: Optional[np.random.Generator] = None,
+                    seed: Optional[int] = None) -> List[DiagnosisCase]:
+    """Simulate unknown-fault measurements for a circuit.
+
+    For every (component, held-out deviation) pair the faulty circuit is
+    solved exactly at the mapper's test frequencies. ``noise_db`` adds
+    Gaussian measurement noise to each signature coordinate (dB scale);
+    ``tolerance`` perturbs every *other* passive uniformly within
+    +/-tolerance (manufacturing spread); ``repeats`` draws that many
+    noisy/toleranced instances per pair.
+    """
+    if noise_db < 0.0 or tolerance < 0.0:
+        raise DiagnosisError("noise_db and tolerance must be >= 0")
+    if repeats < 1:
+        raise DiagnosisError("repeats must be >= 1")
+    if (noise_db > 0.0 or tolerance > 0.0) and rng is None:
+        rng = np.random.default_rng(seed)
+
+    targets = tuple(components) if components else info.faultable
+    freqs = np.array(sorted(mapper.test_freqs_hz))
+    golden_response = ACAnalysis(info.circuit).transfer(
+        info.output_node, freqs, info.input_source)
+
+    cases: List[DiagnosisCase] = []
+    for name in targets:
+        for deviation in deviations:
+            fault = ParametricFault(name, float(deviation))
+            for _ in range(repeats):
+                circuit = fault.apply(info.circuit)
+                if tolerance > 0.0:
+                    for other in info.faultable:
+                        if other == name:
+                            continue
+                        spread = float(rng.uniform(-tolerance, tolerance))
+                        circuit = circuit.scaled_value(other, 1.0 + spread)
+                response = ACAnalysis(circuit).transfer(
+                    info.output_node, freqs, info.input_source)
+                point = mapper.signature(response, golden_response)
+                if noise_db > 0.0:
+                    point = point + rng.normal(0.0, noise_db,
+                                               size=point.shape)
+                cases.append(DiagnosisCase(name, float(deviation), point))
+    if not cases:
+        raise DiagnosisError("no test cases generated")
+    return cases
+
+
+def evaluate_classifier(classifier: PointClassifier,
+                        cases: Sequence[DiagnosisCase],
+                        groups: Tuple[FrozenSet[str], ...] = ()
+                        ) -> EvaluationResult:
+    """Run every case through the classifier and aggregate."""
+    if not cases:
+        raise DiagnosisError("no cases to evaluate")
+    results = [CaseResult(case, classifier.classify_point(case.point))
+               for case in cases]
+    return EvaluationResult(results, groups)
+
+
+# ----------------------------------------------------------------------
+# Ambiguity analysis
+# ----------------------------------------------------------------------
+def ambiguity_groups(trajectories: TrajectorySet,
+                     threshold: float) -> Tuple[FrozenSet[str], ...]:
+    """Partition components into indistinguishability classes.
+
+    Components whose trajectories approach within ``threshold`` (in
+    signature units) are merged transitively. The result covers *all*
+    components; singleton groups mean "distinguishable".
+    """
+    if threshold < 0.0:
+        raise DiagnosisError("threshold must be >= 0")
+    names = list(trajectories.components)
+    parent = {name: name for name in names}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    if len(names) >= 2:
+        for (a, b), separation in pairwise_separations(
+                trajectories).items():
+            if separation <= threshold:
+                parent[find(a)] = find(b)
+    groups: Dict[str, set] = {}
+    for name in names:
+        groups.setdefault(find(name), set()).add(name)
+    return tuple(sorted((frozenset(members) for members in
+                         groups.values()),
+                        key=lambda g: sorted(g)[0]))

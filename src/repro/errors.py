@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the pipeline can catch one type. Subclasses are grouped by
+subsystem: circuit construction, netlist parsing, simulation, fault handling,
+and the GA/diagnosis layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction (duplicate names, bad nodes, ...)."""
+
+
+class ComponentError(CircuitError):
+    """Invalid component definition (non-positive value, bad terminals)."""
+
+
+class NetlistParseError(CircuitError):
+    """A SPICE-like netlist file/string could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        location = f" (line {line_number}: {line!r})" if line_number else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+        self.line = line
+
+
+class SimulationError(ReproError):
+    """The simulator could not produce a result."""
+
+
+class SingularCircuitError(SimulationError):
+    """The MNA matrix is singular.
+
+    Usually caused by a floating node (no DC path to ground), a loop of
+    ideal voltage sources, or an op-amp without feedback at DC.
+    """
+
+
+class ConvergenceError(SimulationError):
+    """An iterative analysis failed to converge."""
+
+
+class FaultError(ReproError):
+    """Invalid fault specification or injection target."""
+
+
+class DictionaryError(ReproError):
+    """Fault dictionary construction, persistence or lookup failed."""
+
+
+class TrajectoryError(ReproError):
+    """Trajectory construction or geometry query failed."""
+
+
+class GAError(ReproError):
+    """Genetic-algorithm configuration or execution error."""
+
+
+class DiagnosisError(ReproError):
+    """Diagnosis could not be performed (empty trajectory set, ...)."""

@@ -1,0 +1,32 @@
+"""Fault models, fault universes, fault dictionaries and response surfaces."""
+
+from .dictionary import DictionaryEntry, FaultDictionary
+from .models import (
+    CatastrophicFault,
+    Fault,
+    GOLDEN_LABEL,
+    OpAmpParamFault,
+    ParametricFault,
+    paper_deviation_grid,
+)
+from .surface import ResponseSurface
+from .universe import (
+    FaultUniverse,
+    catastrophic_universe,
+    parametric_universe,
+)
+
+__all__ = [
+    "Fault",
+    "ParametricFault",
+    "CatastrophicFault",
+    "OpAmpParamFault",
+    "GOLDEN_LABEL",
+    "paper_deviation_grid",
+    "FaultUniverse",
+    "parametric_universe",
+    "catastrophic_universe",
+    "FaultDictionary",
+    "DictionaryEntry",
+    "ResponseSurface",
+]

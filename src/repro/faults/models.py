@@ -1,0 +1,212 @@
+"""Fault models: the functional parametric fault paradigm of the paper.
+
+Section 2.1: *"a fault in a circuit will be the result of a parametric
+deviation in a component value. This way, faults in R & C are represented
+as % deviations on their values, and faults on active devices will be
+represented as % deviation on the values of their macro model."*
+
+Three fault kinds are provided:
+
+* :class:`ParametricFault` -- relative deviation of a passive value (the
+  paper's model);
+* :class:`OpAmpParamFault` -- relative deviation of one op-amp macromodel
+  parameter (the paper's active-device model);
+* :class:`CatastrophicFault` -- open/short extremes (extension; classical
+  hard faults, approximated by extreme value substitution).
+
+A fault knows how to *apply* itself to a circuit, returning a new faulty
+circuit; circuits are immutable so injection is pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..circuits.components import (
+    Capacitor,
+    Inductor,
+    OpAmpMacro,
+    Resistor,
+    TwoTerminal,
+)
+from ..circuits.netlist import Circuit
+from ..errors import FaultError
+
+__all__ = [
+    "Fault",
+    "ParametricFault",
+    "CatastrophicFault",
+    "OpAmpParamFault",
+    "GOLDEN_LABEL",
+    "paper_deviation_grid",
+]
+
+GOLDEN_LABEL = "golden"
+
+# Extreme substitution values for catastrophic faults. AC analyses see an
+# open resistor as a near-zero admittance and a shorted capacitor as a
+# near-infinite one; exact zeros/infinities would make the MNA singular.
+_OPEN_RESISTANCE = 1e12
+_SHORT_RESISTANCE = 1e-3
+_OPEN_CAPACITANCE = 1e-18
+_SHORT_CAPACITANCE = 1.0
+_OPEN_INDUCTANCE = 1e6
+_SHORT_INDUCTANCE = 1e-12
+
+
+def paper_deviation_grid(max_deviation: float = 0.4,
+                         step: float = 0.1) -> Tuple[float, ...]:
+    """The paper's fault grid: +/-step ... +/-max, zero excluded.
+
+    Defaults give (-0.4, -0.3, -0.2, -0.1, +0.1, +0.2, +0.3, +0.4) --
+    component values from 60 % to 140 % of nominal in 10 % steps.
+    """
+    if not 0.0 < step <= max_deviation:
+        raise FaultError("need 0 < step <= max_deviation")
+    count = int(round(max_deviation / step))
+    if abs(count * step - max_deviation) > 1e-9:
+        raise FaultError(
+            f"max_deviation {max_deviation} is not a multiple of "
+            f"step {step}")
+    positive = [round(step * k, 10) for k in range(1, count + 1)]
+    negative = [-d for d in reversed(positive)]
+    return tuple(negative + positive)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: something wrong with one named component."""
+
+    component: str
+
+    @property
+    def label(self) -> str:
+        """Unique human-readable identifier, used as dictionary key."""
+        raise NotImplementedError
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Return a faulty copy of ``circuit``."""
+        raise NotImplementedError
+
+    def _require(self, circuit: Circuit):
+        if self.component not in circuit:
+            raise FaultError(
+                f"fault target {self.component!r} not in circuit "
+                f"{circuit.name!r}")
+        return circuit[self.component]
+
+
+@dataclass(frozen=True)
+class ParametricFault(Fault):
+    """Relative deviation of a passive component value.
+
+    ``deviation`` is relative: ``+0.2`` means 120 % of nominal, ``-0.4``
+    means 60 % of nominal. Must stay above -1 (values stay positive).
+    """
+
+    deviation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.deviation <= -1.0:
+            raise FaultError(
+                f"{self.component}: deviation {self.deviation} would make "
+                "the value non-positive")
+
+    @property
+    def label(self) -> str:
+        return f"{self.component}{self.deviation * 100.0:+.6g}%"
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        target = self._require(circuit)
+        if not isinstance(target, TwoTerminal):
+            raise FaultError(
+                f"{self.component!r} is a {type(target).__name__}; "
+                "parametric faults target two-terminal passives "
+                "(use OpAmpParamFault for active devices)")
+        return circuit.scaled_value(
+            self.component, 1.0 + self.deviation,
+            name=f"{circuit.name}#{self.label}")
+
+
+@dataclass(frozen=True)
+class CatastrophicFault(Fault):
+    """Open or short of a passive component (extension to the paper).
+
+    Approximated by extreme value substitution so the network stays
+    solvable; the substituted values are component-type aware.
+    """
+
+    kind: str = "open"
+
+    _VALUES = {
+        (Resistor, "open"): _OPEN_RESISTANCE,
+        (Resistor, "short"): _SHORT_RESISTANCE,
+        (Capacitor, "open"): _OPEN_CAPACITANCE,
+        (Capacitor, "short"): _SHORT_CAPACITANCE,
+        (Inductor, "open"): _OPEN_INDUCTANCE,
+        (Inductor, "short"): _SHORT_INDUCTANCE,
+    }
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("open", "short"):
+            raise FaultError(
+                f"{self.component}: catastrophic kind must be 'open' or "
+                f"'short', got {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.component}:{self.kind}"
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        target = self._require(circuit)
+        for component_type in (Resistor, Capacitor, Inductor):
+            if isinstance(target, component_type):
+                value = self._VALUES[(component_type, self.kind)]
+                return circuit.with_value(
+                    self.component, value,
+                    name=f"{circuit.name}#{self.label}")
+        raise FaultError(
+            f"{self.component!r} is a {type(target).__name__}; "
+            "catastrophic faults target R, C or L")
+
+
+@dataclass(frozen=True)
+class OpAmpParamFault(Fault):
+    """Relative deviation of one op-amp macromodel parameter.
+
+    This is the paper's active-device fault: a % deviation on a macromodel
+    value (a0, pole_hz, rin or rout).
+    """
+
+    param: str = "a0"
+    deviation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.deviation <= -1.0:
+            raise FaultError(
+                f"{self.component}.{self.param}: deviation "
+                f"{self.deviation} would make the parameter non-positive")
+
+    @property
+    def label(self) -> str:
+        return (f"{self.component}.{self.param}"
+                f"{self.deviation * 100.0:+.6g}%")
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        target = self._require(circuit)
+        if not isinstance(target, OpAmpMacro):
+            raise FaultError(
+                f"{self.component!r} is a {type(target).__name__}; "
+                "OpAmpParamFault targets OpAmpMacro devices (build the "
+                "circuit with ideal_opamps=False)")
+        nominal = target.params[self.param] if self.param in target.params \
+            else None
+        if nominal is None:
+            raise FaultError(
+                f"{self.component}: macromodel has no parameter "
+                f"{self.param!r}")
+        faulty = target.with_param(self.param,
+                                   nominal * (1.0 + self.deviation))
+        return circuit.with_component(
+            faulty, name=f"{circuit.name}#{self.label}")

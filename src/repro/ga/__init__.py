@@ -1,0 +1,45 @@
+"""Evolutionary test-vector search (the paper's GA plus extensions)."""
+
+from .config import GAConfig
+from .encoding import FrequencySpace
+from .engine import GAResult, GenerationStats, GeneticAlgorithm
+from .fitness import (
+    CombinedFitness,
+    MarginFitness,
+    PaperFitness,
+    TrajectoryFitness,
+)
+from .operators import (
+    blend_crossover,
+    gaussian_mutation,
+    get_crossover,
+    get_selection,
+    one_point_crossover,
+    rank_select,
+    reset_mutation,
+    roulette_wheel_select,
+    tournament_select,
+    uniform_crossover,
+)
+
+__all__ = [
+    "GAConfig",
+    "FrequencySpace",
+    "GeneticAlgorithm",
+    "GAResult",
+    "GenerationStats",
+    "TrajectoryFitness",
+    "PaperFitness",
+    "MarginFitness",
+    "CombinedFitness",
+    "roulette_wheel_select",
+    "tournament_select",
+    "rank_select",
+    "blend_crossover",
+    "one_point_crossover",
+    "uniform_crossover",
+    "gaussian_mutation",
+    "reset_mutation",
+    "get_selection",
+    "get_crossover",
+]

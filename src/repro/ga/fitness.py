@@ -1,0 +1,188 @@
+"""Fitness functions for test-vector quality.
+
+The paper's fitness (Sec. 2.4)::
+
+    fitness(fm, fn) = 1 / (1 + I)
+
+where I is the number of trajectory intersections; the selection criteria
+also penalise "common pathways", so I here is crossings + collinear
+overlaps (the weight is configurable and ablated in T-ABL).
+
+Two extensions address the paper fitness's plateau (every intersection-
+free vector scores exactly 1.0, leaving the GA no gradient between them):
+
+* :class:`MarginFitness` -- rewards the minimum inter-trajectory distance;
+* :class:`CombinedFitness` -- the paper term plus a bounded margin bonus,
+  which keeps the paper's ordering but breaks ties.
+
+Every fitness memoises on the (rounded) test vector: the GA revisits the
+same region constantly and trajectory construction is the dominant cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GAError
+from ..faults.surface import ResponseSurface
+from ..trajectory.mapping import SignatureMapper
+from ..trajectory.metrics import TrajectoryMetrics, evaluate_metrics
+from ..trajectory.trajectory import TrajectorySet
+
+__all__ = [
+    "TrajectoryFitness",
+    "PaperFitness",
+    "MarginFitness",
+    "CombinedFitness",
+]
+
+# Cache keys round log-frequencies to this many digits; two vectors that
+# agree to 1e-9 decades are physically identical.
+_CACHE_DIGITS = 9
+
+
+class TrajectoryFitness:
+    """Base class: builds trajectories for a test vector and scores them.
+
+    Subclasses implement :meth:`score` on the resulting metrics. Higher
+    is better; values must be non-negative for roulette selection.
+    Subclasses that never read the separation fields set
+    ``needs_separations = False`` to skip the distance computation (the
+    conflict counts alone are noticeably cheaper).
+    """
+
+    needs_separations = True
+
+    def __init__(self, surface: ResponseSurface,
+                 mapper: Optional[SignatureMapper] = None,
+                 components: Optional[Tuple[str, ...]] = None) -> None:
+        self.surface = surface
+        # The mapper argument carries the mapping *options*; its test
+        # vector is replaced per evaluation.
+        self._mapper_template = mapper if mapper is not None else \
+            SignatureMapper((1.0, 2.0))
+        self.components = components
+        self._cache: Dict[Tuple[float, ...], float] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def trajectories_for(self, freqs_hz: Tuple[float, ...]) -> TrajectorySet:
+        mapper = self._mapper_template.with_freqs(freqs_hz)
+        return TrajectorySet.from_source(self.surface, mapper,
+                                         components=self.components)
+
+    def metrics_for(self, freqs_hz: Tuple[float, ...],
+                    include_separations: bool = True) -> TrajectoryMetrics:
+        return evaluate_metrics(self.trajectories_for(freqs_hz),
+                                include_separations=include_separations)
+
+    def score(self, metrics: TrajectoryMetrics) -> float:
+        raise NotImplementedError
+
+    def __call__(self, freqs_hz: Tuple[float, ...]) -> float:
+        key = tuple(round(float(np.log10(f)), _CACHE_DIGITS)
+                    for f in freqs_hz)
+        if key in self._cache:
+            return self._cache[key]
+        metrics = self.metrics_for(
+            freqs_hz, include_separations=self.needs_separations)
+        value = float(self.score(metrics))
+        if value < 0.0:
+            raise GAError(
+                f"{type(self).__name__} returned negative fitness "
+                f"{value}; roulette selection requires >= 0")
+        self._cache[key] = value
+        self.evaluations += 1
+        return value
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+
+class PaperFitness(TrajectoryFitness):
+    """The paper's fitness: ``1 / (1 + I)``.
+
+    ``I = intersections + overlap_weight * common_pathways``; with the
+    default weight 1 every conflict counts once, matching the paper's
+    "minimise common pathways and intersections" criterion.
+    """
+
+    needs_separations = False
+
+    def __init__(self, surface: ResponseSurface,
+                 mapper: Optional[SignatureMapper] = None,
+                 components: Optional[Tuple[str, ...]] = None,
+                 overlap_weight: float = 1.0) -> None:
+        super().__init__(surface, mapper, components)
+        if overlap_weight < 0.0:
+            raise GAError("overlap_weight must be >= 0")
+        self.overlap_weight = float(overlap_weight)
+
+    def score(self, metrics: TrajectoryMetrics) -> float:
+        conflicts = (metrics.intersections +
+                     self.overlap_weight * metrics.common_pathways)
+        return 1.0 / (1.0 + conflicts)
+
+
+class MarginFitness(TrajectoryFitness):
+    """Extension: reward the minimum inter-trajectory separation.
+
+    Bounded to [0, 1) as ``margin / (margin + margin_scale)`` so roulette
+    probabilities stay sane. ``margin_scale`` is the separation (in
+    signature units, dB by default) that earns fitness 0.5.
+    """
+
+    def __init__(self, surface: ResponseSurface,
+                 mapper: Optional[SignatureMapper] = None,
+                 components: Optional[Tuple[str, ...]] = None,
+                 margin_scale: float = 1.0) -> None:
+        super().__init__(surface, mapper, components)
+        if margin_scale <= 0.0:
+            raise GAError("margin_scale must be positive")
+        self.margin_scale = float(margin_scale)
+
+    def score(self, metrics: TrajectoryMetrics) -> float:
+        margin = max(metrics.min_separation, 0.0)
+        if not np.isfinite(margin):
+            return 1.0
+        return margin / (margin + self.margin_scale)
+
+
+class CombinedFitness(PaperFitness):
+    """Paper fitness with a bounded margin tie-break.
+
+    ``fitness = 1/(1+I) + margin_weight * margin/(margin + scale)``.
+    In 2-D the margin is zero whenever any pair of trajectories conflicts
+    (crossing or overlap), so the bonus only differentiates conflict-free
+    vectors: the paper's primary objective is preserved exactly and the
+    margin breaks the tie on its 1.0 plateau.
+    """
+
+    needs_separations = True
+
+    def __init__(self, surface: ResponseSurface,
+                 mapper: Optional[SignatureMapper] = None,
+                 components: Optional[Tuple[str, ...]] = None,
+                 overlap_weight: float = 1.0,
+                 margin_weight: float = 0.45,
+                 margin_scale: float = 1.0) -> None:
+        super().__init__(surface, mapper, components, overlap_weight)
+        if not 0.0 < margin_weight < 1.0:
+            raise GAError("margin_weight must be in (0, 1) so conflict "
+                          "count stays the primary objective")
+        if margin_scale <= 0.0:
+            raise GAError("margin_scale must be positive")
+        self.margin_weight = float(margin_weight)
+        self.margin_scale = float(margin_scale)
+
+    def score(self, metrics: TrajectoryMetrics) -> float:
+        base = super().score(metrics)
+        margin = max(metrics.min_separation, 0.0)
+        if not np.isfinite(margin):
+            bonus = 1.0
+        else:
+            bonus = margin / (margin + self.margin_scale)
+        return base + self.margin_weight * bonus

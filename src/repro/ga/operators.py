@@ -1,0 +1,174 @@
+"""Genetic operators: selection, crossover, mutation.
+
+Selection returns *indices* into the population so it composes with any
+genome representation. All operators take an explicit
+``numpy.random.Generator``; nothing touches global random state, keeping
+every run reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..errors import GAError
+from .encoding import FrequencySpace
+
+__all__ = [
+    "roulette_wheel_select",
+    "tournament_select",
+    "rank_select",
+    "blend_crossover",
+    "one_point_crossover",
+    "uniform_crossover",
+    "gaussian_mutation",
+    "reset_mutation",
+    "get_selection",
+    "get_crossover",
+]
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def roulette_wheel_select(fitness: np.ndarray, count: int,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Fitness-proportionate ("roulette wheel") selection -- the paper's
+    mining method.
+
+    Fitness values must be non-negative (the paper's 1/(1+I) always is).
+    If every individual has zero fitness the draw degrades gracefully to
+    uniform.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or fitness.size == 0:
+        raise GAError("fitness must be a non-empty 1-D array")
+    if np.any(fitness < 0.0):
+        raise GAError("roulette selection needs non-negative fitness")
+    total = float(fitness.sum())
+    if total <= 0.0:
+        probabilities = np.full(fitness.size, 1.0 / fitness.size)
+    else:
+        probabilities = fitness / total
+    return rng.choice(fitness.size, size=count, p=probabilities)
+
+
+def tournament_select(fitness: np.ndarray, count: int,
+                      rng: np.random.Generator,
+                      tournament_size: int = 3) -> np.ndarray:
+    """k-way tournament: sample k, keep the fittest. Repeated ``count``
+    times."""
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.size == 0:
+        raise GAError("fitness must be non-empty")
+    k = min(tournament_size, fitness.size)
+    entrants = rng.integers(0, fitness.size, size=(count, k))
+    winners_in_row = np.argmax(fitness[entrants], axis=1)
+    return entrants[np.arange(count), winners_in_row]
+
+
+def rank_select(fitness: np.ndarray, count: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Linear rank selection: probability proportional to fitness rank.
+
+    Insensitive to the fitness *scale* -- useful when 1/(1+I) saturates
+    and most of the population sits at the same value.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.size == 0:
+        raise GAError("fitness must be non-empty")
+    order = np.argsort(np.argsort(fitness))  # rank of each individual
+    weights = (order + 1).astype(float)
+    return rng.choice(fitness.size, size=count, p=weights / weights.sum())
+
+
+# ----------------------------------------------------------------------
+# Crossover
+# ----------------------------------------------------------------------
+def blend_crossover(parent_a: np.ndarray, parent_b: np.ndarray,
+                    rng: np.random.Generator,
+                    alpha: float = 0.5) -> np.ndarray:
+    """BLX-alpha: child genes sampled uniformly from the parent interval
+    extended by ``alpha`` on each side. The workhorse for real genes."""
+    parent_a = np.asarray(parent_a, dtype=float)
+    parent_b = np.asarray(parent_b, dtype=float)
+    low = np.minimum(parent_a, parent_b)
+    high = np.maximum(parent_a, parent_b)
+    span = high - low
+    return rng.uniform(low - alpha * span, high + alpha * span)
+
+
+def one_point_crossover(parent_a: np.ndarray, parent_b: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Classic one-point crossover (for 2 genes: swap the tail gene)."""
+    parent_a = np.asarray(parent_a, dtype=float)
+    parent_b = np.asarray(parent_b, dtype=float)
+    if parent_a.size < 2:
+        return parent_a.copy()
+    point = int(rng.integers(1, parent_a.size))
+    return np.concatenate([parent_a[:point], parent_b[point:]])
+
+
+def uniform_crossover(parent_a: np.ndarray, parent_b: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Each gene taken from either parent with probability 1/2."""
+    parent_a = np.asarray(parent_a, dtype=float)
+    parent_b = np.asarray(parent_b, dtype=float)
+    mask = rng.random(parent_a.shape) < 0.5
+    return np.where(mask, parent_a, parent_b)
+
+
+# ----------------------------------------------------------------------
+# Mutation
+# ----------------------------------------------------------------------
+def gaussian_mutation(genome: np.ndarray, space: FrequencySpace,
+                      rng: np.random.Generator,
+                      sigma_decades: float = 0.15,
+                      per_gene_rate: float = 1.0) -> np.ndarray:
+    """Gaussian step in log-frequency space, clipped to bounds."""
+    genome = np.asarray(genome, dtype=float).copy()
+    mask = rng.random(genome.shape) < per_gene_rate
+    steps = rng.normal(0.0, sigma_decades, size=genome.shape)
+    genome[mask] += steps[mask]
+    return space.clip(genome)
+
+
+def reset_mutation(genome: np.ndarray, space: FrequencySpace,
+                   rng: np.random.Generator,
+                   per_gene_rate: float = 0.5) -> np.ndarray:
+    """Re-draw selected genes uniformly (escapes local basins)."""
+    genome = np.asarray(genome, dtype=float).copy()
+    mask = rng.random(genome.shape) < per_gene_rate
+    fresh = space.random_genome(rng)
+    genome[mask] = fresh[mask]
+    return genome
+
+
+# ----------------------------------------------------------------------
+# Registries (used by the engine to honour GAConfig strings)
+# ----------------------------------------------------------------------
+def get_selection(name: str, tournament_size: int = 3
+                  ) -> Callable[[np.ndarray, int, np.random.Generator],
+                                np.ndarray]:
+    if name == "roulette":
+        return roulette_wheel_select
+    if name == "tournament":
+        def tournament(fitness, count, rng):
+            return tournament_select(fitness, count, rng, tournament_size)
+        return tournament
+    if name == "rank":
+        return rank_select
+    raise GAError(f"unknown selection method {name!r}")
+
+
+def get_crossover(name: str
+                  ) -> Callable[[np.ndarray, np.ndarray,
+                                 np.random.Generator], np.ndarray]:
+    if name == "blend":
+        return blend_crossover
+    if name == "one_point":
+        return one_point_crossover
+    if name == "uniform":
+        return uniform_crossover
+    raise GAError(f"unknown crossover method {name!r}")

@@ -1,0 +1,68 @@
+"""DC operating-point analysis.
+
+Solves the MNA system at ``s = 0``: capacitors open, inductors short,
+sources at their DC values. Linear circuits only, so a single solve
+suffices (no Newton iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuits.netlist import Circuit
+from ..errors import SingularCircuitError
+from .mna import MnaSolution, MnaSystem
+
+__all__ = ["OperatingPoint", "DCAnalysis"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """DC node voltages and branch currents (real numbers)."""
+
+    node_voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+
+    def voltage(self, node: str) -> float:
+        return self.node_voltages[node]
+
+    def current(self, branch: str) -> float:
+        return self.branch_currents[branch]
+
+    def summary(self) -> str:
+        lines = ["DC operating point:"]
+        for node, value in self.node_voltages.items():
+            lines.append(f"  V({node}) = {value:+.6g} V")
+        for branch, value in self.branch_currents.items():
+            lines.append(f"  I({branch}) = {value:+.6g} A")
+        return "\n".join(lines)
+
+
+class DCAnalysis:
+    """DC operating point of a linear circuit."""
+
+    def __init__(self, circuit: Circuit, gmin: float = 0.0) -> None:
+        self.circuit = circuit
+        self.system = MnaSystem(circuit, gmin=gmin)
+
+    def operating_point(self) -> OperatingPoint:
+        """Solve at s=0 and return real node voltages / branch currents.
+
+        A floating node connected only through capacitors makes the DC
+        problem singular; retrying with ``gmin=1e-12`` is the standard fix
+        and the error message says so.
+        """
+        try:
+            solution: MnaSolution = self.system.solve_at(0.0,
+                                                         excitation="dc")
+        except SingularCircuitError as exc:
+            raise SingularCircuitError(
+                f"{self.circuit.name}: DC operating point is singular "
+                "(floating capacitor node?); retry with "
+                "DCAnalysis(circuit, gmin=1e-12)") from exc
+        voltages = {name: value.real
+                    for name, value in solution.node_voltages().items()}
+        currents = {name: solution.branch_current(name).real
+                    for name in self.system.branch_names}
+        return OperatingPoint(voltages, currents)

@@ -1,0 +1,416 @@
+"""Modified Nodal Analysis (MNA) system assembly and solving.
+
+For a linear circuit every stamp is affine in the complex frequency ``s``,
+so the MNA matrix decomposes exactly as ``A(s) = G + s*B`` where
+
+* ``G`` holds resistors, sources, controlled sources and op-amp constraints;
+* ``B`` holds capacitor admittances (``+C``) and inductor branch terms
+  (``-L``).
+
+The builder assembles ``G``/``B`` once per circuit; AC sweeps then solve a
+batched system per frequency block, and the transient integrator reuses the
+same pair as the DAE coefficients ``G x + B x' = z(t)``.
+
+Unknown ordering: node voltages (ground eliminated) first, then branch
+currents (voltage sources, inductors, VCVS/CCVS outputs, ideal op-amp
+outputs, op-amp-macro internal VCVS), in component insertion order.
+
+Op-amp macromodels are expanded on the fly into primitive stamps (input
+resistance, a transconductance into an internal RC pole node, a unity
+buffer VCVS and an output resistance); the two internal nodes are
+namespaced ``<name>::pole`` and ``<name>::buf``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.components import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    GROUND,
+    IdealOpAmp,
+    Inductor,
+    OpAmpMacro,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from ..circuits.netlist import Circuit
+from ..errors import SimulationError, SingularCircuitError
+from ..units import TWO_PI
+
+__all__ = ["MnaSystem", "MnaSolution", "OPAMP_MACRO_GM"]
+
+# Transconductance used when expanding the op-amp macromodel; the pole
+# resistor is scaled as a0/gm so the DC open-loop gain is exactly a0.
+OPAMP_MACRO_GM = 1e-3
+
+# Above this unknown count the batched dense solve is chunked to bound the
+# memory of the (F, N, N) stack.
+_BATCH_MEMORY_BUDGET = 64 * 1024 * 1024  # bytes
+
+
+class MnaSystem:
+    """Assembled MNA system for one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to assemble. It is validated first.
+    gmin:
+        Optional conductance from every node to ground. Zero by default;
+        set to e.g. ``1e-12`` to regularise DC problems with floating
+        capacitor nodes.
+    """
+
+    def __init__(self, circuit: Circuit, gmin: float = 0.0) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.gmin = float(gmin)
+
+        self._node_index: Dict[str, int] = {}
+        self._branch_index: Dict[str, int] = {}
+        self._collect_unknowns()
+        self.num_nodes = len(self._node_index)
+        self.dim = self.num_nodes + len(self._branch_index)
+
+        self._g = np.zeros((self.dim, self.dim), dtype=complex)
+        self._b = np.zeros((self.dim, self.dim), dtype=complex)
+        self._z_dc = np.zeros(self.dim, dtype=complex)
+        self._z_ac = np.zeros(self.dim, dtype=complex)
+        self._stamp_all()
+        if self.gmin > 0.0:
+            for index in range(self.num_nodes):
+                self._g[index, index] += self.gmin
+
+    # ------------------------------------------------------------------
+    # Unknown bookkeeping
+    # ------------------------------------------------------------------
+    def _collect_unknowns(self) -> None:
+        def node(name: str) -> None:
+            if name != GROUND and name not in self._node_index:
+                self._node_index[name] = len(self._node_index)
+
+        branch_names: List[str] = []
+        for component in self.circuit:
+            if isinstance(component, OpAmpMacro):
+                node(component.in_positive)
+                node(component.in_negative)
+                node(component.output)
+                node(f"{component.name}::pole")
+                node(f"{component.name}::buf")
+                branch_names.append(f"{component.name}::buffer")
+                continue
+            for terminal in component.nodes:
+                node(terminal)
+            if isinstance(component, (VoltageSource, Inductor, VCVS, CCVS,
+                                      IdealOpAmp)):
+                branch_names.append(component.name)
+        for offset, name in enumerate(branch_names):
+            self._branch_index[name] = len(self._node_index) + offset
+
+    def node_index(self, name: str) -> int:
+        """Row/column of a node voltage unknown; ``-1`` for ground."""
+        if name == GROUND:
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise SimulationError(
+                f"{self.circuit.name}: unknown node {name!r}; "
+                f"nodes: {sorted(self._node_index)}") from None
+
+    def branch_index(self, name: str) -> int:
+        """Row/column of a branch-current unknown."""
+        try:
+            return self._branch_index[name]
+        except KeyError:
+            raise SimulationError(
+                f"{self.circuit.name}: no branch current for {name!r} "
+                "(only voltage sources, inductors, VCVS/CCVS and op-amps "
+                "carry branch unknowns)") from None
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._node_index)
+
+    @property
+    def branch_names(self) -> Tuple[str, ...]:
+        return tuple(self._branch_index)
+
+    # ------------------------------------------------------------------
+    # Stamping
+    # ------------------------------------------------------------------
+    def _add(self, matrix: np.ndarray, row: int, col: int,
+             value: complex) -> None:
+        if row >= 0 and col >= 0:
+            matrix[row, col] += value
+
+    def _stamp_conductance(self, matrix: np.ndarray, positive: int,
+                           negative: int, value: complex) -> None:
+        self._add(matrix, positive, positive, value)
+        self._add(matrix, negative, negative, value)
+        self._add(matrix, positive, negative, -value)
+        self._add(matrix, negative, positive, -value)
+
+    def _stamp_all(self) -> None:
+        for component in self.circuit:
+            self._stamp(component)
+
+    def _stamp(self, component) -> None:
+        if isinstance(component, Resistor):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            self._stamp_conductance(self._g, p, n, 1.0 / component.value)
+        elif isinstance(component, Capacitor):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            self._stamp_conductance(self._b, p, n, component.value)
+        elif isinstance(component, Inductor):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            k = self.branch_index(component.name)
+            self._add(self._g, p, k, 1.0)
+            self._add(self._g, n, k, -1.0)
+            self._add(self._g, k, p, 1.0)
+            self._add(self._g, k, n, -1.0)
+            self._b[k, k] += -component.value
+        elif isinstance(component, VoltageSource):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            k = self.branch_index(component.name)
+            self._add(self._g, p, k, 1.0)
+            self._add(self._g, n, k, -1.0)
+            self._add(self._g, k, p, 1.0)
+            self._add(self._g, k, n, -1.0)
+            self._z_dc[k] += component.value
+            self._z_ac[k] += (component.ac_magnitude *
+                              cmath.exp(1j * math.radians(
+                                  component.ac_phase_deg)))
+        elif isinstance(component, CurrentSource):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            phasor = (component.ac_magnitude *
+                      cmath.exp(1j * math.radians(component.ac_phase_deg)))
+            if p >= 0:
+                self._z_dc[p] -= component.value
+                self._z_ac[p] -= phasor
+            if n >= 0:
+                self._z_dc[n] += component.value
+                self._z_ac[n] += phasor
+        elif isinstance(component, VCVS):
+            self._stamp_vcvs(component.name, component.positive,
+                             component.negative, component.ctrl_positive,
+                             component.ctrl_negative, component.gain)
+        elif isinstance(component, VCCS):
+            self._stamp_vccs(component.positive, component.negative,
+                             component.ctrl_positive,
+                             component.ctrl_negative,
+                             component.transconductance)
+        elif isinstance(component, CCVS):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            k = self.branch_index(component.name)
+            j = self.branch_index(component.ctrl_source)
+            self._add(self._g, p, k, 1.0)
+            self._add(self._g, n, k, -1.0)
+            self._add(self._g, k, p, 1.0)
+            self._add(self._g, k, n, -1.0)
+            self._g[k, j] += -component.transresistance
+        elif isinstance(component, CCCS):
+            p = self.node_index(component.positive)
+            n = self.node_index(component.negative)
+            j = self.branch_index(component.ctrl_source)
+            self._add(self._g, p, j, component.gain)
+            self._add(self._g, n, j, -component.gain)
+        elif isinstance(component, IdealOpAmp):
+            inp = self.node_index(component.in_positive)
+            inn = self.node_index(component.in_negative)
+            out = self.node_index(component.output)
+            k = self.branch_index(component.name)
+            self._add(self._g, out, k, 1.0)   # output supplies current
+            self._add(self._g, k, inp, 1.0)   # constraint V+ - V- = 0
+            self._add(self._g, k, inn, -1.0)
+        elif isinstance(component, OpAmpMacro):
+            self._stamp_opamp_macro(component)
+        else:
+            raise SimulationError(
+                f"no MNA stamp for component type "
+                f"{type(component).__name__}")
+
+    def _stamp_vcvs(self, name: str, positive: str, negative: str,
+                    ctrl_positive: str, ctrl_negative: str,
+                    gain: float) -> None:
+        p = self.node_index(positive)
+        n = self.node_index(negative)
+        cp = self.node_index(ctrl_positive)
+        cn = self.node_index(ctrl_negative)
+        k = self.branch_index(name)
+        self._add(self._g, p, k, 1.0)
+        self._add(self._g, n, k, -1.0)
+        self._add(self._g, k, p, 1.0)
+        self._add(self._g, k, n, -1.0)
+        self._add(self._g, k, cp, -gain)
+        self._add(self._g, k, cn, gain)
+
+    def _stamp_vccs(self, positive: str, negative: str, ctrl_positive: str,
+                    ctrl_negative: str, gm: float) -> None:
+        p = self.node_index(positive)
+        n = self.node_index(negative)
+        cp = self.node_index(ctrl_positive)
+        cn = self.node_index(ctrl_negative)
+        self._add(self._g, p, cp, gm)
+        self._add(self._g, p, cn, -gm)
+        self._add(self._g, n, cp, -gm)
+        self._add(self._g, n, cn, gm)
+
+    def _stamp_opamp_macro(self, macro: OpAmpMacro) -> None:
+        """Expand the single-pole macromodel into primitive stamps.
+
+        Rin across the inputs; gm*(V+ - V-) injected into the internal pole
+        node loaded by Rp || Cp with ``Rp = a0/gm`` and
+        ``Cp = 1/(2 pi pole_hz Rp)``; a unity VCVS buffers the pole node and
+        Rout connects the buffer to the external output.
+        """
+        pole_node = f"{macro.name}::pole"
+        buf_node = f"{macro.name}::buf"
+
+        # Input resistance.
+        inp = self.node_index(macro.in_positive)
+        inn = self.node_index(macro.in_negative)
+        self._stamp_conductance(self._g, inp, inn, 1.0 / macro.rin)
+        # Transconductance into the pole node (current injected INTO the
+        # node for positive differential input, hence output+ = ground).
+        self._stamp_vccs(GROUND, pole_node, macro.in_positive,
+                         macro.in_negative, OPAMP_MACRO_GM)
+        # Pole load.
+        rp = macro.a0 / OPAMP_MACRO_GM
+        cp = 1.0 / (TWO_PI * macro.pole_hz * rp)
+        pole = self.node_index(pole_node)
+        self._stamp_conductance(self._g, pole, -1, 1.0 / rp)
+        self._stamp_conductance(self._b, pole, -1, cp)
+        # Unity buffer and output resistance.
+        self._stamp_vcvs(f"{macro.name}::buffer", buf_node, GROUND,
+                         pole_node, GROUND, 1.0)
+        buf = self.node_index(buf_node)
+        out = self.node_index(macro.output)
+        self._stamp_conductance(self._g, buf, out, 1.0 / macro.rout)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    @property
+    def g_matrix(self) -> np.ndarray:
+        """The frequency-independent part of A(s) (copy)."""
+        return self._g.copy()
+
+    @property
+    def b_matrix(self) -> np.ndarray:
+        """The coefficient of s in A(s) (copy)."""
+        return self._b.copy()
+
+    def matrix_at(self, s: complex) -> np.ndarray:
+        """Dense MNA matrix ``A(s) = G + s*B``."""
+        return self._g + s * self._b
+
+    def rhs(self, excitation: str = "ac") -> np.ndarray:
+        """Excitation vector: ``"ac"`` phasors or ``"dc"`` values (copy)."""
+        if excitation == "ac":
+            return self._z_ac.copy()
+        if excitation == "dc":
+            return self._z_dc.copy()
+        raise SimulationError(
+            f"excitation must be 'ac' or 'dc', got {excitation!r}")
+
+    def solve_at(self, s: complex,
+                 excitation: str = "ac") -> "MnaSolution":
+        """Solve the system at one complex frequency."""
+        matrix = self.matrix_at(s)
+        rhs = self.rhs(excitation)
+        try:
+            vector = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(
+                f"{self.circuit.name}: MNA matrix singular at s={s!r}; "
+                "check for floating nodes, voltage-source loops or op-amps "
+                "without feedback") from exc
+        if not np.all(np.isfinite(vector)):
+            raise SingularCircuitError(
+                f"{self.circuit.name}: non-finite solution at s={s!r}")
+        return MnaSolution(self, vector)
+
+    def solve_frequencies(self, freqs_hz: np.ndarray,
+                          excitation: str = "ac") -> np.ndarray:
+        """Batched AC solve over a frequency grid.
+
+        Returns an array of shape ``(len(freqs), dim)`` with the full
+        unknown vector per frequency. Frequencies are batched into chunks
+        so the dense ``(F, N, N)`` stack stays within a memory budget.
+        """
+        freqs = np.asarray(freqs_hz, dtype=float)
+        if freqs.ndim != 1 or freqs.size == 0:
+            raise SimulationError("frequency grid must be a non-empty 1-D "
+                                  "array")
+        if np.any(freqs <= 0.0):
+            raise SimulationError("AC analysis frequencies must be positive")
+        rhs = self.rhs(excitation)
+        out = np.empty((freqs.size, self.dim), dtype=complex)
+        bytes_per_matrix = 16 * self.dim * self.dim
+        chunk = max(1, int(_BATCH_MEMORY_BUDGET // max(1, bytes_per_matrix)))
+        for start in range(0, freqs.size, chunk):
+            stop = min(start + chunk, freqs.size)
+            s_values = 1j * TWO_PI * freqs[start:stop]
+            stack = (self._g[None, :, :] +
+                     s_values[:, None, None] * self._b[None, :, :])
+            rhs_stack = np.broadcast_to(
+                rhs[:, None], (stop - start, self.dim, 1))
+            try:
+                out[start:stop] = np.linalg.solve(stack, rhs_stack)[..., 0]
+            except np.linalg.LinAlgError:
+                # Fall back to per-frequency solving to report which
+                # frequency is singular.
+                for offset, s in enumerate(s_values):
+                    out[start + offset] = self.solve_at(
+                        s, excitation).vector
+        if not np.all(np.isfinite(out)):
+            raise SingularCircuitError(
+                f"{self.circuit.name}: non-finite solution in AC sweep")
+        return out
+
+
+@dataclass
+class MnaSolution:
+    """Solved MNA unknown vector with named accessors."""
+
+    system: MnaSystem
+    vector: np.ndarray
+
+    def node_voltage(self, name: str) -> complex:
+        """Voltage of a node (0 for ground)."""
+        index = self.system.node_index(name)
+        if index < 0:
+            return 0.0 + 0.0j
+        return complex(self.vector[index])
+
+    def voltage_between(self, positive: str, negative: str) -> complex:
+        return self.node_voltage(positive) - self.node_voltage(negative)
+
+    def branch_current(self, name: str) -> complex:
+        """Branch current of a source/inductor/op-amp output."""
+        return complex(self.vector[self.system.branch_index(name)])
+
+    def node_voltages(self) -> Dict[str, complex]:
+        """All node voltages, ground included."""
+        result = {GROUND: 0.0 + 0.0j}
+        for name in self.system.node_names:
+            result[name] = self.node_voltage(name)
+        return result

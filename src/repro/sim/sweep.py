@@ -1,0 +1,84 @@
+"""Parameter sweeps: families of frequency responses.
+
+The fault dictionary is conceptually a value sweep per component; this
+module provides the generic machinery (used directly by Fig. 1 of the
+paper: the "golden behaviour & fault dictionary items" response family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..errors import SimulationError
+from .ac import ACAnalysis, FrequencyResponse
+
+__all__ = ["SweepResult", "value_sweep", "deviation_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Family of responses indexed by the swept parameter value."""
+
+    component: str
+    parameter_values: Tuple[float, ...]
+    responses: Tuple[FrequencyResponse, ...]
+    nominal: FrequencyResponse
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def response_at(self, value: float) -> FrequencyResponse:
+        for parameter, response in zip(self.parameter_values,
+                                       self.responses):
+            if np.isclose(parameter, value, rtol=1e-9):
+                return response
+        raise SimulationError(
+            f"no sweep point at {value!r}; have {self.parameter_values}")
+
+    def spread_db(self) -> np.ndarray:
+        """Per-frequency spread (max - min dB) across the family.
+
+        Large spread means the swept component visibly moves the response
+        there -- exactly what Fig. 1 of the paper illustrates.
+        """
+        stack = np.vstack([r.magnitude_db for r in self.responses])
+        return stack.max(axis=0) - stack.min(axis=0)
+
+
+def value_sweep(circuit: Circuit, output_node: str, component: str,
+                values: Sequence[float],
+                freqs_hz: np.ndarray) -> SweepResult:
+    """Simulate the circuit once per component value."""
+    if not values:
+        raise SimulationError("value_sweep needs at least one value")
+    freqs = np.asarray(freqs_hz, dtype=float)
+    nominal = ACAnalysis(circuit).transfer(output_node, freqs)
+    responses = []
+    for value in values:
+        faulty = circuit.with_value(component, float(value))
+        responses.append(ACAnalysis(faulty).transfer(output_node, freqs))
+    return SweepResult(component, tuple(float(v) for v in values),
+                       tuple(responses), nominal)
+
+
+def deviation_sweep(circuit: Circuit, output_node: str, component: str,
+                    deviations: Sequence[float],
+                    freqs_hz: np.ndarray) -> SweepResult:
+    """Sweep a component by relative deviations (e.g. -0.4 ... +0.4).
+
+    A deviation of ``-0.4`` means 60 % of nominal -- the paper's fault
+    grid is ``deviation_sweep(..., deviations=[-0.4, -0.3, ..., +0.4])``.
+    """
+    nominal_value = circuit[component].value  # type: ignore[attr-defined]
+    values = [nominal_value * (1.0 + float(d)) for d in deviations]
+    if any(value <= 0.0 for value in values):
+        raise SimulationError(
+            f"deviation sweep of {component} produces non-positive values; "
+            "deviations must stay above -100%")
+    result = value_sweep(circuit, output_node, component, values, freqs_hz)
+    return SweepResult(component, tuple(float(d) for d in deviations),
+                       result.responses, result.nominal)

@@ -1,0 +1,275 @@
+"""Linear transient analysis (trapezoidal integration).
+
+The MNA pair assembled by :class:`~repro.sim.mna.MnaSystem` describes the
+circuit DAE ``G x(t) + B x'(t) = z(t)``; the trapezoidal rule turns each
+step into the linear solve::
+
+    (G + 2B/h) x[n+1] = z[n+1] + z[n] - (G - 2B/h) x[n]
+
+The left-hand matrix is constant for a fixed step, so it is LU-factorised
+once. Sources may be driven by time-domain waveforms (step, sine, pulse);
+undriven sources hold their DC value.
+
+Transient analysis is not needed by the paper's flow (which is purely
+AC-domain) but completes the simulator substrate and enables time-domain
+test-stimulus extensions; see the multitone example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from ..circuits.components import CurrentSource, VoltageSource
+from ..circuits.netlist import Circuit
+from ..errors import SimulationError, SingularCircuitError
+from .mna import MnaSystem
+
+__all__ = [
+    "Waveform",
+    "StepWaveform",
+    "SineWaveform",
+    "PulseWaveform",
+    "MultitoneWaveform",
+    "TransientResult",
+    "TransientAnalysis",
+]
+
+
+class Waveform:
+    """Base class: a scalar function of time driving one source."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def values(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation; subclasses may override for speed."""
+        return np.array([self.value(float(t)) for t in times], dtype=float)
+
+
+@dataclass(frozen=True)
+class StepWaveform(Waveform):
+    """Ideal step from ``initial`` to ``final`` at ``t_delay``."""
+
+    initial: float = 0.0
+    final: float = 1.0
+    t_delay: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.final if t >= self.t_delay else self.initial
+
+    def values(self, times: np.ndarray) -> np.ndarray:
+        return np.where(times >= self.t_delay, self.final, self.initial)
+
+
+@dataclass(frozen=True)
+class SineWaveform(Waveform):
+    """``offset + amplitude * sin(2 pi f t + phase)``."""
+
+    amplitude: float = 1.0
+    freq_hz: float = 1e3
+    offset: float = 0.0
+    phase_deg: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.freq_hz * t +
+            math.radians(self.phase_deg))
+
+    def values(self, times: np.ndarray) -> np.ndarray:
+        return self.offset + self.amplitude * np.sin(
+            2.0 * np.pi * self.freq_hz * times +
+            math.radians(self.phase_deg))
+
+
+@dataclass(frozen=True)
+class MultitoneWaveform(Waveform):
+    """Sum of sinusoids -- the natural time-domain form of the paper's
+    multi-frequency test vector."""
+
+    freqs_hz: Tuple[float, ...]
+    amplitudes: Tuple[float, ...] = ()
+    offset: float = 0.0
+
+    def _amps(self) -> Tuple[float, ...]:
+        if self.amplitudes:
+            if len(self.amplitudes) != len(self.freqs_hz):
+                raise SimulationError(
+                    "MultitoneWaveform: amplitudes/freqs length mismatch")
+            return self.amplitudes
+        return tuple(1.0 for _ in self.freqs_hz)
+
+    def value(self, t: float) -> float:
+        return self.offset + sum(
+            amp * math.sin(2.0 * math.pi * freq * t)
+            for freq, amp in zip(self.freqs_hz, self._amps()))
+
+    def values(self, times: np.ndarray) -> np.ndarray:
+        total = np.full_like(times, self.offset, dtype=float)
+        for freq, amp in zip(self.freqs_hz, self._amps()):
+            total += amp * np.sin(2.0 * np.pi * freq * times)
+        return total
+
+
+@dataclass(frozen=True)
+class PulseWaveform(Waveform):
+    """SPICE-style periodic trapezoidal pulse."""
+
+    v1: float = 0.0
+    v2: float = 1.0
+    t_delay: float = 0.0
+    t_rise: float = 1e-9
+    t_fall: float = 1e-9
+    t_width: float = 1e-3
+    period: float = 2e-3
+
+    def value(self, t: float) -> float:
+        if t < self.t_delay:
+            return self.v1
+        local = (t - self.t_delay) % self.period
+        if local < self.t_rise:
+            return self.v1 + (self.v2 - self.v1) * local / self.t_rise
+        local -= self.t_rise
+        if local < self.t_width:
+            return self.v2
+        local -= self.t_width
+        if local < self.t_fall:
+            return self.v2 + (self.v1 - self.v2) * local / self.t_fall
+        return self.v1
+
+
+@dataclass
+class TransientResult:
+    """Sampled waveforms of every node voltage over the run."""
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        try:
+            return self.node_voltages[node]
+        except KeyError:
+            raise SimulationError(
+                f"no transient data for node {node!r}; have "
+                f"{sorted(self.node_voltages)}") from None
+
+    def final_value(self, node: str) -> float:
+        return float(self.voltage(node)[-1])
+
+    def settling_time(self, node: str, tolerance: float = 0.01) -> float:
+        """Time after which the node stays within ``tolerance`` (relative)
+        of its final value."""
+        signal = self.voltage(node)
+        final = signal[-1]
+        scale = max(abs(final), 1e-12)
+        outside = np.nonzero(np.abs(signal - final) > tolerance * scale)[0]
+        if outside.size == 0:
+            return float(self.times[0])
+        last = int(outside[-1])
+        if last + 1 >= self.times.size:
+            raise SimulationError(
+                f"node {node!r} has not settled within the simulated window")
+        return float(self.times[last + 1])
+
+
+class TransientAnalysis:
+    """Fixed-step trapezoidal transient of a linear circuit."""
+
+    def __init__(self, circuit: Circuit, gmin: float = 0.0) -> None:
+        self.circuit = circuit
+        self.system = MnaSystem(circuit, gmin=gmin)
+        self._drive_patterns = self._build_drive_patterns()
+
+    def _build_drive_patterns(self) -> Dict[str, np.ndarray]:
+        """Unit RHS pattern per independent source (value 1 applied)."""
+        patterns: Dict[str, np.ndarray] = {}
+        for component in self.circuit:
+            if isinstance(component, VoltageSource):
+                pattern = np.zeros(self.system.dim)
+                pattern[self.system.branch_index(component.name)] = 1.0
+                patterns[component.name] = pattern
+            elif isinstance(component, CurrentSource):
+                pattern = np.zeros(self.system.dim)
+                p = self.system.node_index(component.positive)
+                n = self.system.node_index(component.negative)
+                if p >= 0:
+                    pattern[p] -= 1.0
+                if n >= 0:
+                    pattern[n] += 1.0
+                patterns[component.name] = pattern
+        return patterns
+
+    def _rhs_series(self, times: np.ndarray,
+                    waveforms: Mapping[str, Waveform]) -> np.ndarray:
+        """RHS vector per time point, shape (len(times), dim)."""
+        rhs = np.zeros((times.size, self.system.dim))
+        for component in self.circuit:
+            name = component.name
+            if name not in self._drive_patterns:
+                continue
+            if name in waveforms:
+                series = waveforms[name].values(times)
+            else:
+                series = np.full(times.size, float(component.value))
+            rhs += series[:, None] * self._drive_patterns[name][None, :]
+        unknown = set(waveforms) - set(self._drive_patterns)
+        if unknown:
+            raise SimulationError(
+                f"waveforms reference non-source components: "
+                f"{sorted(unknown)}")
+        return rhs
+
+    def run(self, t_stop: float, dt: float,
+            waveforms: Optional[Mapping[str, Waveform]] = None,
+            initial: str = "dc") -> TransientResult:
+        """Integrate from 0 to ``t_stop`` with fixed step ``dt``.
+
+        ``initial='dc'`` starts from the operating point implied by the
+        waveform values at t=0; ``initial='zero'`` starts from all-zero
+        state (useful when the DC problem is singular).
+        """
+        if dt <= 0.0 or t_stop <= dt:
+            raise SimulationError("need t_stop > dt > 0")
+        waveforms = dict(waveforms or {})
+        steps = int(round(t_stop / dt))
+        times = np.arange(steps + 1) * dt
+        rhs = self._rhs_series(times, waveforms)
+
+        g = self.system.g_matrix.real
+        b = self.system.b_matrix.real
+        left = g + (2.0 / dt) * b
+        right = (2.0 / dt) * b - g
+        try:
+            lu = scipy.linalg.lu_factor(left)
+        except (ValueError, scipy.linalg.LinAlgError) as exc:
+            raise SingularCircuitError(
+                f"{self.circuit.name}: transient system matrix is "
+                "singular") from exc
+
+        states = np.zeros((times.size, self.system.dim))
+        if initial == "dc":
+            try:
+                states[0] = np.linalg.solve(g, rhs[0])
+            except np.linalg.LinAlgError as exc:
+                raise SingularCircuitError(
+                    f"{self.circuit.name}: DC initial condition singular; "
+                    "use initial='zero' or add gmin") from exc
+        elif initial != "zero":
+            raise SimulationError("initial must be 'dc' or 'zero'")
+
+        for n in range(steps):
+            vector = rhs[n + 1] + rhs[n] + right @ states[n]
+            states[n + 1] = scipy.linalg.lu_solve(lu, vector)
+        if not np.all(np.isfinite(states)):
+            raise SimulationError(
+                f"{self.circuit.name}: transient diverged (non-finite "
+                "state); reduce dt")
+
+        node_voltages = {"0": np.zeros(times.size)}
+        for name in self.system.node_names:
+            node_voltages[name] = states[:, self.system.node_index(name)]
+        return TransientResult(times, node_voltages)

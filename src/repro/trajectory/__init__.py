@@ -1,0 +1,42 @@
+"""Fault-trajectory machinery: signature mapping, trajectories, geometry."""
+
+from .geometry import (
+    count_collinear_overlaps,
+    count_segment_crossings,
+    crossing_points,
+    point_to_segments_distance,
+    polyline_arc_length,
+    polyline_min_distance,
+    project_point_onto_segments,
+    segment_crossing_matrix,
+)
+from .mapping import SignatureMapper
+from .metrics import (
+    TrajectoryMetrics,
+    count_common_pathways,
+    count_intersections,
+    evaluate_metrics,
+    min_separation,
+    pairwise_separations,
+)
+from .trajectory import FaultTrajectory, TrajectorySet
+
+__all__ = [
+    "SignatureMapper",
+    "FaultTrajectory",
+    "TrajectorySet",
+    "TrajectoryMetrics",
+    "count_intersections",
+    "count_common_pathways",
+    "min_separation",
+    "pairwise_separations",
+    "evaluate_metrics",
+    "count_segment_crossings",
+    "count_collinear_overlaps",
+    "segment_crossing_matrix",
+    "crossing_points",
+    "project_point_onto_segments",
+    "point_to_segments_distance",
+    "polyline_arc_length",
+    "polyline_min_distance",
+]

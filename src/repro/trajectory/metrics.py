@@ -1,0 +1,269 @@
+"""Trajectory separation metrics: the quantities the GA optimises.
+
+The paper's fitness criterion searches for *"a graphical configuration for
+the trajectories that minimizes the number of common pathways, and
+intersections among the fault trajectories"* -- formalised here as:
+
+* :func:`count_intersections` -- proper crossings between segments of
+  *different* trajectories (2-D exact; n-D via a proximity surrogate);
+* :func:`count_common_pathways` -- collinear overlapping segment pairs;
+* :func:`min_separation` -- the smallest inter-trajectory distance with
+  the structural origin contact excluded (margin; used by the extended
+  fitness functions and by ambiguity analysis).
+
+The GA calls these thousands of times per run, so the internals operate
+on the trajectory set's *stacked* segment arrays: one vectorised
+orientation computation covers every segment pair of every trajectory
+pair at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .geometry import _EPS, _pairwise_orientations
+from .trajectory import TrajectorySet
+
+__all__ = [
+    "TrajectoryMetrics",
+    "count_intersections",
+    "count_common_pathways",
+    "min_separation",
+    "pairwise_separations",
+    "evaluate_metrics",
+]
+
+# In dimensions > 2 two random polylines generically never intersect;
+# what breaks diagnosis there is *proximity*. Trajectory pairs closer
+# than this fraction of the trajectory scale count as pseudo-intersecting.
+_ND_CONTACT_FRACTION = 1e-3
+
+# Collinearity epsilon scale for overlap ("common pathway") detection.
+_OVERLAP_EPS_SCALE = 1e-9
+
+
+@dataclass(frozen=True)
+class TrajectoryMetrics:
+    """Summary of one trajectory configuration.
+
+    ``min_separation``/``mean_separation`` are ``nan`` when the metrics
+    were computed conflicts-only (the paper-fitness fast path).
+    """
+
+    intersections: int
+    common_pathways: int
+    min_separation: float
+    mean_separation: float
+    per_pair_separation: Dict[Tuple[str, str], float]
+
+    @property
+    def total_conflicts(self) -> int:
+        """Crossings + overlaps: the I of the paper's fitness."""
+        return self.intersections + self.common_pathways
+
+
+# ----------------------------------------------------------------------
+# Stacked-array internals
+# ----------------------------------------------------------------------
+def _stacked(trajectories: TrajectorySet
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    starts, ends, owners = trajectories.all_segments()
+    return starts, ends, owners
+
+
+def _orientation_data(starts: np.ndarray, ends: np.ndarray,
+                      owners: np.ndarray):
+    """All-pairs orientation determinants + cross-trajectory mask."""
+    d1, d2, d3, d4 = _pairwise_orientations(starts, ends, starts, ends)
+    different = owners[:, None] != owners[None, :]
+    lengths_sq = np.sum((ends - starts) ** 2, axis=1)
+    scale = max(float(lengths_sq.max(initial=0.0)), _EPS)
+    return d1, d2, d3, d4, different, scale
+
+
+def _crossing_count_2d(trajectories: TrajectorySet) -> int:
+    starts, ends, owners = _stacked(trajectories)
+    d1, d2, d3, d4, different, scale = _orientation_data(starts, ends,
+                                                         owners)
+    eps = _EPS * scale
+    crossing = (d1 * d2 < -eps) & (d3 * d4 < -eps) & different
+    # The relation is symmetric; each unordered pair appears twice.
+    return int(np.count_nonzero(crossing) // 2)
+
+
+def _overlap_count_2d(trajectories: TrajectorySet) -> int:
+    starts, ends, owners = _stacked(trajectories)
+    d1, d2, d3, d4, different, scale = _orientation_data(starts, ends,
+                                                         owners)
+    eps = _OVERLAP_EPS_SCALE * scale
+    collinear = ((np.abs(d1) <= eps) & (np.abs(d2) <= eps) &
+                 (np.abs(d3) <= eps) & (np.abs(d4) <= eps) & different)
+    collinear = np.triu(collinear)  # unordered pairs once
+    if not np.any(collinear):
+        return 0
+    count = 0
+    rows, cols = np.nonzero(collinear)
+    for i, j in zip(rows, cols):
+        direction = ends[i] - starts[i]
+        norm = float(np.dot(direction, direction))
+        if norm <= _EPS:
+            continue
+        s0 = float(np.dot(starts[j] - starts[i], direction)) / norm
+        s1 = float(np.dot(ends[j] - starts[i], direction)) / norm
+        lo = max(0.0, min(s0, s1))
+        hi = min(1.0, max(s0, s1))
+        if hi - lo > 1e-9:
+            count += 1
+    return count
+
+
+def _vertex_segment_distances(trajectories: TrajectorySet
+                              ) -> Tuple[np.ndarray, np.ndarray,
+                                         np.ndarray, np.ndarray,
+                                         np.ndarray]:
+    """Distance matrix from every vertex to every segment, plus masks.
+
+    Returns ``(distances, vertex_owner, segment_owner, is_origin,
+    valid)`` where ``distances`` is (n_vertices, n_segments) and
+    ``valid`` masks cross-trajectory, non-origin-vertex entries.
+    """
+    starts, ends, seg_owner = _stacked(trajectories)
+    vertices = []
+    vertex_owner = []
+    is_origin = []
+    for index, trajectory in enumerate(trajectories):
+        vertices.append(trajectory.points)
+        vertex_owner.append(np.full(trajectory.points.shape[0], index))
+        is_origin.append(trajectory.vertex_is_origin())
+    points = np.vstack(vertices)                      # (V, d)
+    vertex_owner = np.concatenate(vertex_owner)
+    is_origin = np.concatenate(is_origin)
+
+    direction = ends - starts                         # (S, d)
+    length_sq = np.sum(direction * direction, axis=1)  # (S,)
+    safe = np.where(length_sq > _EPS, length_sq, 1.0)
+    offset = points[:, None, :] - starts[None, :, :]   # (V, S, d)
+    t = np.einsum("vsd,sd->vs", offset, direction) / safe[None, :]
+    t = np.clip(np.where(length_sq[None, :] > _EPS, t, 0.0), 0.0, 1.0)
+    closest = starts[None, :, :] + t[:, :, None] * direction[None, :, :]
+    distances = np.linalg.norm(points[:, None, :] - closest, axis=2)
+
+    valid = (vertex_owner[:, None] != seg_owner[None, :]) & \
+            (~is_origin)[:, None]
+    return distances, vertex_owner, seg_owner, is_origin, valid
+
+
+def _pairwise_separations_fast(trajectories: TrajectorySet
+                               ) -> Dict[Tuple[str, str], float]:
+    distances, vertex_owner, seg_owner, _, valid = \
+        _vertex_segment_distances(trajectories)
+    masked = np.where(valid, distances, np.inf)
+    names = trajectories.components
+    count = len(names)
+    result: Dict[Tuple[str, str], float] = {}
+    for i, j in combinations(range(count), 2):
+        a_to_b = masked[np.ix_(vertex_owner == i, seg_owner == j)]
+        b_to_a = masked[np.ix_(vertex_owner == j, seg_owner == i)]
+        best = np.inf
+        if a_to_b.size:
+            best = min(best, float(a_to_b.min()))
+        if b_to_a.size:
+            best = min(best, float(b_to_a.min()))
+        result[(names[i], names[j])] = best
+    return result
+
+
+# ----------------------------------------------------------------------
+# Public metrics
+# ----------------------------------------------------------------------
+def count_intersections(trajectories: TrajectorySet) -> int:
+    """Crossings between segments of different trajectories.
+
+    In 2-D this is the exact proper-crossing count (shared origin contact
+    excluded by the strict orientation test). In higher dimensions it
+    falls back to counting trajectory pairs that approach within a small
+    fraction of the trajectory scale.
+    """
+    if len(trajectories) < 2:
+        return 0
+    if trajectories.dimension == 2:
+        return _crossing_count_2d(trajectories)
+    threshold = _ND_CONTACT_FRACTION * _trajectory_scale(trajectories)
+    separations = _pairwise_separations_fast(trajectories)
+    return sum(1 for value in separations.values() if value < threshold)
+
+
+def count_common_pathways(trajectories: TrajectorySet) -> int:
+    """Collinear overlapping segment pairs between different trajectories.
+
+    Only meaningful in 2-D (where the paper's fitness lives); returns 0
+    for higher dimensions, where the proximity surrogate in
+    :func:`count_intersections` already captures degeneracy.
+    """
+    if len(trajectories) < 2 or trajectories.dimension != 2:
+        return 0
+    return _overlap_count_2d(trajectories)
+
+
+def _trajectory_scale(trajectories: TrajectorySet) -> float:
+    """Characteristic size: the largest point norm across the set."""
+    largest = 0.0
+    for trajectory in trajectories:
+        largest = max(largest, float(
+            np.max(np.linalg.norm(trajectory.points, axis=1))))
+    return max(largest, 1e-30)
+
+
+def pairwise_separations(trajectories: TrajectorySet
+                         ) -> Dict[Tuple[str, str], float]:
+    """Minimum distance per trajectory pair (origin contact excluded)."""
+    if len(trajectories) < 2:
+        raise TrajectoryError(
+            "pairwise separation needs >= 2 trajectories")
+    return _pairwise_separations_fast(trajectories)
+
+
+def min_separation(trajectories: TrajectorySet) -> float:
+    """Smallest inter-trajectory distance (0 if any pair crosses)."""
+    separations = pairwise_separations(trajectories)
+    if trajectories.dimension == 2 and \
+            count_intersections(trajectories) > 0:
+        return 0.0
+    return min(separations.values())
+
+
+def evaluate_metrics(trajectories: TrajectorySet,
+                     include_separations: bool = True
+                     ) -> TrajectoryMetrics:
+    """All separation metrics of one configuration in one pass.
+
+    ``include_separations=False`` skips the distance computation (the
+    paper fitness only needs conflict counts) and reports separations as
+    ``nan``.
+    """
+    intersections = count_intersections(trajectories)
+    overlaps = count_common_pathways(trajectories)
+    if not include_separations or len(trajectories) < 2:
+        return TrajectoryMetrics(
+            intersections=intersections,
+            common_pathways=overlaps,
+            min_separation=float("nan"),
+            mean_separation=float("nan"),
+            per_pair_separation={},
+        )
+    separations = pairwise_separations(trajectories)
+    values = np.array(list(separations.values()))
+    minimum = 0.0 if (trajectories.dimension == 2 and
+                      intersections > 0) else float(values.min())
+    return TrajectoryMetrics(
+        intersections=intersections,
+        common_pathways=overlaps,
+        min_separation=minimum,
+        mean_separation=float(values.mean()),
+        per_pair_separation=separations,
+    )

@@ -1,0 +1,236 @@
+"""Fault trajectories: ordered signature points per deviated component.
+
+Section 2.3: *"Crescent/De-crescent parametric deviations on components
+within a given range shall produce a set of coordinate points in the plane
+which can be connected, to compose what we define a fault trajectory."*
+
+A :class:`FaultTrajectory` is the polyline of one component's parametric
+sweep: points ordered by deviation, with the 0 % (golden) point included
+-- the origin when the mapper is golden-relative. A :class:`TrajectorySet`
+bundles one trajectory per component plus the construction metadata, and
+is the object the GA fitness and the diagnoser consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from ..faults.dictionary import FaultDictionary
+from ..faults.models import ParametricFault
+from ..faults.surface import ResponseSurface
+from .mapping import SignatureMapper
+
+__all__ = ["FaultTrajectory", "TrajectorySet"]
+
+
+@dataclass(frozen=True)
+class FaultTrajectory:
+    """One component's fault trajectory.
+
+    ``deviations`` are sorted ascending and include 0.0 (the golden
+    point); ``points`` is the matching (n_points, dimension) array.
+    """
+
+    component: str
+    deviations: Tuple[float, ...]
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=float)
+        deviations = tuple(float(d) for d in self.deviations)
+        if points.ndim != 2 or points.shape[0] != len(deviations):
+            raise TrajectoryError(
+                f"{self.component}: points shape {points.shape} does not "
+                f"match {len(deviations)} deviations")
+        if len(deviations) < 2:
+            raise TrajectoryError(
+                f"{self.component}: a trajectory needs >= 2 points")
+        if any(b <= a for a, b in zip(deviations, deviations[1:])):
+            raise TrajectoryError(
+                f"{self.component}: deviations must be strictly "
+                f"increasing, got {deviations}")
+        if not any(abs(d) < 1e-12 for d in deviations):
+            raise TrajectoryError(
+                f"{self.component}: trajectory must include the golden "
+                "point (deviation 0)")
+        object.__setattr__(self, "deviations", deviations)
+        object.__setattr__(self, "points", points)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.deviations) - 1
+
+    @property
+    def origin_index(self) -> int:
+        """Index of the golden (0 %) point."""
+        return int(np.argmin(np.abs(np.asarray(self.deviations))))
+
+    def segments(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(starts, ends) arrays of the polyline segments."""
+        return self.points[:-1], self.points[1:]
+
+    def point_for(self, deviation: float) -> np.ndarray:
+        """Signature point at a stored deviation (exact match)."""
+        for index, stored in enumerate(self.deviations):
+            if abs(stored - deviation) < 1e-12:
+                return self.points[index]
+        raise TrajectoryError(
+            f"{self.component}: no stored point at deviation {deviation}; "
+            f"have {self.deviations}")
+
+    def interpolate_deviation(self, segment_index: int, t: float) -> float:
+        """Deviation value at parameter ``t`` along one segment.
+
+        This inverts the trajectory parameterisation: the diagnoser finds
+        the nearest segment and foot parameter, and this maps it back to
+        an estimated % deviation.
+        """
+        if not 0 <= segment_index < self.num_segments:
+            raise TrajectoryError(
+                f"{self.component}: segment index {segment_index} out of "
+                f"range [0, {self.num_segments})")
+        t = float(np.clip(t, 0.0, 1.0))
+        d0 = self.deviations[segment_index]
+        d1 = self.deviations[segment_index + 1]
+        return d0 + t * (d1 - d0)
+
+    def vertex_is_origin(self) -> np.ndarray:
+        """Boolean mask marking the golden vertex (for metric exclusion)."""
+        mask = np.zeros(len(self.deviations), dtype=bool)
+        mask[self.origin_index] = True
+        return mask
+
+
+class TrajectorySet:
+    """One fault trajectory per component, under a fixed mapper.
+
+    Construction inserts the golden point at deviation 0 into every
+    component's sweep, producing trajectories that all pass through the
+    origin (for a golden-relative mapper) exactly as in the paper's
+    figures.
+    """
+
+    def __init__(self, mapper: SignatureMapper,
+                 trajectories: Sequence[FaultTrajectory]) -> None:
+        if not trajectories:
+            raise TrajectoryError("TrajectorySet needs >= 1 trajectory")
+        dimension = trajectories[0].dimension
+        names = [t.component for t in trajectories]
+        if len(set(names)) != len(names):
+            raise TrajectoryError(
+                f"duplicate components in trajectory set: {names}")
+        for trajectory in trajectories:
+            if trajectory.dimension != dimension:
+                raise TrajectoryError(
+                    "all trajectories must share one signature dimension")
+        if mapper.dimension != dimension:
+            raise TrajectoryError(
+                f"mapper dimension {mapper.dimension} does not match "
+                f"trajectories ({dimension})")
+        self.mapper = mapper
+        self.trajectories: Tuple[FaultTrajectory, ...] = tuple(trajectories)
+        self._by_component: Dict[str, FaultTrajectory] = {
+            t.component: t for t in trajectories}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(cls, source: FaultDictionary | ResponseSurface,
+                    mapper: SignatureMapper,
+                    components: Optional[Sequence[str]] = None
+                    ) -> "TrajectorySet":
+        """Build trajectories from a dictionary or response surface.
+
+        Only parametric-fault entries form trajectories (a trajectory is
+        a parametric sweep by definition); entries of other fault kinds
+        are ignored here and handled by the catastrophic classifier.
+        """
+        dictionary = source.dictionary if isinstance(
+            source, ResponseSurface) else source
+        matrix = mapper.signature_matrix(source)
+        golden_point = mapper.golden_signature(source)
+
+        groups: Dict[str, List[Tuple[float, np.ndarray]]] = {}
+        for row, entry in zip(matrix, dictionary.entries):
+            if not isinstance(entry.fault, ParametricFault):
+                continue
+            groups.setdefault(entry.fault.component, []).append(
+                (entry.fault.deviation, row))
+        if components is not None:
+            missing = set(components) - set(groups)
+            if missing:
+                raise TrajectoryError(
+                    f"no parametric entries for {sorted(missing)}")
+            groups = {name: groups[name] for name in components}
+        if not groups:
+            raise TrajectoryError(
+                "source contains no parametric fault entries")
+
+        trajectories = []
+        for component, pairs in groups.items():
+            pairs = sorted(pairs, key=lambda item: item[0])
+            deviations = [pair[0] for pair in pairs]
+            if any(abs(d) < 1e-12 for d in deviations):
+                raise TrajectoryError(
+                    f"{component}: dictionary contains a 0% 'fault'; the "
+                    "golden point is inserted automatically")
+            points = [pair[1] for pair in pairs]
+            # Insert the golden point at deviation 0, between the
+            # negative and positive halves of the sweep.
+            insert_at = int(np.searchsorted(np.asarray(deviations), 0.0))
+            deviations.insert(insert_at, 0.0)
+            points.insert(insert_at, golden_point)
+            trajectories.append(FaultTrajectory(
+                component, tuple(deviations), np.vstack(points)))
+        return cls(mapper, trajectories)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[FaultTrajectory]:
+        return iter(self.trajectories)
+
+    def __getitem__(self, component: str) -> FaultTrajectory:
+        try:
+            return self._by_component[component]
+        except KeyError:
+            raise TrajectoryError(
+                f"no trajectory for component {component!r}; have "
+                f"{sorted(self._by_component)}") from None
+
+    @property
+    def components(self) -> Tuple[str, ...]:
+        return tuple(t.component for t in self.trajectories)
+
+    @property
+    def dimension(self) -> int:
+        return self.trajectories[0].dimension
+
+    def all_segments(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All segments stacked: (starts, ends, owner_index).
+
+        ``owner_index[i]`` is the index into :attr:`trajectories` owning
+        segment ``i`` -- the flat layout the diagnoser's vectorised
+        nearest-segment query works on.
+        """
+        starts, ends, owners = [], [], []
+        for index, trajectory in enumerate(self.trajectories):
+            s, e = trajectory.segments()
+            starts.append(s)
+            ends.append(e)
+            owners.append(np.full(s.shape[0], index, dtype=int))
+        return (np.vstack(starts), np.vstack(ends),
+                np.concatenate(owners))

@@ -1,0 +1,200 @@
+"""Engineering units, frequency grids and decibel helpers.
+
+Analog test code constantly moves between SPICE-style engineering notation
+(``4.7k``, ``15.9n``, ``1MEG``), plain floats, and log-spaced frequency
+grids. This module centralises those conversions so that netlist parsing,
+the circuit library and the benchmarks all agree on one format.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ReproError
+
+__all__ = [
+    "parse_value",
+    "format_value",
+    "format_frequency",
+    "log_frequency_grid",
+    "decade_grid",
+    "db",
+    "db_to_linear",
+    "TWO_PI",
+]
+
+TWO_PI = 2.0 * math.pi
+
+# SPICE engineering suffixes. Order matters: "MEG" must be tried before "M"
+# and case is significant only to disambiguate nothing -- SPICE is case
+# insensitive, so "m" and "M" are both milli and mega must be spelled "MEG".
+_SUFFIX_FACTORS = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<suffix>(?:meg|t|g|k|m|u|µ|n|p|f)?)
+        (?P<unit>[a-zµΩω]*)
+        \s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+# Scale factors used when *formatting* values back to engineering notation.
+_FORMAT_STEPS = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "MEG"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+class UnitError(ReproError):
+    """A value string could not be interpreted as an engineering quantity."""
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style engineering value into a float.
+
+    Accepts plain numbers (``"1500"``, ``1.5e3``), engineering suffixes
+    (``"1.5k"``, ``"15.9n"``, ``"1MEG"``) and optional trailing unit letters
+    (``"4.7kohm"``, ``"100nF"``). Numeric inputs pass straight through.
+
+    >>> parse_value("4.7k")
+    4700.0
+    >>> parse_value("15.9nF")
+    1.59e-08
+    >>> parse_value(330)
+    330.0
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    if not isinstance(text, str):
+        raise UnitError(f"cannot parse value of type {type(text).__name__}")
+    match = _VALUE_RE.match(text)
+    if match is None:
+        raise UnitError(f"malformed engineering value: {text!r}")
+    number = float(match.group("number"))
+    suffix = match.group("suffix").lower()
+    # Disambiguate: SPICE "MEG" is mega; bare "m"/"M" is milli.  The regex
+    # already groups "meg" greedily, so a remaining single "m" is milli.
+    factor = _SUFFIX_FACTORS.get(suffix, 1.0) if suffix else 1.0
+    return number * factor
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a float in engineering notation (inverse of :func:`parse_value`).
+
+    >>> format_value(4700.0)
+    '4.7k'
+    >>> format_value(1.59e-8, unit="F")
+    '15.9nF'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for factor, suffix in _FORMAT_STEPS:
+        if magnitude >= factor:
+            scaled = value / factor
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{suffix}{unit}"
+    # Below femto: fall back to scientific notation.
+    return f"{value:.{digits}g}{unit}"
+
+
+def format_frequency(freq_hz: float, digits: int = 4) -> str:
+    """Format a frequency with an Hz unit. ``format_frequency(1e3) == '1kHz'``."""
+    return format_value(freq_hz, unit="Hz", digits=digits)
+
+
+def log_frequency_grid(f_start: float, f_stop: float,
+                       points: int = 401) -> np.ndarray:
+    """Logarithmically spaced frequency grid from ``f_start`` to ``f_stop``.
+
+    Both endpoints are included. This is the grid used for fault-dictionary
+    construction and for the response surface the GA interpolates on.
+    """
+    if f_start <= 0.0 or f_stop <= 0.0:
+        raise UnitError("frequency grid endpoints must be positive")
+    if f_stop <= f_start:
+        raise UnitError(
+            f"f_stop ({f_stop}) must exceed f_start ({f_start})")
+    if points < 2:
+        raise UnitError("a frequency grid needs at least 2 points")
+    return np.logspace(math.log10(f_start), math.log10(f_stop), points)
+
+
+def decade_grid(f_start: float, f_stop: float,
+                points_per_decade: int = 20) -> np.ndarray:
+    """SPICE ``.AC DEC``-style grid: fixed number of points per decade."""
+    if points_per_decade < 1:
+        raise UnitError("points_per_decade must be >= 1")
+    decades = math.log10(f_stop / f_start)
+    points = max(2, int(round(decades * points_per_decade)) + 1)
+    return log_frequency_grid(f_start, f_stop, points)
+
+
+def db(values: Iterable[float] | np.ndarray | complex | float,
+       floor: float = 1e-30) -> np.ndarray | float:
+    """Magnitude in decibels: ``20*log10(|x|)``, floored to avoid ``-inf``.
+
+    Works on scalars (complex or real) and on numpy arrays.
+    """
+    magnitude = np.abs(np.asarray(values, dtype=complex))
+    clipped = np.maximum(magnitude, floor)
+    result = 20.0 * np.log10(clipped)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def db_to_linear(values_db: Iterable[float] | float) -> np.ndarray | float:
+    """Inverse of :func:`db` (magnitude only)."""
+    result = np.power(10.0, np.asarray(values_db, dtype=float) / 20.0)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def geometric_midpoint(f_low: float, f_high: float) -> float:
+    """Geometric mean of two frequencies (midpoint on a log axis)."""
+    if f_low <= 0 or f_high <= 0:
+        raise UnitError("frequencies must be positive")
+    return math.sqrt(f_low * f_high)
+
+
+def octave_span(f_low: float, f_high: float) -> float:
+    """Number of octaves between two frequencies."""
+    if f_low <= 0 or f_high <= 0:
+        raise UnitError("frequencies must be positive")
+    return math.log2(f_high / f_low)
+
+
+def nearest_index(grid: Sequence[float] | np.ndarray, value: float) -> int:
+    """Index of the grid element nearest to ``value`` (log distance)."""
+    arr = np.asarray(grid, dtype=float)
+    if arr.size == 0:
+        raise UnitError("cannot search an empty grid")
+    if np.any(arr <= 0) or value <= 0:
+        return int(np.argmin(np.abs(arr - value)))
+    return int(np.argmin(np.abs(np.log10(arr) - math.log10(value))))

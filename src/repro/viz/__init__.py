@@ -1,0 +1,22 @@
+"""Terminal figures (ASCII) and CSV data export."""
+
+from .ascii import line_plot, scatter_plot, table, trajectory_plot
+from .export import (
+    confusion_csv,
+    ga_history_csv,
+    response_family_csv,
+    trajectory_csv,
+    write_csv,
+)
+
+__all__ = [
+    "line_plot",
+    "scatter_plot",
+    "trajectory_plot",
+    "table",
+    "write_csv",
+    "response_family_csv",
+    "trajectory_csv",
+    "ga_history_csv",
+    "confusion_csv",
+]

@@ -1,0 +1,174 @@
+"""ASCII rendering of the paper's figures for terminal output.
+
+The benchmarks regenerate the paper's figures as data (CSV) plus an ASCII
+rendering so a reader can eyeball the *shape* without a plotting stack:
+response families (Fig. 1), signature scatter (Fig. 2) and trajectory
+plots with an unknown-fault marker (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["line_plot", "scatter_plot", "trajectory_plot", "table"]
+
+_SERIES_MARKS = "*+x#%@o&=~"
+
+
+def _canvas(width: int, height: int) -> list:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(canvas: list, x_label: str, y_label: str, title: str,
+            x_range: Tuple[float, float], y_range: Tuple[float, float],
+            legend: Optional[str] = None) -> str:
+    width = len(canvas[0])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {y_range[1]:>10.3g} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"  {y_range[0]:>10.3g} +" + "-" * width + "+")
+    left = f"{x_range[0]:.3g}"
+    right = f"{x_range[1]:.3g}"
+    padding = max(1, width - len(left) - len(right))
+    lines.append(" " * 14 + left + " " * padding + right)
+    lines.append(" " * 14 + f"[{x_label}]  vs  [{y_label}]")
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def _scale(values: np.ndarray, low: float, high: float,
+           size: int) -> np.ndarray:
+    if high <= low:
+        return np.zeros(values.shape, dtype=int)
+    normalized = (values - low) / (high - low)
+    return np.clip((normalized * (size - 1)).round().astype(int), 0,
+                   size - 1)
+
+
+def line_plot(x: np.ndarray, series: Dict[str, np.ndarray],
+              width: int = 72, height: int = 20, log_x: bool = True,
+              title: str = "", x_label: str = "f [Hz]",
+              y_label: str = "dB") -> str:
+    """Multi-series line plot; one marker character per series."""
+    if not series:
+        raise ReproError("line_plot needs at least one series")
+    if len(series) > len(_SERIES_MARKS):
+        raise ReproError(
+            f"too many series ({len(series)}); max {len(_SERIES_MARKS)}")
+    x = np.asarray(x, dtype=float)
+    x_plot = np.log10(x) if log_x else x
+    all_y = np.concatenate([np.asarray(y, dtype=float)
+                            for y in series.values()])
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    canvas = _canvas(width, height)
+    for mark, (label, y) in zip(_SERIES_MARKS, series.items()):
+        y = np.asarray(y, dtype=float)
+        if y.shape != x.shape:
+            raise ReproError(
+                f"series {label!r} length {y.shape} != x {x.shape}")
+        cols = _scale(x_plot, float(x_plot.min()), float(x_plot.max()),
+                      width)
+        rows = _scale(y, y_low, y_high, height)
+        for col, row in zip(cols, rows):
+            canvas[height - 1 - row][col] = mark
+    legend = "  ".join(f"{mark}={label}" for mark, label in
+                       zip(_SERIES_MARKS, series))
+    return _render(canvas, x_label, y_label, title,
+                   (float(x.min()), float(x.max())), (y_low, y_high),
+                   legend)
+
+
+def scatter_plot(points: Dict[str, np.ndarray], width: int = 64,
+                 height: int = 24, title: str = "",
+                 x_label: str = "axis f1", y_label: str = "axis f2",
+                 extra: Optional[Dict[str, Tuple[float, float]]] = None
+                 ) -> str:
+    """Labelled point sets in the plane (+ single annotated markers).
+
+    ``extra`` places one-character markers at named positions, e.g.
+    ``{"O": (0, 0), "*": (x, y)}`` for the origin and the unknown fault.
+    """
+    if not points and not extra:
+        raise ReproError("scatter_plot needs points")
+    stacked = [np.atleast_2d(np.asarray(p, dtype=float))
+               for p in points.values()]
+    if extra:
+        stacked.append(np.array(list(extra.values()), dtype=float))
+    everything = np.vstack(stacked)
+    if everything.shape[1] != 2:
+        raise ReproError("scatter_plot works on 2-D points")
+    x_low, x_high = float(everything[:, 0].min()), \
+        float(everything[:, 0].max())
+    y_low, y_high = float(everything[:, 1].min()), \
+        float(everything[:, 1].max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    canvas = _canvas(width, height)
+    for mark, (label, cloud) in zip(_SERIES_MARKS, points.items()):
+        cloud = np.atleast_2d(np.asarray(cloud, dtype=float))
+        cols = _scale(cloud[:, 0], x_low, x_high, width)
+        rows = _scale(cloud[:, 1], y_low, y_high, height)
+        for col, row in zip(cols, rows):
+            canvas[height - 1 - row][col] = mark
+    if extra:
+        for mark, (x, y) in extra.items():
+            col = int(_scale(np.array([x]), x_low, x_high, width)[0])
+            row = int(_scale(np.array([y]), y_low, y_high, height)[0])
+            canvas[height - 1 - row][col] = mark[0]
+    legend = "  ".join(f"{mark}={label}" for mark, label in
+                       zip(_SERIES_MARKS, points))
+    if extra:
+        legend += "  " + "  ".join(f"{m}=<marker>" for m in extra)
+    return _render(canvas, x_label, y_label, title, (x_low, x_high),
+                   (y_low, y_high), legend)
+
+
+def trajectory_plot(trajectory_points: Dict[str, np.ndarray],
+                    unknown: Optional[Tuple[float, float]] = None,
+                    width: int = 64, height: int = 24,
+                    title: str = "fault trajectories") -> str:
+    """Fig.-3-style plot: trajectories + origin + optional unknown (*)."""
+    extra: Dict[str, Tuple[float, float]] = {"O": (0.0, 0.0)}
+    if unknown is not None:
+        extra["?"] = (float(unknown[0]), float(unknown[1]))
+    return scatter_plot(trajectory_points, width=width, height=height,
+                        title=title, extra=extra)
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+          float_format: str = "{:.4g}") -> str:
+    """Minimal fixed-width text table (benchmark report output)."""
+    if not headers:
+        raise ReproError("table needs headers")
+    formatted = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        formatted.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in formatted:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths))
+    rule = "-+-".join("-" * width for width in widths)
+    out = [line(headers), rule]
+    out.extend(line(cells) for cells in formatted)
+    return "\n".join(out)

@@ -1,0 +1,101 @@
+"""CSV export of figure/table data.
+
+Every benchmark that regenerates a paper figure also writes the raw data
+to CSV so the figure can be re-plotted with any external tool. Plain
+``csv`` from the standard library; files land under the directory the
+benchmark chooses (default ``benchmarks/out/``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ga.engine import GAResult
+from ..sim.ac import FrequencyResponse
+from ..trajectory.trajectory import TrajectorySet
+
+__all__ = [
+    "write_csv",
+    "response_family_csv",
+    "trajectory_csv",
+    "ga_history_csv",
+    "confusion_csv",
+]
+
+
+def write_csv(path: str | Path, headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> Path:
+    """Write a generic CSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def response_family_csv(path: str | Path,
+                        responses: Dict[str, FrequencyResponse]) -> Path:
+    """Fig.-1-style data: one dB-magnitude column per labelled response."""
+    if not responses:
+        raise ReproError("response_family_csv needs responses")
+    labels = list(responses)
+    first = responses[labels[0]]
+    for label in labels[1:]:
+        if responses[label].freqs_hz.shape != first.freqs_hz.shape or \
+                not np.allclose(responses[label].freqs_hz,
+                                first.freqs_hz):
+            raise ReproError(
+                f"response {label!r} uses a different frequency grid")
+    headers = ["freq_hz"] + [f"{label}_db" for label in labels]
+    rows = []
+    for index, freq in enumerate(first.freqs_hz):
+        row = [f"{freq:.8g}"]
+        row.extend(f"{responses[label].magnitude_db[index]:.6f}"
+                   for label in labels)
+        rows.append(row)
+    return write_csv(path, headers, rows)
+
+
+def trajectory_csv(path: str | Path,
+                   trajectories: TrajectorySet) -> Path:
+    """Fig.-3-style data: component, deviation, signature coordinates."""
+    dimension = trajectories.dimension
+    headers = ["component", "deviation"] + \
+        [f"coord{i + 1}" for i in range(dimension)]
+    rows = []
+    for trajectory in trajectories:
+        for deviation, point in zip(trajectory.deviations,
+                                    trajectory.points):
+            rows.append([trajectory.component, f"{deviation:+.3f}"] +
+                        [f"{value:.8g}" for value in point])
+    return write_csv(path, headers, rows)
+
+
+def ga_history_csv(path: str | Path, result: GAResult) -> Path:
+    """GA convergence data: per-generation best/mean/std fitness."""
+    headers = ["generation", "best_fitness", "mean_fitness",
+               "std_fitness", "best_freqs_hz"]
+    rows = []
+    for stats in result.history:
+        freqs = ";".join(f"{f:.6g}" for f in stats.best_freqs_hz)
+        rows.append([stats.generation, f"{stats.best_fitness:.6f}",
+                     f"{stats.mean_fitness:.6f}",
+                     f"{stats.std_fitness:.6f}", freqs])
+    return write_csv(path, headers, rows)
+
+
+def confusion_csv(path: str | Path,
+                  confusion: Dict[tuple, int]) -> Path:
+    """Diagnosis confusion counts: (true, predicted) -> count."""
+    headers = ["true_component", "predicted_component", "count"]
+    rows = [[true, predicted, count]
+            for (true, predicted), count in sorted(confusion.items())]
+    return write_csv(path, headers, rows)

@@ -1,0 +1,170 @@
+"""Tests for AC analysis and the FrequencyResponse container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, rc_lowpass, voltage_divider
+from repro.errors import SimulationError
+from repro.sim import ACAnalysis, FrequencyResponse
+from repro.units import log_frequency_grid
+
+
+@pytest.fixture(scope="module")
+def rc_response():
+    info = rc_lowpass(f0_hz=1e3)
+    grid = log_frequency_grid(1.0, 1e6, 241)
+    return ACAnalysis(info.circuit).transfer(info.output_node, grid)
+
+
+class TestFrequencyResponseValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            FrequencyResponse(np.array([1.0, 2.0]), np.array([1.0 + 0j]))
+
+    def test_nonpositive_frequency(self):
+        with pytest.raises(SimulationError):
+            FrequencyResponse(np.array([0.0, 1.0]),
+                              np.array([1.0, 1.0], dtype=complex))
+
+    def test_non_increasing_grid(self):
+        with pytest.raises(SimulationError):
+            FrequencyResponse(np.array([2.0, 1.0]),
+                              np.array([1.0, 1.0], dtype=complex))
+
+    def test_len(self, rc_response):
+        assert len(rc_response) == 241
+
+
+class TestRCAnalytic:
+    """First-order RC low-pass has closed-form H = 1/(1 + jf/f0)."""
+
+    def test_magnitude_everywhere(self, rc_response):
+        f = rc_response.freqs_hz
+        expected = 1.0 / np.sqrt(1.0 + (f / 1000.0) ** 2)
+        assert np.allclose(rc_response.magnitude, expected, rtol=1e-9)
+
+    def test_phase_everywhere(self, rc_response):
+        f = rc_response.freqs_hz
+        expected = -np.arctan(f / 1000.0)
+        assert np.allclose(rc_response.phase_rad, expected, atol=1e-9)
+
+    def test_cutoff(self, rc_response):
+        assert rc_response.cutoff_3db() == pytest.approx(1000.0, rel=1e-3)
+
+    def test_dc_gain(self, rc_response):
+        assert rc_response.dc_gain_db() == pytest.approx(0.0, abs=1e-4)
+
+    def test_group_delay_low_frequency(self, rc_response):
+        # tau_g(0) = RC = 1/(2 pi f0).
+        expected = 1.0 / (2.0 * np.pi * 1000.0)
+        assert rc_response.group_delay()[0] == pytest.approx(expected,
+                                                             rel=5e-2)
+
+
+class TestInterpolation:
+    def test_exact_at_grid_points(self, rc_response):
+        index = 100
+        f = float(rc_response.freqs_hz[index])
+        assert rc_response.magnitude_db_at(f) == pytest.approx(
+            float(rc_response.magnitude_db[index]), abs=1e-12)
+
+    def test_between_grid_points(self, rc_response):
+        value = rc_response.magnitude_db_at(1234.5)
+        expected = 20.0 * np.log10(
+            1.0 / np.sqrt(1.0 + (1234.5 / 1000.0) ** 2))
+        # 241 points over 6 decades: interpolation error is a few mdB.
+        assert value == pytest.approx(expected, abs=5e-3)
+
+    def test_vector_query(self, rc_response):
+        out = rc_response.magnitude_db_at(np.array([100.0, 1000.0]))
+        assert out.shape == (2,)
+
+    def test_clamps_out_of_band(self, rc_response):
+        # Below the grid: clamped to the first point.
+        assert rc_response.magnitude_db_at(0.1) == pytest.approx(
+            float(rc_response.magnitude_db[0]))
+
+    def test_rejects_nonpositive_query(self, rc_response):
+        with pytest.raises(SimulationError):
+            rc_response.magnitude_db_at(-5.0)
+
+    def test_complex_at(self, rc_response):
+        value = rc_response.at(1000.0)
+        assert abs(value) == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-6)
+        assert np.angle(value) == pytest.approx(-np.pi / 4.0, rel=1e-4)
+
+    def test_resampled(self, rc_response):
+        new_grid = log_frequency_grid(10.0, 1e5, 31)
+        resampled = rc_response.resampled(new_grid)
+        assert len(resampled) == 31
+        expected = 1.0 / np.sqrt(1.0 + (new_grid / 1000.0) ** 2)
+        assert np.allclose(resampled.magnitude, expected, rtol=1e-3)
+
+
+class TestCharacteristics:
+    def test_peak_of_flat_response(self):
+        info = voltage_divider()
+        grid = log_frequency_grid(1.0, 1e6, 31)
+        resp = ACAnalysis(info.circuit).transfer(info.output_node, grid)
+        _, peak_db = resp.peak()
+        assert peak_db == pytest.approx(20.0 * np.log10(0.5), abs=1e-9)
+
+    def test_cutoff_never_crossing_raises(self):
+        info = voltage_divider()
+        grid = log_frequency_grid(1.0, 1e6, 31)
+        resp = ACAnalysis(info.circuit).transfer(info.output_node, grid)
+        with pytest.raises(SimulationError, match="never falls"):
+            resp.cutoff_3db()
+
+
+class TestACAnalysis:
+    def test_transfer_normalises_by_source(self):
+        # Same circuit but AC magnitude 2: transfer must be identical.
+        info = rc_lowpass()
+        ckt2 = Circuit("rc2")
+        ckt2.add_voltage_source("VIN", "in", "0", ac=2.0)
+        ckt2.add_resistor("R1", "in", "out", info.circuit["R1"].value)
+        ckt2.add_capacitor("C1", "out", "0", info.circuit["C1"].value)
+        grid = log_frequency_grid(10.0, 1e5, 21)
+        h1 = ACAnalysis(info.circuit).transfer("out", grid)
+        h2 = ACAnalysis(ckt2).transfer("out", grid)
+        assert np.allclose(h1.values, h2.values, rtol=1e-12)
+
+    def test_transfer_with_phase_source(self):
+        ckt = Circuit("rcph")
+        ckt.add_voltage_source("VIN", "in", "0", ac=1.0, ac_phase_deg=90.0)
+        ckt.add_resistor("R1", "in", "out", 1e4)
+        ckt.add_capacitor("C1", "out", "0", 1.59155e-8)
+        grid = np.array([1000.0])
+        h = ACAnalysis(ckt).transfer("out", grid)
+        # Normalisation removes the source phase entirely.
+        assert np.angle(h.values[0]) == pytest.approx(-np.pi / 4.0,
+                                                      rel=1e-3)
+
+    def test_transfer_ground_output_is_zero(self):
+        info = rc_lowpass()
+        grid = log_frequency_grid(10.0, 1e3, 5)
+        h = ACAnalysis(info.circuit).transfer("0", grid)
+        assert np.all(h.values == 0.0)
+
+    def test_transfer_auto(self):
+        info = rc_lowpass()
+        h = ACAnalysis(info.circuit).transfer_auto("out", 10.0, 1e5,
+                                                   points=33)
+        assert len(h) == 33
+
+    def test_explicit_source_must_have_ac(self):
+        ckt = Circuit("noac")
+        ckt.add_voltage_source("V1", "in", "0", dc=1.0)
+        ckt.add_resistor("R1", "in", "0", 1.0)
+        analysis = ACAnalysis(ckt)
+        with pytest.raises(SimulationError, match="no AC magnitude"):
+            analysis.transfer("in", np.array([100.0]),
+                              input_source="V1")
+
+    def test_node_voltages_all_nodes(self):
+        info = rc_lowpass()
+        grid = log_frequency_grid(10.0, 1e3, 5)
+        volts = ACAnalysis(info.circuit).node_voltages(grid)
+        assert set(volts) == {"in", "out"}
+        assert np.allclose(np.abs(volts["in"].values), 1.0)

@@ -1,0 +1,280 @@
+"""Tests for baseline diagnosers and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.diagnosis import (
+    HELD_OUT_DEVIATIONS,
+    NearestNeighborClassifier,
+    TrajectoryClassifier,
+    ambiguity_groups,
+    evaluate_classifier,
+    exhaustive_search,
+    make_test_cases,
+    random_test_vectors,
+)
+from repro.diagnosis.evaluate import DiagnosisCase
+from repro.errors import DiagnosisError
+from repro.ga import FrequencySpace
+from repro.trajectory import (
+    FaultTrajectory,
+    SignatureMapper,
+    TrajectorySet,
+)
+
+
+@pytest.fixture(scope="module")
+def nn_classifier(biquad_dictionary):
+    mapper = SignatureMapper((500.0, 1500.0))
+    return NearestNeighborClassifier(biquad_dictionary, mapper)
+
+
+class TestNearestNeighbor:
+    def test_stored_point_maps_to_its_fault(self, nn_classifier,
+                                            biquad_dictionary):
+        mapper = nn_classifier.mapper
+        entry = biquad_dictionary.entry("R1+20%")
+        point = mapper.signature(entry.response,
+                                 biquad_dictionary.golden)
+        diagnosis = nn_classifier.classify_point(point)
+        assert diagnosis.component == "R1"
+        assert diagnosis.estimated_deviation == pytest.approx(0.2)
+
+    def test_cannot_interpolate_deviation(self, nn_classifier,
+                                          biquad_info):
+        """NN returns a grid deviation; a +25% fault snaps to +20% or
+        +30% -- the structural weakness the trajectory method fixes."""
+        from repro.sim import ACAnalysis
+        freqs = np.array([500.0, 1500.0])
+        golden = ACAnalysis(biquad_info.circuit).transfer(
+            biquad_info.output_node, freqs)
+        faulty = ACAnalysis(
+            biquad_info.circuit.scaled_value("R1", 1.25)).transfer(
+                biquad_info.output_node, freqs)
+        point = nn_classifier.mapper.signature(faulty, golden)
+        diagnosis = nn_classifier.classify_point(point)
+        assert diagnosis.component == "R1"
+        assert diagnosis.estimated_deviation in (
+            pytest.approx(0.2), pytest.approx(0.3))
+
+    def test_dimension_check(self, nn_classifier):
+        with pytest.raises(DiagnosisError):
+            nn_classifier.classify_point(np.zeros(3))
+
+    def test_ranking_covers_components(self, nn_classifier):
+        diagnosis = nn_classifier.classify_point(np.array([0.5, 0.5]))
+        assert len(diagnosis.ranking) == 7
+
+
+class TestVectorSelectors:
+    def test_random_test_vectors(self):
+        space = FrequencySpace(10.0, 1e6, 2)
+        vectors = random_test_vectors(space, 5, seed=3)
+        assert len(vectors) == 5
+        for f1, f2 in vectors:
+            assert 10.0 <= f1 < f2 <= 1e6 * (1 + 1e-9)
+
+    def test_random_vectors_deterministic(self):
+        space = FrequencySpace(10.0, 1e6, 2)
+        assert random_test_vectors(space, 3, seed=7) == \
+            random_test_vectors(space, 3, seed=7)
+
+    def test_random_count_validation(self):
+        space = FrequencySpace(10.0, 1e6, 2)
+        with pytest.raises(DiagnosisError):
+            random_test_vectors(space, 0)
+
+    def test_exhaustive_search_finds_target(self):
+        """Fitness peaked at (100, 10k): the grid scan must find the
+        nearest grid pair and report its evaluation count."""
+        space = FrequencySpace(10.0, 1e5, 2)
+
+        def fitness(freqs):
+            target = np.log10(np.array([100.0, 1e4]))
+            got = np.log10(np.array(freqs))
+            return float(np.exp(-np.sum((got - target) ** 2)))
+
+        best, value, evaluations = exhaustive_search(
+            space, fitness, points_per_decade=5)
+        assert best[0] == pytest.approx(100.0, rel=0.3)
+        assert best[1] == pytest.approx(1e4, rel=0.3)
+        # C(21, 2) = 210 combinations for 4 decades at 5/decade.
+        assert evaluations == 210
+
+
+class TestMakeCases:
+    def test_case_count(self, biquad_info):
+        mapper = SignatureMapper((500.0, 1500.0))
+        cases = make_test_cases(biquad_info, mapper,
+                                deviations=(-0.15, 0.15))
+        assert len(cases) == 7 * 2
+        components = {case.true_component for case in cases}
+        assert components == set(biquad_info.faultable)
+
+    def test_repeats_and_noise_deterministic(self, biquad_info):
+        mapper = SignatureMapper((500.0, 1500.0))
+        kwargs = dict(deviations=(0.25,), noise_db=0.1, repeats=3,
+                      seed=42)
+        a = make_test_cases(biquad_info, mapper, **kwargs)
+        b = make_test_cases(biquad_info, mapper, **kwargs)
+        assert len(a) == 21
+        for case_a, case_b in zip(a, b):
+            assert np.allclose(case_a.point, case_b.point)
+
+    def test_noise_changes_points(self, biquad_info):
+        mapper = SignatureMapper((500.0, 1500.0))
+        clean = make_test_cases(biquad_info, mapper, deviations=(0.25,))
+        noisy = make_test_cases(biquad_info, mapper, deviations=(0.25,),
+                                noise_db=0.1, seed=1)
+        assert not np.allclose(clean[0].point, noisy[0].point)
+
+    def test_tolerance_perturbs_other_components(self, biquad_info):
+        mapper = SignatureMapper((500.0, 1500.0))
+        clean = make_test_cases(biquad_info, mapper, deviations=(0.25,))
+        spread = make_test_cases(biquad_info, mapper, deviations=(0.25,),
+                                 tolerance=0.05, seed=1)
+        assert not np.allclose(clean[0].point, spread[0].point)
+
+    def test_validation(self, biquad_info):
+        mapper = SignatureMapper((500.0, 1500.0))
+        with pytest.raises(DiagnosisError):
+            make_test_cases(biquad_info, mapper, noise_db=-1.0)
+        with pytest.raises(DiagnosisError):
+            make_test_cases(biquad_info, mapper, repeats=0)
+
+
+class TestEvaluation:
+    def make_xy_classifier(self):
+        mapper = SignatureMapper((100.0, 1000.0))
+        deviations = (-0.2, -0.1, 0.0, 0.1, 0.2)
+        x = FaultTrajectory("X", deviations,
+                            np.outer(deviations, [1.0, 0.0]))
+        y = FaultTrajectory("Y", deviations,
+                            np.outer(deviations, [0.0, 1.0]))
+        return TrajectoryClassifier(TrajectorySet(mapper, (x, y)))
+
+    def test_perfect_synthetic_evaluation(self):
+        classifier = self.make_xy_classifier()
+        cases = [
+            DiagnosisCase("X", 0.15, np.array([0.15, 0.0])),
+            DiagnosisCase("X", -0.05, np.array([-0.05, 0.0])),
+            DiagnosisCase("Y", 0.12, np.array([0.0, 0.12])),
+        ]
+        result = evaluate_classifier(classifier, cases)
+        assert result.accuracy == 1.0
+        assert result.deviation_mae() == pytest.approx(0.0, abs=1e-9)
+        assert result.num_cases == 3
+
+    def test_confusion_and_per_component(self):
+        classifier = self.make_xy_classifier()
+        cases = [
+            DiagnosisCase("X", 0.15, np.array([0.15, 0.0])),
+            DiagnosisCase("Y", 0.15, np.array([0.15, 0.0])),  # mislabeled
+        ]
+        result = evaluate_classifier(classifier, cases)
+        assert result.accuracy == 0.5
+        confusion = result.confusion()
+        assert confusion[("X", "X")] == 1
+        assert confusion[("Y", "X")] == 1
+        per = result.per_component_accuracy()
+        assert per["X"] == 1.0
+        assert per["Y"] == 0.0
+
+    def test_group_accuracy(self):
+        classifier = self.make_xy_classifier()
+        cases = [DiagnosisCase("Y", 0.15, np.array([0.15, 0.0]))]
+        groups = (frozenset({"X", "Y"}),)
+        result = evaluate_classifier(classifier, cases, groups=groups)
+        assert result.accuracy == 0.0
+        assert result.group_accuracy == 1.0
+
+    def test_summary_text(self):
+        classifier = self.make_xy_classifier()
+        cases = [DiagnosisCase("X", 0.15, np.array([0.15, 0.0]))]
+        result = evaluate_classifier(classifier, cases,
+                                     groups=(frozenset({"X", "Y"}),))
+        text = result.summary()
+        assert "component accuracy" in text
+        assert "group accuracy" in text
+
+    def test_empty_cases_rejected(self):
+        with pytest.raises(DiagnosisError):
+            evaluate_classifier(self.make_xy_classifier(), [])
+
+    def test_held_out_deviations_are_off_grid(self):
+        from repro.faults import paper_deviation_grid
+        grid = set(paper_deviation_grid())
+        assert not grid.intersection(HELD_OUT_DEVIATIONS)
+
+
+class TestAmbiguityGroups:
+    def test_separated_trajectories_are_singletons(self):
+        mapper = SignatureMapper((100.0, 1000.0))
+        deviations = (-0.2, -0.1, 0.0, 0.1, 0.2)
+        x = FaultTrajectory("X", deviations,
+                            np.outer(deviations, [1.0, 0.0]))
+        y = FaultTrajectory("Y", deviations,
+                            np.outer(deviations, [0.0, 1.0]))
+        groups = ambiguity_groups(TrajectorySet(mapper, (x, y)),
+                                  threshold=0.01)
+        assert groups == (frozenset({"X"}), frozenset({"Y"}))
+
+    def test_near_identical_merge(self):
+        mapper = SignatureMapper((100.0, 1000.0))
+        deviations = (-0.2, -0.1, 0.0, 0.1, 0.2)
+        x = FaultTrajectory("X", deviations,
+                            np.outer(deviations, [1.0, 0.0]))
+        x2_points = np.outer(deviations, [1.0, 0.0])
+        x2_points[:, 1] += 1e-5
+        x2 = FaultTrajectory("X2", deviations, x2_points)
+        y = FaultTrajectory("Y", deviations,
+                            np.outer(deviations, [0.0, 1.0]))
+        groups = ambiguity_groups(TrajectorySet(mapper, (x, x2, y)),
+                                  threshold=0.01)
+        assert frozenset({"X", "X2"}) in groups
+        assert frozenset({"Y"}) in groups
+
+    def test_transitive_merge(self):
+        mapper = SignatureMapper((100.0, 1000.0))
+        deviations = (-0.2, -0.1, 0.0, 0.1, 0.2)
+        base = np.outer(deviations, [1.0, 0.0])
+        a = FaultTrajectory("A", deviations, base)
+        b = FaultTrajectory("B", deviations,
+                            base + np.array([0.0, 0.008]))
+        c = FaultTrajectory("C", deviations,
+                            base + np.array([0.0, 0.016]))
+        groups = ambiguity_groups(TrajectorySet(mapper, (a, b, c)),
+                                  threshold=0.01)
+        # A-B close, B-C close -> one transitive group.
+        assert groups == (frozenset({"A", "B", "C"}),)
+
+    def test_single_trajectory(self):
+        mapper = SignatureMapper((100.0, 1000.0))
+        deviations = (-0.1, 0.0, 0.1)
+        only = FaultTrajectory("A", deviations,
+                               np.outer(deviations, [1.0, 0.0]))
+        groups = ambiguity_groups(TrajectorySet(mapper, (only,)), 0.01)
+        assert groups == (frozenset({"A"}),)
+
+    def test_threshold_validation(self, biquad_trajectories):
+        with pytest.raises(DiagnosisError):
+            ambiguity_groups(biquad_trajectories, -0.1)
+
+    def test_biquad_known_degenerate_pairs(self, biquad_info):
+        """With ideal op-amps R3/R5 and R4/C2 are exactly degenerate;
+        with macromodels they stay nearly so at passband frequencies."""
+        from repro.faults import parametric_universe, FaultDictionary
+        freqs = np.array([500.0, 1500.0])
+        universe = parametric_universe(biquad_info.circuit,
+                                       components=biquad_info.faultable)
+        exact = FaultDictionary.build(universe, biquad_info.output_node,
+                                      freqs)
+        trajectories = TrajectorySet.from_source(
+            exact, SignatureMapper((500.0, 1500.0)))
+        groups = ambiguity_groups(trajectories, threshold=0.01)
+        lookup = {}
+        for group in groups:
+            for member in group:
+                lookup[member] = group
+        assert lookup["R3"] == lookup["R5"]
+        assert lookup["R4"] == lookup["C2"]

@@ -1,0 +1,124 @@
+"""Tests for the catastrophic-fault screen and the hybrid diagnoser."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SignatureMapper,
+    TrajectoryClassifier,
+    TrajectorySet,
+    catastrophic_universe,
+    parametric_universe,
+)
+from repro.diagnosis import CatastrophicScreen, HybridClassifier
+from repro.errors import DiagnosisError
+from repro.faults import CatastrophicFault, FaultDictionary, \
+    ParametricFault
+from repro.sim import ACAnalysis
+
+FREQS = (500.0, 1500.0)
+
+
+@pytest.fixture(scope="module")
+def hybrid(biquad_info):
+    grid = np.array(sorted(FREQS))
+    mapper = SignatureMapper(FREQS)
+    parametric = parametric_universe(biquad_info.circuit,
+                                     components=biquad_info.faultable)
+    pdict = FaultDictionary.build(parametric, biquad_info.output_node,
+                                  grid)
+    trajectories = TrajectorySet.from_source(pdict, mapper)
+    classifier = TrajectoryClassifier(trajectories, golden=pdict.golden)
+    hard = catastrophic_universe(biquad_info.circuit,
+                                 components=biquad_info.faultable)
+    cdict = FaultDictionary.build(hard, biquad_info.output_node, grid)
+    screen = CatastrophicScreen(cdict, mapper)
+    return HybridClassifier(screen, classifier)
+
+
+def respond(info, fault, grid=np.array(sorted(FREQS))):
+    return ACAnalysis(fault.apply(info.circuit)).transfer(
+        info.output_node, grid)
+
+
+class TestScreen:
+    def test_requires_catastrophic_entries(self, biquad_dictionary):
+        mapper = SignatureMapper(FREQS)
+        with pytest.raises(DiagnosisError, match="catastrophic"):
+            CatastrophicScreen(biquad_dictionary, mapper)
+
+    def test_exact_match_distance_zero(self, hybrid, biquad_info):
+        response = respond(biquad_info, CatastrophicFault("R1", "open"))
+        point = hybrid.trajectory_classifier.trajectories.mapper \
+            .signature(response, hybrid.trajectory_classifier.golden)
+        verdict = hybrid.screen.classify_point(point)
+        assert verdict.component == "R1"
+        assert verdict.kind == "open"
+        assert verdict.distance == pytest.approx(0.0, abs=1e-9)
+        assert verdict.is_catastrophic
+
+    def test_dimension_check(self, hybrid):
+        with pytest.raises(DiagnosisError):
+            hybrid.screen.classify_point(np.zeros(5))
+
+    def test_summary_text(self, hybrid, biquad_info):
+        response = respond(biquad_info, CatastrophicFault("C1", "open"))
+        verdict = hybrid.classify_response(response)
+        assert "catastrophic" in verdict.summary()
+        assert "C1" in verdict.summary()
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("component,kind", [
+        ("R1", "open"), ("R1", "short"), ("R2", "open"),
+        ("R2", "short"), ("C1", "open"), ("C1", "short"),
+    ])
+    def test_hard_faults_screened(self, hybrid, biquad_info, component,
+                                  kind):
+        response = respond(biquad_info,
+                           CatastrophicFault(component, kind))
+        verdict = hybrid.classify_response(response)
+        assert verdict.is_catastrophic
+        assert verdict.component == component
+        assert verdict.kind == kind
+
+    @pytest.mark.parametrize("component,deviation", [
+        ("R1", 0.25), ("R2", -0.15), ("C1", 0.35),
+    ])
+    def test_parametric_faults_fall_through(self, hybrid, biquad_info,
+                                            component, deviation):
+        response = respond(biquad_info,
+                           ParametricFault(component, deviation))
+        verdict = hybrid.classify_response(response)
+        assert not getattr(verdict, "is_catastrophic", False)
+        assert verdict.component == component
+        assert verdict.estimated_deviation == pytest.approx(deviation,
+                                                            abs=0.03)
+
+    def test_golden_is_parametric_verdict(self, hybrid):
+        # The origin sits on every trajectory: not catastrophic.
+        verdict = hybrid.classify_point(np.zeros(2))
+        assert not getattr(verdict, "is_catastrophic", False)
+
+    def test_bias_validation(self, hybrid):
+        with pytest.raises(DiagnosisError):
+            HybridClassifier(hybrid.screen,
+                             hybrid.trajectory_classifier, bias=0.0)
+
+    def test_large_bias_suppresses_screen(self, hybrid, biquad_info):
+        """With an enormous bias the screen never wins on parametric
+        faults (sanity of the comparison rule)."""
+        conservative = HybridClassifier(hybrid.screen,
+                                        hybrid.trajectory_classifier,
+                                        bias=1e9)
+        response = respond(biquad_info, ParametricFault("R2", 0.25))
+        verdict = conservative.classify_response(response)
+        assert not getattr(verdict, "is_catastrophic", False)
+
+    def test_dimension_mismatch_rejected(self, hybrid, biquad_surface):
+        mapper3 = SignatureMapper((100.0, 1000.0, 10000.0))
+        trajectories = TrajectorySet.from_source(biquad_surface,
+                                                 mapper3)
+        classifier3 = TrajectoryClassifier(trajectories)
+        with pytest.raises(DiagnosisError, match="dimension"):
+            HybridClassifier(hybrid.screen, classifier3)

@@ -1,0 +1,162 @@
+"""Tests for the trajectory classifier and the paper's diagnosis rule."""
+
+import numpy as np
+import pytest
+
+from repro.diagnosis import TrajectoryClassifier
+from repro.errors import DiagnosisError
+from repro.sim import ACAnalysis
+from repro.trajectory import (
+    FaultTrajectory,
+    SignatureMapper,
+    TrajectorySet,
+)
+
+
+def axis_trajectory(component, direction,
+                    deviations=(-0.2, -0.1, 0.0, 0.1, 0.2)):
+    direction = np.asarray(direction, dtype=float)
+    points = np.outer(np.asarray(deviations), direction)
+    return FaultTrajectory(component, tuple(deviations), points)
+
+
+@pytest.fixture()
+def xy_classifier():
+    """Component X along +x/-x, component Y along +y/-y."""
+    mapper = SignatureMapper((100.0, 1000.0))
+    trajectories = TrajectorySet(mapper, (
+        axis_trajectory("X", [1.0, 0.0]),
+        axis_trajectory("Y", [0.0, 1.0]),
+    ))
+    return TrajectoryClassifier(trajectories)
+
+
+class TestClassifyPoint:
+    def test_on_trajectory_exact(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(np.array([0.15, 0.0]))
+        assert diagnosis.component == "X"
+        assert diagnosis.estimated_deviation == pytest.approx(0.15)
+        assert diagnosis.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_near_trajectory_perpendicular(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(np.array([0.15, 0.02]))
+        assert diagnosis.component == "X"
+        assert diagnosis.perpendicular
+        assert diagnosis.distance == pytest.approx(0.02)
+        assert diagnosis.estimated_deviation == pytest.approx(0.15)
+
+    def test_negative_deviation_side(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(np.array([0.0, -0.12]))
+        assert diagnosis.component == "Y"
+        assert diagnosis.estimated_deviation == pytest.approx(-0.12)
+
+    def test_beyond_trajectory_end_uses_endpoint(self, xy_classifier):
+        # x = 0.5 lies beyond X's last point (0.2): deviation clamps to
+        # the +20% end of the trajectory.
+        diagnosis = xy_classifier.classify_point(np.array([0.5, 0.0]))
+        assert diagnosis.component == "X"
+        assert diagnosis.estimated_deviation == pytest.approx(0.2)
+
+    def test_ranking_contains_all_components(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(np.array([0.1, 0.05]))
+        assert [c for c, _ in diagnosis.ranking] == ["X", "Y"]
+
+    def test_margin_positive_for_clear_case(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(np.array([0.15, 0.01]))
+        assert diagnosis.margin > 0.0
+        assert not diagnosis.ambiguous
+
+    def test_diagonal_point_is_ambiguous(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(
+            np.array([0.1, 0.100001]))
+        assert diagnosis.ambiguous
+
+    def test_dimension_mismatch(self, xy_classifier):
+        with pytest.raises(DiagnosisError):
+            xy_classifier.classify_point(np.array([1.0, 2.0, 3.0]))
+
+    def test_summary_text(self, xy_classifier):
+        diagnosis = xy_classifier.classify_point(np.array([0.15, 0.02]))
+        text = diagnosis.summary()
+        assert "X" in text and "perpendicular" in text
+
+
+class TestPerpendicularPreference:
+    """The paper's rule: prefer segments where a perpendicular foot
+    exists, even over a closer endpoint of another trajectory."""
+
+    def test_prefers_interior_foot_over_closer_endpoint(self):
+        """A's perpendicular distance (0.05) loses to C's endpoint
+        distance (0.014) on raw proximity, but the paper's rule prefers
+        the segment where the perpendicular exists -- so A wins."""
+        mapper = SignatureMapper((100.0, 1000.0))
+        a = axis_trajectory("A", [1.0, 0.0])
+        c = axis_trajectory("C", [0.7, 0.3])  # ends at (0.14, 0.06)
+        classifier = TrajectoryClassifier(TrajectorySet(mapper, (a, c)))
+        query = np.array([0.15, 0.05])
+        # Sanity: C's endpoint is closer than A's perpendicular foot.
+        endpoint_distance = np.linalg.norm(query - np.array([0.14, 0.06]))
+        assert endpoint_distance < 0.05
+        diagnosis = classifier.classify_point(query)
+        assert diagnosis.component == "A"
+        assert diagnosis.perpendicular
+        assert diagnosis.distance == pytest.approx(0.05)
+
+    def test_endpoint_fallback_when_no_perpendicular(self):
+        mapper = SignatureMapper((100.0, 1000.0))
+        a = axis_trajectory("A", [1.0, 0.0])
+        classifier = TrajectoryClassifier(
+            TrajectorySet(mapper, (a,)))
+        # Beyond the end and off-axis: no interior foot anywhere on the
+        # single horizontal trajectory (feet clamp to the endpoint).
+        diagnosis = classifier.classify_point(np.array([0.9, 0.3]))
+        assert not diagnosis.perpendicular
+        assert diagnosis.component == "A"
+
+
+class TestClassifyResponse:
+    def test_requires_golden_for_relative_mapper(self,
+                                                 biquad_trajectories):
+        classifier = TrajectoryClassifier(biquad_trajectories)
+        from repro.sim import FrequencyResponse
+        fake = FrequencyResponse(np.array([500.0, 1500.0]),
+                                 np.array([1.0, 1.0], dtype=complex))
+        with pytest.raises(DiagnosisError, match="golden"):
+            classifier.classify_response(fake)
+
+    def test_end_to_end_response_diagnosis(self, biquad_info,
+                                           biquad_dictionary):
+        mapper = SignatureMapper((500.0, 1500.0))
+        freqs = np.array([500.0, 1500.0])
+        from repro.faults import parametric_universe, FaultDictionary
+        universe = parametric_universe(biquad_info.circuit,
+                                       components=biquad_info.faultable)
+        exact = FaultDictionary.build(universe, biquad_info.output_node,
+                                      freqs)
+        trajectories = TrajectorySet.from_source(exact, mapper)
+        classifier = TrajectoryClassifier(trajectories,
+                                          golden=exact.golden)
+        faulty = biquad_info.circuit.scaled_value("C1", 0.75)  # C1 -25%
+        response = ACAnalysis(faulty).transfer(biquad_info.output_node,
+                                               freqs)
+        diagnosis = classifier.classify_response(response)
+        assert diagnosis.component == "C1"
+        assert diagnosis.estimated_deviation == pytest.approx(-0.25,
+                                                              abs=0.03)
+
+
+class TestFaultFree:
+    def test_origin_is_fault_free(self, xy_classifier):
+        assert xy_classifier.is_fault_free(np.array([0.001, 0.001]),
+                                           threshold=0.01)
+        assert not xy_classifier.is_fault_free(np.array([0.1, 0.1]),
+                                               threshold=0.01)
+
+    def test_requires_relative_mapper(self):
+        mapper = SignatureMapper((100.0, 1000.0),
+                                 relative_to_golden=False)
+        trajectories = TrajectorySet(mapper, (
+            axis_trajectory("X", [1.0, 0.0]),))
+        classifier = TrajectoryClassifier(trajectories)
+        with pytest.raises(DiagnosisError):
+            classifier.is_fault_free(np.array([0.0, 0.0]), 0.01)

@@ -1,0 +1,163 @@
+"""Tests for circuit component dataclasses and their validation."""
+
+import pytest
+
+from repro.circuits import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    IdealOpAmp,
+    Inductor,
+    OpAmpMacro,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.errors import ComponentError
+
+
+class TestTwoTerminal:
+    def test_resistor_basic(self):
+        r = Resistor("R1", "a", "b", 1000.0)
+        assert r.nodes == ("a", "b")
+        assert r.value == 1000.0
+
+    def test_with_value_returns_copy(self):
+        r = Resistor("R1", "a", "b", 1000.0)
+        r2 = r.with_value(2000.0)
+        assert r2.value == 2000.0
+        assert r.value == 1000.0
+        assert r2.name == "R1"
+
+    def test_renamed(self):
+        r = Resistor("R1", "a", "b", 1000.0)
+        assert r.renamed("RX").name == "RX"
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ComponentError):
+            Resistor("R1", "a", "b", -10.0)
+
+    def test_zero_capacitance_rejected(self):
+        with pytest.raises(ComponentError):
+            Capacitor("C1", "a", "b", 0.0)
+
+    def test_nan_value_rejected(self):
+        with pytest.raises(ComponentError):
+            Inductor("L1", "a", "b", float("nan"))
+
+    def test_infinite_value_rejected(self):
+        with pytest.raises(ComponentError):
+            Resistor("R1", "a", "b", float("inf"))
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ComponentError):
+            Resistor("R1", "a", "a", 100.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ComponentError):
+            Resistor("", "a", "b", 100.0)
+
+    def test_name_with_space_rejected(self):
+        with pytest.raises(ComponentError):
+            Resistor("R 1", "a", "b", 100.0)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ComponentError):
+            Resistor("R1", "", "b", 100.0)
+
+
+class TestSources:
+    def test_voltage_source_defaults(self):
+        v = VoltageSource("V1", "in", "0", 5.0)
+        assert v.value == 5.0
+        assert v.ac_magnitude == 0.0
+        assert v.ac_phase_deg == 0.0
+
+    def test_voltage_source_ac(self):
+        v = VoltageSource("V1", "in", "0", 0.0, 1.0, 90.0)
+        assert v.ac_magnitude == 1.0
+        assert v.ac_phase_deg == 90.0
+
+    def test_source_allows_zero_and_negative_dc(self):
+        assert VoltageSource("V1", "a", "0", 0.0).value == 0.0
+        assert VoltageSource("V2", "a", "0", -5.0).value == -5.0
+
+    def test_negative_ac_magnitude_rejected(self):
+        with pytest.raises(ComponentError):
+            VoltageSource("V1", "a", "0", 0.0, -1.0)
+
+    def test_current_source(self):
+        i = CurrentSource("I1", "a", "0", 1e-3, ac_magnitude=1e-3)
+        assert i.value == 1e-3
+        assert i.ac_magnitude == 1e-3
+
+
+class TestControlledSources:
+    def test_vcvs(self):
+        e = VCVS("E1", "o", "0", "a", "b", 10.0)
+        assert e.nodes == ("o", "0", "a", "b")
+        assert e.gain == 10.0
+
+    def test_vcvs_shorted_output_rejected(self):
+        with pytest.raises(ComponentError):
+            VCVS("E1", "o", "o", "a", "b", 10.0)
+
+    def test_vccs(self):
+        g = VCCS("G1", "o", "0", "a", "b", 1e-3)
+        assert g.transconductance == 1e-3
+
+    def test_ccvs_references_source_name(self):
+        h = CCVS("H1", "o", "0", "VSENSE", 50.0)
+        assert h.ctrl_source == "VSENSE"
+        assert h.nodes == ("o", "0")
+
+    def test_cccs(self):
+        f = CCCS("F1", "o", "0", "VSENSE", 2.0)
+        assert f.gain == 2.0
+
+
+class TestOpAmps:
+    def test_ideal_opamp_nodes(self):
+        op = IdealOpAmp("OA1", "p", "n", "o")
+        assert op.nodes == ("p", "n", "o")
+
+    def test_ideal_opamp_equal_inputs_rejected(self):
+        with pytest.raises(ComponentError):
+            IdealOpAmp("OA1", "x", "x", "o")
+
+    def test_macro_defaults(self):
+        op = OpAmpMacro("OA1", "p", "n", "o")
+        assert op.a0 == pytest.approx(2e5)
+        assert op.pole_hz == pytest.approx(5.0)
+        assert op.gbw_hz == pytest.approx(1e6)
+        assert op.rin == pytest.approx(2e6)
+        assert op.rout == pytest.approx(75.0)
+
+    def test_macro_custom_params(self):
+        op = OpAmpMacro("OA1", "p", "n", "o",
+                        params={"a0": 1e5, "pole_hz": 10.0})
+        assert op.a0 == 1e5
+        assert op.gbw_hz == pytest.approx(1e6)
+        # Unspecified params keep defaults.
+        assert op.rout == pytest.approx(75.0)
+
+    def test_macro_unknown_param_rejected(self):
+        with pytest.raises(ComponentError):
+            OpAmpMacro("OA1", "p", "n", "o", params={"slew": 1.0})
+
+    def test_macro_nonpositive_param_rejected(self):
+        with pytest.raises(ComponentError):
+            OpAmpMacro("OA1", "p", "n", "o", params={"a0": -1.0})
+
+    def test_with_param(self):
+        op = OpAmpMacro("OA1", "p", "n", "o")
+        faulty = op.with_param("a0", 1e5)
+        assert faulty.a0 == 1e5
+        assert op.a0 == pytest.approx(2e5)
+
+    def test_with_param_unknown_rejected(self):
+        op = OpAmpMacro("OA1", "p", "n", "o")
+        with pytest.raises(ComponentError):
+            op.with_param("nope", 1.0)

@@ -1,0 +1,159 @@
+"""Tests for DC operating point and transient analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.errors import SimulationError, SingularCircuitError
+from repro.sim import (
+    DCAnalysis,
+    MultitoneWaveform,
+    PulseWaveform,
+    SineWaveform,
+    StepWaveform,
+    TransientAnalysis,
+)
+
+
+def rc_circuit(r=1000.0, c=1e-6, vdc=1.0):
+    ckt = Circuit("rc")
+    ckt.add_voltage_source("V1", "in", "0", dc=vdc, ac=1.0)
+    ckt.add_resistor("R1", "in", "out", r)
+    ckt.add_capacitor("C1", "out", "0", c)
+    return ckt
+
+
+class TestDC:
+    def test_divider_operating_point(self):
+        ckt = Circuit("div")
+        ckt.add_voltage_source("V1", "in", "0", dc=12.0)
+        ckt.add_resistor("R1", "in", "out", 8000.0)
+        ckt.add_resistor("R2", "out", "0", 4000.0)
+        op = DCAnalysis(ckt).operating_point()
+        assert op.voltage("out") == pytest.approx(4.0)
+        assert op.voltage("0") == 0.0
+        assert op.current("V1") == pytest.approx(-1e-3)
+
+    def test_capacitor_is_dc_open(self):
+        op = DCAnalysis(rc_circuit()).operating_point()
+        # No DC current through C -> no drop across R.
+        assert op.voltage("out") == pytest.approx(1.0)
+
+    def test_summary_text(self):
+        op = DCAnalysis(rc_circuit()).operating_point()
+        text = op.summary()
+        assert "V(out)" in text and "I(V1)" in text
+
+    def test_singular_hint(self):
+        ckt = Circuit("bad")
+        ckt.add_voltage_source("V1", "in", "0", dc=1.0)
+        ckt.add_capacitor("C1", "in", "mid", 1e-9)
+        ckt.add_capacitor("C2", "mid", "0", 1e-9)
+        with pytest.raises(SingularCircuitError, match="gmin"):
+            DCAnalysis(ckt).operating_point()
+
+
+class TestWaveforms:
+    def test_step(self):
+        w = StepWaveform(initial=0.0, final=5.0, t_delay=1e-3)
+        assert w.value(0.0) == 0.0
+        assert w.value(2e-3) == 5.0
+        out = w.values(np.array([0.0, 0.5e-3, 1.5e-3]))
+        assert list(out) == [0.0, 0.0, 5.0]
+
+    def test_sine(self):
+        w = SineWaveform(amplitude=2.0, freq_hz=1000.0)
+        quarter = 1.0 / 4000.0
+        assert w.value(quarter) == pytest.approx(2.0)
+        assert w.values(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_multitone_sums(self):
+        w = MultitoneWaveform((1000.0, 3000.0), amplitudes=(1.0, 0.5))
+        t = 1.0 / 12000.0
+        expected = np.sin(2 * np.pi * 1000 * t) + \
+            0.5 * np.sin(2 * np.pi * 3000 * t)
+        assert w.value(t) == pytest.approx(expected)
+
+    def test_multitone_length_mismatch(self):
+        w = MultitoneWaveform((1.0, 2.0), amplitudes=(1.0,))
+        with pytest.raises(SimulationError):
+            w.value(0.0)
+
+    def test_pulse_phases(self):
+        w = PulseWaveform(v1=0.0, v2=1.0, t_delay=0.0, t_rise=1e-6,
+                          t_fall=1e-6, t_width=1e-3, period=2e-3)
+        assert w.value(0.5e-6) == pytest.approx(0.5)   # mid-rise
+        assert w.value(0.5e-3) == 1.0                   # plateau
+        assert w.value(1.5e-3) == 0.0                   # off
+        assert w.value(2.5e-3) == 1.0                   # next period
+
+
+class TestTransient:
+    def test_rc_step_matches_analytic(self):
+        tau = 1e-3  # R=1k, C=1u
+        circuit = rc_circuit(vdc=0.0)
+        analysis = TransientAnalysis(circuit)
+        result = analysis.run(
+            t_stop=5 * tau, dt=tau / 200.0,
+            waveforms={"V1": StepWaveform(0.0, 1.0, 0.0)},
+            initial="zero")
+        expected = 1.0 - np.exp(-result.times / tau)
+        assert np.allclose(result.voltage("out"), expected, atol=2e-3)
+
+    def test_rc_sine_steady_state_matches_ac(self):
+        circuit = rc_circuit()
+        f0 = 1.0 / (2 * np.pi * 1e-3)  # pole frequency
+        analysis = TransientAnalysis(circuit)
+        result = analysis.run(
+            t_stop=20.0 / f0, dt=1.0 / (f0 * 400.0),
+            waveforms={"V1": SineWaveform(amplitude=1.0, freq_hz=f0)})
+        # Steady-state peak amplitude should be 1/sqrt(2).
+        steady = result.voltage("out")[result.times > 10.0 / f0]
+        assert steady.max() == pytest.approx(1.0 / np.sqrt(2.0), rel=2e-2)
+
+    def test_dc_initial_condition(self):
+        circuit = rc_circuit(vdc=1.0)
+        result = TransientAnalysis(circuit).run(t_stop=1e-3, dt=1e-5)
+        # Already at equilibrium: output stays at 1 V.
+        assert np.allclose(result.voltage("out"), 1.0, atol=1e-9)
+
+    def test_final_value_and_settling(self):
+        tau = 1e-3
+        circuit = rc_circuit(vdc=0.0)
+        result = TransientAnalysis(circuit).run(
+            t_stop=10 * tau, dt=tau / 100.0,
+            waveforms={"V1": StepWaveform(0.0, 1.0, 0.0)},
+            initial="zero")
+        assert result.final_value("out") == pytest.approx(1.0, abs=1e-4)
+        settle = result.settling_time("out", tolerance=0.02)
+        # ln(1/0.02) ~ 3.9 time constants.
+        assert settle == pytest.approx(3.9 * tau, rel=0.15)
+
+    def test_unknown_node_raises(self):
+        result = TransientAnalysis(rc_circuit()).run(t_stop=1e-4, dt=1e-6)
+        with pytest.raises(SimulationError, match="no transient data"):
+            result.voltage("zz")
+
+    def test_bad_time_step_rejected(self):
+        with pytest.raises(SimulationError):
+            TransientAnalysis(rc_circuit()).run(t_stop=1e-3, dt=0.0)
+
+    def test_waveform_on_missing_source_rejected(self):
+        analysis = TransientAnalysis(rc_circuit())
+        with pytest.raises(SimulationError, match="non-source"):
+            analysis.run(t_stop=1e-4, dt=1e-6,
+                         waveforms={"R1": StepWaveform()})
+
+    def test_bad_initial_mode(self):
+        with pytest.raises(SimulationError, match="initial"):
+            TransientAnalysis(rc_circuit()).run(t_stop=1e-4, dt=1e-6,
+                                                initial="warm")
+
+    def test_opamp_circuit_transient(self, biquad_info):
+        """The biquad settles to DC gain 1 after an input step."""
+        analysis = TransientAnalysis(biquad_info.circuit)
+        result = analysis.run(
+            t_stop=12e-3, dt=2e-6,
+            waveforms={"VIN": StepWaveform(0.0, 1.0, 0.0)},
+            initial="zero")
+        assert result.final_value("lp") == pytest.approx(1.0, abs=0.02)

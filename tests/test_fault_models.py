@@ -1,0 +1,184 @@
+"""Tests for fault models and the fault universe."""
+
+import pytest
+
+from repro.circuits import tow_thomas_biquad
+from repro.errors import FaultError
+from repro.faults import (
+    CatastrophicFault,
+    OpAmpParamFault,
+    ParametricFault,
+    catastrophic_universe,
+    paper_deviation_grid,
+    parametric_universe,
+)
+
+
+@pytest.fixture(scope="module")
+def macro_info():
+    return tow_thomas_biquad(ideal_opamps=False)
+
+
+class TestPaperGrid:
+    def test_default_grid(self):
+        grid = paper_deviation_grid()
+        assert grid == (-0.4, -0.3, -0.2, -0.1, 0.1, 0.2, 0.3, 0.4)
+
+    def test_excludes_zero(self):
+        assert 0.0 not in paper_deviation_grid()
+
+    def test_symmetric(self):
+        grid = paper_deviation_grid(0.3, 0.15)
+        assert grid == (-0.3, -0.15, 0.15, 0.3)
+
+    def test_bad_step(self):
+        with pytest.raises(FaultError):
+            paper_deviation_grid(0.4, 0.0)
+        with pytest.raises(FaultError):
+            paper_deviation_grid(0.4, 0.3)  # not a multiple
+
+
+class TestParametricFault:
+    def test_label(self):
+        assert ParametricFault("R3", 0.2).label == "R3+20%"
+        assert ParametricFault("C1", -0.4).label == "C1-40%"
+
+    def test_apply_scales_value(self, macro_info):
+        fault = ParametricFault("R3", 0.25)
+        faulty = fault.apply(macro_info.circuit)
+        assert faulty["R3"].value == pytest.approx(
+            macro_info.circuit["R3"].value * 1.25)
+        # Original untouched.
+        assert macro_info.circuit["R3"].value == pytest.approx(1e4)
+
+    def test_apply_renames_circuit(self, macro_info):
+        faulty = ParametricFault("R3", 0.25).apply(macro_info.circuit)
+        assert "R3+25%" in faulty.name
+
+    def test_full_negative_deviation_rejected(self):
+        with pytest.raises(FaultError):
+            ParametricFault("R1", -1.0)
+
+    def test_missing_component_rejected(self, macro_info):
+        with pytest.raises(FaultError, match="not in circuit"):
+            ParametricFault("R99", 0.1).apply(macro_info.circuit)
+
+    def test_opamp_target_rejected(self, macro_info):
+        with pytest.raises(FaultError, match="OpAmpParamFault"):
+            ParametricFault("OA1", 0.1).apply(macro_info.circuit)
+
+
+class TestCatastrophicFault:
+    def test_labels(self):
+        assert CatastrophicFault("R1", "open").label == "R1:open"
+        assert CatastrophicFault("C2", "short").label == "C2:short"
+
+    def test_bad_kind(self):
+        with pytest.raises(FaultError):
+            CatastrophicFault("R1", "fried")
+
+    def test_resistor_open(self, macro_info):
+        faulty = CatastrophicFault("R1", "open").apply(macro_info.circuit)
+        assert faulty["R1"].value == pytest.approx(1e12)
+
+    def test_capacitor_short_is_huge(self, macro_info):
+        faulty = CatastrophicFault("C1", "short").apply(
+            macro_info.circuit)
+        assert faulty["C1"].value >= 1.0
+
+    def test_opamp_target_rejected(self, macro_info):
+        with pytest.raises(FaultError):
+            CatastrophicFault("OA1", "open").apply(macro_info.circuit)
+
+
+class TestOpAmpParamFault:
+    def test_label(self):
+        fault = OpAmpParamFault("OA1", "a0", -0.3)
+        assert fault.label == "OA1.a0-30%"
+
+    def test_apply(self, macro_info):
+        fault = OpAmpParamFault("OA1", "a0", -0.5)
+        faulty = fault.apply(macro_info.circuit)
+        assert faulty["OA1"].a0 == pytest.approx(1e5)
+
+    def test_unknown_param(self, macro_info):
+        with pytest.raises(FaultError):
+            OpAmpParamFault("OA1", "slew", 0.1).apply(macro_info.circuit)
+
+    def test_passive_target_rejected(self, macro_info):
+        with pytest.raises(FaultError, match="OpAmpMacro"):
+            OpAmpParamFault("R1", "a0", 0.1).apply(macro_info.circuit)
+
+    def test_ideal_opamp_rejected(self):
+        info = tow_thomas_biquad(ideal_opamps=True)
+        with pytest.raises(FaultError, match="ideal_opamps=False"):
+            OpAmpParamFault("OA1", "a0", 0.1).apply(info.circuit)
+
+
+class TestUniverse:
+    def test_paper_universe_size(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=macro_info.faultable)
+        # 7 components x 8 deviations.
+        assert len(universe) == 56
+        assert universe.components == macro_info.faultable
+
+    def test_labels_unique(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=macro_info.faultable)
+        assert len(set(universe.labels)) == len(universe)
+
+    def test_by_component_groups(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=macro_info.faultable)
+        groups = universe.by_component()
+        assert set(groups) == set(macro_info.faultable)
+        assert all(len(faults) == 8 for faults in groups.values())
+
+    def test_faulty_circuits_iterates_all(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=("R1", "C1"),
+                                       deviations=(-0.1, 0.1))
+        pairs = list(universe.faulty_circuits())
+        assert len(pairs) == 4
+        for fault, circuit in pairs:
+            assert fault.label in circuit.name
+
+    def test_restricted_to(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=macro_info.faultable)
+        sub = universe.restricted_to(("R1", "R2"))
+        assert sub.components == ("R1", "R2")
+        assert len(sub) == 16
+
+    def test_restricted_to_missing(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=("R1",))
+        with pytest.raises(FaultError):
+            universe.restricted_to(("R2",))
+
+    def test_zero_deviation_rejected(self, macro_info):
+        with pytest.raises(FaultError, match="golden"):
+            parametric_universe(macro_info.circuit,
+                                components=("R1",),
+                                deviations=(0.0, 0.1))
+
+    def test_include_opamp_params(self, macro_info):
+        universe = parametric_universe(macro_info.circuit,
+                                       components=("R1",),
+                                       deviations=(-0.2, 0.2),
+                                       include_opamp_params=True)
+        # R1 (2) + 3 op-amps x 4 params x 2 deviations = 26.
+        assert len(universe) == 26
+        assert any(label.startswith("OA1.a0") for label in universe.labels)
+
+    def test_active_component_without_flag_rejected(self, macro_info):
+        with pytest.raises(FaultError, match="two-terminal"):
+            parametric_universe(macro_info.circuit, components=("OA1",))
+
+    def test_catastrophic_universe(self, macro_info):
+        universe = catastrophic_universe(macro_info.circuit,
+                                         components=("R1", "C1"))
+        assert len(universe) == 4
+        assert set(universe.labels) == {"R1:open", "R1:short",
+                                        "C1:open", "C1:short"}

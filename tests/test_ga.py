@@ -1,0 +1,337 @@
+"""Tests for the GA: encoding, operators, fitness, engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GAError
+from repro.ga import (
+    CombinedFitness,
+    FrequencySpace,
+    GAConfig,
+    GeneticAlgorithm,
+    MarginFitness,
+    PaperFitness,
+    blend_crossover,
+    gaussian_mutation,
+    get_crossover,
+    get_selection,
+    one_point_crossover,
+    rank_select,
+    reset_mutation,
+    roulette_wheel_select,
+    tournament_select,
+    uniform_crossover,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return FrequencySpace(10.0, 1e6, 2)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = GAConfig.paper()
+        assert config.population_size == 128
+        assert config.generations == 15
+        assert config.crossover_rate == 0.5
+        assert config.mutation_rate == 0.4
+        assert config.selection == "roulette"
+
+    def test_quick_is_smaller(self):
+        quick = GAConfig.quick()
+        assert quick.population_size < 128
+        assert quick.generations < 15
+
+    def test_validation(self):
+        with pytest.raises(GAError):
+            GAConfig(population_size=1)
+        with pytest.raises(GAError):
+            GAConfig(generations=0)
+        with pytest.raises(GAError):
+            GAConfig(crossover_rate=1.5)
+        with pytest.raises(GAError):
+            GAConfig(selection="lottery")
+        with pytest.raises(GAError):
+            GAConfig(elitism=-1)
+        with pytest.raises(GAError):
+            GAConfig(elitism=128)
+        with pytest.raises(GAError):
+            GAConfig(mutation_sigma_decades=0.0)
+        with pytest.raises(GAError):
+            GAConfig(crossover="cut")
+        with pytest.raises(GAError):
+            GAConfig(tournament_size=1)
+        with pytest.raises(GAError):
+            GAConfig(early_stop_fitness=-1.0)
+
+
+class TestEncoding:
+    def test_bounds_validation(self):
+        with pytest.raises(GAError):
+            FrequencySpace(-1.0, 100.0)
+        with pytest.raises(GAError):
+            FrequencySpace(100.0, 10.0)
+        with pytest.raises(GAError):
+            FrequencySpace(1.0, 100.0, num_frequencies=0)
+
+    def test_random_genome_in_bounds(self, space, rng):
+        genome = space.random_genome(rng)
+        low, high = space.log_bounds
+        assert np.all((genome >= low) & (genome <= high))
+
+    def test_random_population_shape(self, space, rng):
+        population = space.random_population(rng, 20)
+        assert population.shape == (20, 2)
+
+    def test_decode_sorted(self, space):
+        freqs = space.decode(np.array([5.0, 2.0]))
+        assert freqs[0] < freqs[1]
+        assert freqs == (pytest.approx(100.0), pytest.approx(1e5))
+
+    def test_decode_nudges_duplicates(self, space):
+        freqs = space.decode(np.array([3.0, 3.0]))
+        assert freqs[0] != freqs[1]
+        assert freqs[1] / freqs[0] > 1.0
+
+    def test_decode_clips(self, space):
+        freqs = space.decode(np.array([-10.0, 100.0]))
+        assert freqs[0] >= space.f_min_hz
+        assert freqs[1] <= space.f_max_hz * (1 + 1e-9)
+
+    def test_encode_roundtrip(self, space):
+        freqs = (123.0, 45678.0)
+        assert space.decode(space.encode(freqs)) == (
+            pytest.approx(123.0), pytest.approx(45678.0))
+
+    def test_contains(self, space):
+        assert space.contains((100.0, 1000.0))
+        assert not space.contains((1.0, 1000.0))
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=2))
+    @settings(max_examples=100)
+    def test_decode_always_valid(self, genes):
+        """Any real genome decodes to sorted, distinct, in-band
+        frequencies."""
+        space = FrequencySpace(10.0, 1e6, 2)
+        freqs = space.decode(np.array(genes))
+        assert len(freqs) == 2
+        assert freqs[0] < freqs[1]
+        assert freqs[0] >= space.f_min_hz * (1 - 1e-9)
+        assert freqs[1] <= space.f_max_hz * (1 + 1e-9)
+
+
+class TestSelection:
+    def test_roulette_prefers_fit(self, rng):
+        fitness = np.array([0.0, 0.0, 1.0, 0.0])
+        picks = roulette_wheel_select(fitness, 200, rng)
+        assert np.all(picks == 2)
+
+    def test_roulette_proportional(self, rng):
+        fitness = np.array([1.0, 3.0])
+        picks = roulette_wheel_select(fitness, 4000, rng)
+        fraction = np.mean(picks == 1)
+        assert fraction == pytest.approx(0.75, abs=0.05)
+
+    def test_roulette_all_zero_uniform(self, rng):
+        fitness = np.zeros(4)
+        picks = roulette_wheel_select(fitness, 4000, rng)
+        counts = np.bincount(picks, minlength=4) / 4000.0
+        assert np.all(np.abs(counts - 0.25) < 0.05)
+
+    def test_roulette_rejects_negative(self, rng):
+        with pytest.raises(GAError):
+            roulette_wheel_select(np.array([-1.0, 1.0]), 5, rng)
+
+    def test_roulette_rejects_empty(self, rng):
+        with pytest.raises(GAError):
+            roulette_wheel_select(np.array([]), 5, rng)
+
+    def test_tournament_prefers_fit(self, rng):
+        fitness = np.array([0.1, 0.9, 0.2, 0.5])
+        picks = tournament_select(fitness, 500, rng, tournament_size=3)
+        assert np.mean(picks == 1) > 0.5
+
+    def test_rank_insensitive_to_scale(self, rng):
+        small = np.array([1e-9, 2e-9, 3e-9])
+        picks = rank_select(small, 3000, rng)
+        counts = np.bincount(picks, minlength=3) / 3000.0
+        # Linear ranks 1:2:3 -> probabilities 1/6, 2/6, 3/6.
+        assert counts[2] == pytest.approx(0.5, abs=0.05)
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=20)
+    def test_selection_indices_in_range(self, count):
+        rng = np.random.default_rng(0)
+        fitness = np.abs(np.sin(np.arange(7.0))) + 0.01
+        for name in ("roulette", "tournament", "rank"):
+            picks = get_selection(name)(fitness, count, rng)
+            assert picks.shape == (count,)
+            assert np.all((picks >= 0) & (picks < 7))
+
+
+class TestCrossoverMutation:
+    def test_blend_within_extended_interval(self, rng):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 6.0])
+        for _ in range(50):
+            child = blend_crossover(a, b, rng, alpha=0.5)
+            assert np.all(child >= np.array([0.0, 0.0]) - 1e-12)
+            assert np.all(child <= np.array([4.0, 8.0]) + 1e-12)
+
+    def test_one_point_mixes_parents(self, rng):
+        a = np.array([1.0, 1.0, 1.0])
+        b = np.array([2.0, 2.0, 2.0])
+        child = one_point_crossover(a, b, rng)
+        assert set(np.unique(child)) <= {1.0, 2.0}
+        assert child[0] == 1.0  # head always from parent a
+
+    def test_one_point_single_gene(self, rng):
+        a = np.array([1.0])
+        assert one_point_crossover(a, np.array([2.0]), rng)[0] == 1.0
+
+    def test_uniform_genes_from_parents(self, rng):
+        a = np.zeros(8)
+        b = np.ones(8)
+        child = uniform_crossover(a, b, rng)
+        assert set(np.unique(child)) <= {0.0, 1.0}
+
+    def test_gaussian_mutation_clips(self, space, rng):
+        genome = np.array([1.0, 6.0])  # at the log bounds
+        for _ in range(20):
+            mutated = gaussian_mutation(genome, space, rng,
+                                        sigma_decades=5.0)
+            low, high = space.log_bounds
+            assert np.all((mutated >= low) & (mutated <= high))
+
+    def test_reset_mutation_in_bounds(self, space, rng):
+        genome = np.array([3.0, 4.0])
+        mutated = reset_mutation(genome, space, rng, per_gene_rate=1.0)
+        low, high = space.log_bounds
+        assert np.all((mutated >= low) & (mutated <= high))
+
+    def test_registries(self):
+        assert get_crossover("blend") is blend_crossover
+        with pytest.raises(GAError):
+            get_crossover("nope")
+        with pytest.raises(GAError):
+            get_selection("nope")
+
+
+class TestFitness:
+    def test_paper_fitness_range(self, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        for freqs in ((100.0, 1000.0), (500.0, 50000.0)):
+            value = fitness(freqs)
+            assert 0.0 < value <= 1.0
+
+    def test_paper_fitness_formula(self, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        freqs = (1000.0, 3000.0)
+        metrics = fitness.metrics_for(freqs)
+        expected = 1.0 / (1.0 + metrics.intersections +
+                          metrics.common_pathways)
+        assert fitness(freqs) == pytest.approx(expected)
+
+    def test_cache_hits(self, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        fitness((100.0, 1000.0))
+        evaluations = fitness.evaluations
+        fitness((100.0, 1000.0))
+        assert fitness.evaluations == evaluations
+        fitness.cache_clear()
+        fitness((100.0, 1000.0))
+        assert fitness.evaluations == evaluations + 1
+
+    def test_margin_fitness_bounded(self, biquad_surface):
+        fitness = MarginFitness(biquad_surface, margin_scale=0.1)
+        value = fitness((500.0, 5000.0))
+        assert 0.0 <= value < 1.0
+
+    def test_combined_dominates_paper_on_clean_config(self,
+                                                      biquad_surface):
+        paper = PaperFitness(biquad_surface)
+        combined = CombinedFitness(biquad_surface)
+        freqs = (500.0, 1500.0)
+        if paper(freqs) == 1.0:
+            assert combined(freqs) > 1.0
+
+    def test_combined_margin_weight_validation(self, biquad_surface):
+        with pytest.raises(GAError):
+            CombinedFitness(biquad_surface, margin_weight=1.5)
+
+    def test_overlap_weight_validation(self, biquad_surface):
+        with pytest.raises(GAError):
+            PaperFitness(biquad_surface, overlap_weight=-1.0)
+
+    def test_component_subset(self, biquad_surface):
+        fitness = PaperFitness(biquad_surface,
+                               components=("R1", "R2", "C1"))
+        trajectories = fitness.trajectories_for((500.0, 1500.0))
+        assert trajectories.components == ("R1", "R2", "C1")
+
+
+class TestEngine:
+    def test_deterministic_with_seed(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        config = GAConfig.quick(seeded_generations=3, population_size=12)
+        result_a = GeneticAlgorithm(space, fitness, config).run(seed=5)
+        fitness.cache_clear()
+        result_b = GeneticAlgorithm(space, fitness, config).run(seed=5)
+        assert result_a.best_freqs_hz == result_b.best_freqs_hz
+        assert result_a.best_fitness == result_b.best_fitness
+
+    def test_history_and_monotone_best(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        config = GAConfig(population_size=16, generations=6, elitism=1)
+        result = GeneticAlgorithm(space, fitness, config).run(seed=3)
+        assert len(result.history) == 6
+        best = result.best_fitness_curve()
+        assert np.all(np.diff(best) >= -1e-12)  # elitism: non-decreasing
+        assert result.best_fitness == pytest.approx(best.max())
+
+    def test_early_stop(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        config = GAConfig(population_size=32, generations=15,
+                          early_stop_fitness=1.0)
+        result = GeneticAlgorithm(space, fitness, config).run(seed=2)
+        if result.best_fitness >= 1.0:
+            assert result.generations_run <= 15
+
+    def test_initial_population_seeding(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        config = GAConfig(population_size=8, generations=1, elitism=1)
+        seeded = np.array([space.encode((500.0, 1500.0))])
+        result = GeneticAlgorithm(space, fitness, config).run(
+            seed=0, initial_population=seeded)
+        # With one generation and elitism the seeded vector survives if
+        # it is the best; at minimum the run must complete.
+        assert result.generations_run == 1
+
+    def test_bad_initial_population_shape(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        engine = GeneticAlgorithm(space, fitness, GAConfig.quick())
+        with pytest.raises(GAError):
+            engine.run(seed=0, initial_population=np.zeros((2, 5)))
+
+    def test_bad_fitness_rejected(self, space):
+        config = GAConfig(population_size=4, generations=1)
+        engine = GeneticAlgorithm(space, lambda freqs: float("nan"),
+                                  config)
+        with pytest.raises(GAError):
+            engine.run(seed=0)
+
+    def test_summary_text(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        config = GAConfig.quick(seeded_generations=2, population_size=8)
+        result = GeneticAlgorithm(space, fitness, config).run(seed=1)
+        text = result.summary()
+        assert "best fitness" in text
+        assert "generations" in text
+
+    def test_converged_flag(self, space, biquad_surface):
+        fitness = PaperFitness(biquad_surface)
+        config = GAConfig(population_size=32, generations=8)
+        result = GeneticAlgorithm(space, fitness, config).run(seed=4)
+        assert result.converged == (result.best_fitness >= 1.0)

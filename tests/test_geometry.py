@@ -1,0 +1,237 @@
+"""Tests for trajectory geometry primitives, incl. property-based ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrajectoryError
+from repro.trajectory import (
+    count_collinear_overlaps,
+    count_segment_crossings,
+    crossing_points,
+    point_to_segments_distance,
+    polyline_arc_length,
+    polyline_min_distance,
+    project_point_onto_segments,
+    segment_crossing_matrix,
+)
+
+
+def seg(*pairs):
+    """Build (starts, ends) arrays from ((x0,y0),(x1,y1)) tuples."""
+    starts = np.array([p[0] for p in pairs], dtype=float)
+    ends = np.array([p[1] for p in pairs], dtype=float)
+    return starts, ends
+
+
+class TestCrossings:
+    def test_x_cross(self):
+        a = seg(((0, 0), (1, 1)))
+        b = seg(((0, 1), (1, 0)))
+        assert count_segment_crossings(*a, *b) == 1
+
+    def test_parallel_no_cross(self):
+        a = seg(((0, 0), (1, 0)))
+        b = seg(((0, 1), (1, 1)))
+        assert count_segment_crossings(*a, *b) == 0
+
+    def test_shared_endpoint_not_a_crossing(self):
+        """Trajectories emanating from the origin touch there; the
+        strict test must not count that contact."""
+        a = seg(((0, 0), (1, 1)))
+        b = seg(((0, 0), (1, -1)))
+        assert count_segment_crossings(*a, *b) == 0
+
+    def test_t_touch_not_a_crossing(self):
+        # b's endpoint lies on a's interior: not a proper crossing.
+        a = seg(((0, 0), (2, 0)))
+        b = seg(((1, 0), (1, 1)))
+        assert count_segment_crossings(*a, *b) == 0
+
+    def test_collinear_overlap_not_a_crossing(self):
+        a = seg(((0, 0), (2, 0)))
+        b = seg(((1, 0), (3, 0)))
+        assert count_segment_crossings(*a, *b) == 0
+
+    def test_multiple_crossings_counted(self):
+        # A zig-zag crossing a horizontal line twice.
+        a = seg(((0, 0), (2, 0)))
+        b = seg(((0.2, -1), (0.8, 1)), ((0.8, 1), (1.4, -1)))
+        assert count_segment_crossings(*a, *b) == 2
+
+    def test_matrix_shape_and_symmetry(self):
+        a = seg(((0, 0), (1, 1)), ((1, 1), (2, 0)))
+        b = seg(((0, 1), (1, 0)), ((0, 0.5), (2, 0.5)))
+        matrix = segment_crossing_matrix(*a, *b)
+        assert matrix.shape == (2, 2)
+        transposed = segment_crossing_matrix(*b, *a)
+        assert np.array_equal(matrix, transposed.T)
+
+    def test_crossing_points_location(self):
+        a = seg(((0, 0), (2, 2)))
+        b = seg(((0, 2), (2, 0)))
+        points = crossing_points(*a, *b)
+        assert points.shape == (1, 2)
+        assert np.allclose(points[0], [1.0, 1.0])
+
+    def test_no_crossing_points_empty(self):
+        a = seg(((0, 0), (1, 0)))
+        b = seg(((0, 1), (1, 1)))
+        assert crossing_points(*a, *b).shape == (0, 2)
+
+    def test_dimension_checked(self):
+        with pytest.raises(TrajectoryError):
+            count_segment_crossings(np.zeros((1, 3)), np.ones((1, 3)),
+                                    np.zeros((1, 3)), np.ones((1, 3)))
+
+    @given(st.floats(-5, 5), st.floats(-5, 5), st.floats(0.1, 5))
+    @settings(max_examples=50)
+    def test_translation_invariance(self, dx, dy, scale):
+        """Crossing count is invariant under translation and scaling."""
+        a = seg(((0, 0), (1, 1)))
+        b = seg(((0, 1), (1, 0)))
+        offset = np.array([dx, dy])
+        a2 = (a[0] * scale + offset, a[1] * scale + offset)
+        b2 = (b[0] * scale + offset, b[1] * scale + offset)
+        assert count_segment_crossings(*a2, *b2) == 1
+
+
+class TestOverlaps:
+    def test_partial_overlap(self):
+        a = seg(((0, 0), (2, 0)))
+        b = seg(((1, 0), (3, 0)))
+        assert count_collinear_overlaps(*a, *b) == 1
+
+    def test_identical_segments(self):
+        a = seg(((0, 0), (1, 1)))
+        assert count_collinear_overlaps(*a, *a) == 1
+
+    def test_collinear_but_disjoint(self):
+        a = seg(((0, 0), (1, 0)))
+        b = seg(((2, 0), (3, 0)))
+        assert count_collinear_overlaps(*a, *b) == 0
+
+    def test_collinear_touching_at_point(self):
+        a = seg(((0, 0), (1, 0)))
+        b = seg(((1, 0), (2, 0)))
+        assert count_collinear_overlaps(*a, *b) == 0
+
+    def test_crossing_segments_not_overlap(self):
+        a = seg(((0, 0), (1, 1)))
+        b = seg(((0, 1), (1, 0)))
+        assert count_collinear_overlaps(*a, *b) == 0
+
+
+class TestProjection:
+    def test_interior_foot(self):
+        starts = np.array([[0.0, 0.0]])
+        ends = np.array([[2.0, 0.0]])
+        distances, t, interior = project_point_onto_segments(
+            np.array([1.0, 1.0]), starts, ends)
+        assert distances[0] == pytest.approx(1.0)
+        assert t[0] == pytest.approx(0.5)
+        assert interior[0]
+
+    def test_beyond_end_clamps(self):
+        starts = np.array([[0.0, 0.0]])
+        ends = np.array([[1.0, 0.0]])
+        distances, t, interior = project_point_onto_segments(
+            np.array([3.0, 0.0]), starts, ends)
+        assert distances[0] == pytest.approx(2.0)
+        assert t[0] == pytest.approx(1.0)
+        assert not interior[0]
+
+    def test_before_start_clamps(self):
+        starts = np.array([[0.0, 0.0]])
+        ends = np.array([[1.0, 0.0]])
+        distances, t, interior = project_point_onto_segments(
+            np.array([-2.0, 0.0]), starts, ends)
+        assert distances[0] == pytest.approx(2.0)
+        assert t[0] == pytest.approx(0.0)
+        assert not interior[0]
+
+    def test_degenerate_zero_length_segment(self):
+        starts = np.array([[1.0, 1.0]])
+        ends = np.array([[1.0, 1.0]])
+        distances, t, interior = project_point_onto_segments(
+            np.array([4.0, 5.0]), starts, ends)
+        assert distances[0] == pytest.approx(5.0)
+        assert not interior[0]
+
+    def test_works_in_3d(self):
+        starts = np.array([[0.0, 0.0, 0.0]])
+        ends = np.array([[0.0, 0.0, 2.0]])
+        distances, t, interior = project_point_onto_segments(
+            np.array([1.0, 0.0, 1.0]), starts, ends)
+        assert distances[0] == pytest.approx(1.0)
+        assert interior[0]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(TrajectoryError):
+            project_point_onto_segments(np.array([1.0, 2.0, 3.0]),
+                                        np.zeros((2, 2)),
+                                        np.ones((2, 2)))
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+           st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+           st.lists(st.floats(-10, 10), min_size=2, max_size=2))
+    @settings(max_examples=80)
+    def test_distance_bounded_by_endpoints(self, p, a, b):
+        """Distance to a segment never exceeds the distance to either
+        endpoint (property of the closest-point projection)."""
+        point = np.array(p)
+        starts = np.array([a])
+        ends = np.array([b])
+        distance = point_to_segments_distance(point, starts, ends)[0]
+        to_start = np.linalg.norm(point - starts[0])
+        to_end = np.linalg.norm(point - ends[0])
+        assert distance <= min(to_start, to_end) + 1e-9
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+           st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=80)
+    def test_point_on_segment_has_zero_distance(self, a, b, t):
+        starts = np.array([a])
+        ends = np.array([b])
+        point = starts[0] + t * (ends[0] - starts[0])
+        distance = point_to_segments_distance(point, starts, ends)[0]
+        scale = max(np.linalg.norm(ends[0] - starts[0]), 1.0)
+        assert distance <= 1e-9 * scale + 1e-12
+
+
+class TestPolylines:
+    def test_arc_length(self):
+        poly = np.array([[0, 0], [3, 4], [3, 8]], dtype=float)
+        assert polyline_arc_length(poly) == pytest.approx(9.0)
+
+    def test_arc_length_single_point(self):
+        assert polyline_arc_length(np.array([[1.0, 2.0]])) == 0.0
+
+    def test_min_distance_parallel_lines(self):
+        a = np.array([[0, 0], [1, 0], [2, 0]], dtype=float)
+        b = a + np.array([0.0, 0.5])
+        assert polyline_min_distance(a, b) == pytest.approx(0.5)
+
+    def test_min_distance_crossing_is_small(self):
+        a = np.array([[0, 0], [2, 2]], dtype=float)
+        b = np.array([[0, 2], [2, 0]], dtype=float)
+        # Vertex-to-segment approximation: equals sqrt(2) here (every
+        # vertex sits sqrt(2) away from the other diagonal).
+        assert polyline_min_distance(a, b) == pytest.approx(np.sqrt(2.0))
+
+    def test_skip_masks_shared_origin(self):
+        a = np.array([[-1, -1], [0, 0], [1, 1]], dtype=float)
+        b = np.array([[-1, 1], [0, 0], [1, -1]], dtype=float)
+        touching = polyline_min_distance(a, b)
+        assert touching == pytest.approx(0.0, abs=1e-12)
+        skip_a = np.array([False, True, False])
+        skip_b = np.array([False, True, False])
+        masked = polyline_min_distance(a, b, skip_a=skip_a,
+                                       skip_b=skip_b)
+        assert masked > 0.0
+
+    def test_too_short_polyline_rejected(self):
+        with pytest.raises(TrajectoryError):
+            polyline_min_distance(np.array([[0.0, 0.0]]),
+                                  np.array([[1, 1], [2, 2]], dtype=float))

@@ -1,0 +1,246 @@
+"""Tests for the benchmark circuit library: every circuit must match its
+textbook characteristics when simulated."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    BENCHMARK_CIRCUITS,
+    get_benchmark,
+    khn_state_variable,
+    lc_ladder_lowpass5,
+    mfb_bandpass,
+    rc_ladder,
+    rc_lowpass,
+    sallen_key_lowpass,
+    tow_thomas_biquad,
+    twin_t_notch,
+    voltage_divider,
+)
+from repro.errors import CircuitError
+from repro.sim import ACAnalysis
+from repro.units import log_frequency_grid
+
+
+def response_of(info, points=401):
+    grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, points)
+    return ACAnalysis(info.circuit).transfer(info.output_node, grid,
+                                             info.input_source)
+
+
+class TestRegistry:
+    def test_all_benchmarks_build_and_validate(self):
+        for name in BENCHMARK_CIRCUITS:
+            info = get_benchmark(name)
+            info.circuit.validate()
+            assert info.faultable, name
+
+    def test_all_benchmarks_simulate(self):
+        for name in BENCHMARK_CIRCUITS:
+            info = get_benchmark(name)
+            response = response_of(info, points=41)
+            assert np.all(np.isfinite(response.magnitude_db)), name
+
+    def test_unknown_name(self):
+        with pytest.raises(CircuitError, match="unknown benchmark"):
+            get_benchmark("nonexistent")
+
+    def test_kwargs_forwarded(self):
+        info = get_benchmark("rc_lowpass", f0_hz=2e3)
+        assert info.f0_hz == 2e3
+
+
+class TestTowThomas:
+    """The paper's CUT: H(s) = (1/(R1 R4 C1 C2)) /
+    (s^2 + s/(R2 C1) + 1/(R3 R4 C1 C2))."""
+
+    def test_seven_faultable_passives(self):
+        info = tow_thomas_biquad()
+        assert len(info.faultable) == 7
+        assert set(info.faultable) == {"R1", "R2", "R3", "R4", "R5",
+                                       "C1", "C2"}
+
+    def test_dc_gain_is_r3_over_r1(self):
+        info = tow_thomas_biquad(gain=2.5)
+        response = response_of(info)
+        assert response.dc_gain_db() == pytest.approx(
+            20.0 * math.log10(2.5), abs=1e-2)
+
+    def test_magnitude_at_f0_equals_q(self):
+        # |H(j w0)| = Q * dc_gain for this biquad.
+        for q in (0.8, 1.0, 3.0):
+            info = tow_thomas_biquad(q=q)
+            response = response_of(info)
+            assert response.magnitude_db_at(info.f0_hz) == pytest.approx(
+                20.0 * math.log10(q), abs=0.02)
+
+    def test_rolloff_40db_per_decade(self):
+        info = tow_thomas_biquad()
+        response = response_of(info)
+        drop = response.magnitude_db_at(1e4) - response.magnitude_db_at(1e5)
+        assert drop == pytest.approx(40.0, abs=0.5)
+
+    def test_normalized_design(self):
+        info = tow_thomas_biquad(normalized=True)
+        assert info.circuit["R1"].value == pytest.approx(1.0)
+        assert info.circuit["C1"].value == pytest.approx(1.0)
+        # w0 = 1 rad/s -> f0 = 1/(2 pi).
+        assert info.f0_hz == pytest.approx(1.0 / (2.0 * math.pi))
+
+    def test_macro_variant_close_to_ideal_in_band(self):
+        ideal = response_of(tow_thomas_biquad(ideal_opamps=True))
+        macro = response_of(tow_thomas_biquad(ideal_opamps=False))
+        # At and below f0 the uA741-class macro tracks the ideal filter.
+        for f in (10.0, 100.0, 1000.0):
+            assert macro.magnitude_db_at(f) == pytest.approx(
+                ideal.magnitude_db_at(f), abs=0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CircuitError):
+            tow_thomas_biquad(q=-1.0)
+        with pytest.raises(CircuitError):
+            tow_thomas_biquad(gain=0.0)
+
+
+class TestSallenKey:
+    def test_butterworth_cutoff(self):
+        info = sallen_key_lowpass(f0_hz=1e3)  # default q = 1/sqrt(2)
+        response = response_of(info)
+        assert response.cutoff_3db() == pytest.approx(1000.0, rel=5e-3)
+
+    def test_unity_dc_gain(self):
+        response = response_of(sallen_key_lowpass())
+        assert response.dc_gain_db() == pytest.approx(0.0, abs=1e-3)
+
+    def test_q_controls_peaking(self):
+        low_q = response_of(sallen_key_lowpass(q=0.5))
+        high_q = response_of(sallen_key_lowpass(q=3.0))
+        assert high_q.peak()[1] > 5.0
+        assert low_q.peak()[1] == pytest.approx(0.0, abs=0.1)
+
+
+class TestKHN:
+    def test_lp_dc_gain_unity(self):
+        response = response_of(khn_state_variable())
+        assert response.dc_gain_db() == pytest.approx(0.0, abs=0.01)
+
+    def test_bandpass_output_peaks_at_f0(self):
+        info = khn_state_variable(q=5.0)
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 801)
+        bp = ACAnalysis(info.circuit).transfer(
+            info.extra_outputs["bandpass"], grid)
+        f_peak, _ = bp.peak()
+        assert f_peak == pytest.approx(info.f0_hz, rel=0.02)
+
+    def test_highpass_asymptote(self):
+        info = khn_state_variable()
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 201)
+        hp = ACAnalysis(info.circuit).transfer(
+            info.extra_outputs["highpass"], grid)
+        # |Hhp| -> 1 well above f0.
+        assert hp.magnitude_db_at(info.f0_hz * 300.0) == pytest.approx(
+            0.0, abs=0.1)
+
+    def test_low_q_rejected(self):
+        with pytest.raises(CircuitError):
+            khn_state_variable(q=0.2)
+
+
+class TestMFB:
+    def test_centre_frequency_and_gain(self):
+        info = mfb_bandpass(f0_hz=1e3, q=2.0, gain=1.0)
+        response = response_of(info, points=801)
+        f_peak, peak_db = response.peak()
+        assert f_peak == pytest.approx(1000.0, rel=0.02)
+        assert peak_db == pytest.approx(0.0, abs=0.05)
+
+    def test_bandwidth_sets_q(self):
+        q = 4.0
+        info = mfb_bandpass(f0_hz=1e3, q=q, gain=1.0)
+        response = response_of(info, points=1601)
+        peak_f, peak_db = response.peak()
+        mags = response.magnitude_db
+        above = response.freqs_hz[mags >= peak_db - 3.0103]
+        bandwidth = above.max() - above.min()
+        assert peak_f / bandwidth == pytest.approx(q, rel=0.1)
+
+    def test_gain_q_constraint(self):
+        with pytest.raises(CircuitError, match="2\\*q\\^2"):
+            mfb_bandpass(q=0.5, gain=1.0)
+
+
+class TestTwinT:
+    def test_notch_frequency(self):
+        info = twin_t_notch(f0_hz=1e3)
+        response = response_of(info, points=1601)
+        f_notch, depth_db = response.notch()
+        assert f_notch == pytest.approx(1000.0, rel=0.02)
+        assert depth_db < -60.0
+
+    def test_passband_flat_far_from_notch(self):
+        info = twin_t_notch(f0_hz=1e3)
+        response = response_of(info)
+        assert response.magnitude_db_at(10.0) == pytest.approx(0.0,
+                                                               abs=0.2)
+        assert response.magnitude_db_at(1e5) == pytest.approx(0.0,
+                                                              abs=0.2)
+
+    def test_unbuffered_variant(self):
+        info = twin_t_notch(buffered=False)
+        response = response_of(info, points=401)
+        _, depth_db = response.notch()
+        assert depth_db < -40.0
+
+
+class TestLadders:
+    def test_lc_butterworth_passband_and_cutoff(self):
+        info = lc_ladder_lowpass5(f0_hz=1e4)
+        response = response_of(info)
+        assert response.dc_gain_db() == pytest.approx(-6.0206, abs=0.01)
+        assert response.cutoff_3db() == pytest.approx(1e4, rel=0.02)
+
+    def test_lc_steep_rolloff(self):
+        info = lc_ladder_lowpass5(f0_hz=1e4)
+        response = response_of(info)
+        drop = (response.magnitude_db_at(2e4) -
+                response.magnitude_db_at(4e4))
+        # 5th order: ~30 dB per octave.
+        assert drop == pytest.approx(30.0, abs=3.0)
+
+    def test_rc_ladder_sections(self):
+        info = rc_ladder(sections=7)
+        assert len(info.circuit.passive_names) == 14
+        assert info.output_node == "n7"
+
+    def test_rc_ladder_needs_sections(self):
+        with pytest.raises(CircuitError):
+            rc_ladder(sections=0)
+
+
+class TestSimple:
+    def test_divider_ratio(self):
+        info = voltage_divider(ratio=0.25)
+        response = response_of(info, points=11)
+        assert np.allclose(response.magnitude, 0.25, rtol=1e-12)
+
+    def test_divider_bad_ratio(self):
+        with pytest.raises(CircuitError):
+            voltage_divider(ratio=1.5)
+
+    def test_rc_lowpass_cutoff(self):
+        response = response_of(rc_lowpass(f0_hz=5e3))
+        assert response.cutoff_3db() == pytest.approx(5e3, rel=1e-3)
+
+    def test_circuit_info_validates_fields(self):
+        from repro.circuits import CircuitInfo
+        info = rc_lowpass()
+        with pytest.raises(CircuitError):
+            CircuitInfo(info.circuit, "NOPE", "out", ("R1",), 1e3, 1.0,
+                        1e6)
+        with pytest.raises(CircuitError):
+            CircuitInfo(info.circuit, "VIN", "zz", ("R1",), 1e3, 1.0, 1e6)
+        with pytest.raises(CircuitError):
+            CircuitInfo(info.circuit, "VIN", "out", ("R9",), 1e3, 1.0,
+                        1e6)

@@ -1,0 +1,157 @@
+"""Tests for the Circuit netlist container."""
+
+import pytest
+
+from repro.circuits import Circuit, Resistor
+from repro.errors import CircuitError
+
+
+def build_divider():
+    ckt = Circuit("divider")
+    ckt.add_voltage_source("VIN", "in", "0", dc=1.0, ac=1.0)
+    ckt.add_resistor("R1", "in", "out", "10k")
+    ckt.add_resistor("R2", "out", "0", "10k")
+    return ckt
+
+
+class TestConstruction:
+    def test_len_iter_contains(self):
+        ckt = build_divider()
+        assert len(ckt) == 3
+        assert "R1" in ckt
+        assert "R9" not in ckt
+        assert [c.name for c in ckt] == ["VIN", "R1", "R2"]
+
+    def test_getitem(self):
+        ckt = build_divider()
+        assert ckt["R1"].value == pytest.approx(10e3)
+
+    def test_getitem_missing(self):
+        with pytest.raises(CircuitError, match="no component named"):
+            build_divider()["R9"]
+
+    def test_duplicate_name_rejected(self):
+        ckt = build_divider()
+        with pytest.raises(CircuitError, match="duplicate"):
+            ckt.add_resistor("R1", "a", "b", 1.0)
+
+    def test_engineering_values_parsed(self):
+        ckt = Circuit("t")
+        ckt.add_capacitor("C1", "a", "0", "15.9n")
+        assert ckt["C1"].value == pytest.approx(15.9e-9)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("")
+
+    def test_nodes_in_first_appearance_order(self):
+        ckt = build_divider()
+        assert ckt.nodes == ("in", "0", "out")
+
+    def test_repr(self):
+        assert "divider" in repr(build_divider())
+
+
+class TestQueries:
+    def test_passive_names(self):
+        ckt = build_divider()
+        assert ckt.passive_names == ("R1", "R2")
+
+    def test_source_names(self):
+        assert build_divider().source_names == ("VIN",)
+
+    def test_ac_source_name(self):
+        assert build_divider().ac_source_name() == "VIN"
+
+    def test_ac_source_none_raises(self):
+        ckt = Circuit("t")
+        ckt.add_voltage_source("V1", "a", "0", dc=1.0)  # no AC
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError, match="no source has an AC"):
+            ckt.ac_source_name()
+
+    def test_ac_source_multiple_raises(self):
+        ckt = build_divider()
+        ckt.add_voltage_source("V2", "out", "0", ac=1.0)
+        with pytest.raises(CircuitError, match="multiple AC sources"):
+            ckt.ac_source_name()
+
+    def test_components_of_type(self):
+        ckt = build_divider()
+        assert len(ckt.components_of_type(Resistor)) == 2
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        build_divider().validate()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError, match="no components"):
+            Circuit("t").validate()
+
+    def test_missing_ground_rejected(self):
+        ckt = Circuit("t")
+        ckt.add_resistor("R1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            ckt.validate()
+
+    def test_floating_island_rejected(self):
+        ckt = build_divider()
+        ckt.add_resistor("RX", "float1", "float2", 1.0)
+        with pytest.raises(CircuitError, match="floating"):
+            ckt.validate()
+
+    def test_ccvs_missing_control_rejected(self):
+        ckt = build_divider()
+        ckt.add_ccvs("H1", "out2", "0", "VMISSING", 1.0)
+        ckt.add_resistor("RL", "out2", "0", 1.0)
+        with pytest.raises(CircuitError, match="missing"):
+            ckt.validate()
+
+    def test_ccvs_control_must_be_vsource(self):
+        ckt = build_divider()
+        ckt.add_cccs("F1", "out", "0", "R1", 1.0)
+        with pytest.raises(CircuitError, match="voltage source"):
+            ckt.validate()
+
+
+class TestMutation:
+    def test_clone_is_independent(self):
+        ckt = build_divider()
+        copy = ckt.clone("copy")
+        assert copy.name == "copy"
+        assert len(copy) == len(ckt)
+        copy.add_resistor("R3", "out", "0", 1.0)
+        assert "R3" not in ckt
+
+    def test_with_value(self):
+        ckt = build_divider()
+        faulty = ckt.with_value("R1", 12e3)
+        assert faulty["R1"].value == pytest.approx(12e3)
+        assert ckt["R1"].value == pytest.approx(10e3)
+
+    def test_with_value_preserves_order(self):
+        ckt = build_divider()
+        faulty = ckt.with_value("R1", 12e3)
+        assert faulty.component_names == ckt.component_names
+
+    def test_with_value_non_twoterminal_rejected(self):
+        ckt = build_divider()
+        ckt.add_ideal_opamp("OA1", "out", "buf", "buf")
+        with pytest.raises(CircuitError, match="no scalar value"):
+            ckt.with_value("OA1", 5.0)
+
+    def test_scaled_value(self):
+        ckt = build_divider()
+        faulty = ckt.scaled_value("R2", 1.25)
+        assert faulty["R2"].value == pytest.approx(12.5e3)
+
+    def test_with_component_unknown_rejected(self):
+        ckt = build_divider()
+        with pytest.raises(CircuitError, match="unknown component"):
+            ckt.with_component(Resistor("RZ", "a", "b", 1.0))
+
+    def test_summary_mentions_all(self):
+        text = build_divider().summary()
+        for name in ("VIN", "R1", "R2"):
+            assert name in text

@@ -1,0 +1,176 @@
+"""Tests for the SPICE-like netlist parser and writer."""
+
+import pytest
+
+from repro.circuits import (
+    Capacitor,
+    IdealOpAmp,
+    OpAmpMacro,
+    Resistor,
+    VoltageSource,
+    circuit_to_netlist,
+    parse_netlist,
+    parse_netlist_file,
+    write_netlist,
+)
+from repro.errors import NetlistParseError
+
+SALLEN_KEY = """\
+* Sallen-Key low-pass
+VIN in 0 DC 0 AC 1
+R1 in a 10k
+R2 a b 10k
+C1 a out 22n
+C2 b 0 10n
+XOP1 b out out ideal_opamp
+.end
+"""
+
+
+class TestParsing:
+    def test_parse_sallen_key(self):
+        ckt = parse_netlist(SALLEN_KEY)
+        assert ckt.name == "Sallen-Key low-pass"
+        assert len(ckt) == 6
+        assert isinstance(ckt["XOP1"], IdealOpAmp)
+        assert ckt["C1"].value == pytest.approx(22e-9)
+
+    def test_source_ac_spec(self):
+        ckt = parse_netlist(SALLEN_KEY)
+        vin = ckt["VIN"]
+        assert isinstance(vin, VoltageSource)
+        assert vin.ac_magnitude == 1.0
+        assert vin.value == 0.0
+
+    def test_bare_dc_value(self):
+        ckt = parse_netlist("V1 a 0 5\nR1 a 0 1k\n")
+        assert ckt["V1"].value == 5.0
+
+    def test_ac_with_phase(self):
+        ckt = parse_netlist("V1 a 0 DC 0 AC 2 45\nR1 a 0 1k\n")
+        assert ckt["V1"].ac_magnitude == 2.0
+        assert ckt["V1"].ac_phase_deg == 45.0
+
+    def test_comment_lines_skipped(self):
+        text = "* title\n* a comment\nV1 a 0 1\nR1 a 0 1k\n"
+        assert len(parse_netlist(text)) == 2
+
+    def test_trailing_comment_stripped(self):
+        ckt = parse_netlist("V1 a 0 1 ; stimulus\nR1 a 0 1k\n")
+        assert ckt["V1"].value == 1.0
+
+    def test_continuation_line(self):
+        text = "V1 a 0 DC 0\n+ AC 1\nR1 a 0 1k\n"
+        assert parse_netlist(text)["V1"].ac_magnitude == 1.0
+
+    def test_title_line_without_star(self):
+        text = "my filter\nV1 a 0 1\nR1 a 0 1k\n"
+        assert parse_netlist(text).name == "my filter"
+
+    def test_analysis_cards_ignored(self):
+        text = "V1 a 0 DC 0 AC 1\nR1 a 0 1k\n.ac dec 10 1 1meg\n.end\n"
+        assert len(parse_netlist(text)) == 2
+
+    def test_controlled_sources(self):
+        text = ("V1 a 0 DC 1\n"
+                "R1 a b 1k\n"
+                "E1 c 0 a b 10\n"
+                "RC c 0 1k\n"
+                "G1 d 0 a b 1m\n"
+                "RD d 0 1k\n"
+                "H1 e 0 V1 100\n"
+                "RE e 0 1k\n"
+                "F1 f 0 V1 2\n"
+                "RF f 0 1k\n")
+        ckt = parse_netlist(text)
+        assert ckt["E1"].gain == 10.0
+        assert ckt["G1"].transconductance == pytest.approx(1e-3)
+        assert ckt["H1"].transresistance == 100.0
+        assert ckt["F1"].gain == 2.0
+
+    def test_opamp_macro_with_params(self):
+        text = ("V1 a 0 DC 0 AC 1\n"
+                "R1 a b 1k\n"
+                "R2 b c 1k\n"
+                "X1 0 b c opamp_macro a0=1e5 pole_hz=10\n")
+        ckt = parse_netlist(text)
+        macro = ckt["X1"]
+        assert isinstance(macro, OpAmpMacro)
+        assert macro.a0 == pytest.approx(1e5)
+        assert macro.pole_hz == pytest.approx(10.0)
+
+    def test_inductor_card(self):
+        ckt = parse_netlist("V1 a 0 DC 1\nL1 a b 10m\nR1 b 0 50\n")
+        assert ckt["L1"].value == pytest.approx(10e-3)
+
+
+class TestParseErrors:
+    def test_unknown_card_type(self):
+        with pytest.raises(NetlistParseError, match="unsupported card"):
+            parse_netlist("V1 a 0 1\nQ1 a b c model\n")
+
+    def test_too_few_fields(self):
+        with pytest.raises(NetlistParseError, match="expected at least"):
+            parse_netlist("R1 a\nV1 a 0 1\n")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_netlist("V1 a 0 1\nR1 a\n")
+        except NetlistParseError as exc:
+            assert exc.line_number == 2
+        else:
+            pytest.fail("expected NetlistParseError")
+
+    def test_unknown_subckt_model(self):
+        with pytest.raises(NetlistParseError, match="unknown subcircuit"):
+            parse_netlist("V1 a 0 1\nX1 a 0 b weird_model\n")
+
+    def test_ideal_opamp_rejects_params(self):
+        with pytest.raises(NetlistParseError, match="takes no parameters"):
+            parse_netlist("V1 a 0 1\nR1 a b 1\n"
+                          "X1 0 a b ideal_opamp a0=1\n")
+
+    def test_bad_param_syntax(self):
+        with pytest.raises(NetlistParseError, match="param=value"):
+            parse_netlist("V1 a 0 1\nR1 a b 1\n"
+                          "X1 0 a b opamp_macro a0\n")
+
+    def test_empty_netlist(self):
+        with pytest.raises(NetlistParseError, match="no components"):
+            parse_netlist("* nothing here\n")
+
+    def test_validation_runs(self):
+        # Parsed circuits are validated: missing ground must fail.
+        with pytest.raises(Exception, match="ground"):
+            parse_netlist("V1 a b 1\nR1 a b 1k\n")
+
+
+class TestRoundtrip:
+    def test_write_then_parse(self):
+        original = parse_netlist(SALLEN_KEY)
+        text = circuit_to_netlist(original)
+        again = parse_netlist(text)
+        assert again.component_names == original.component_names
+        for component in original:
+            clone = again[component.name]
+            assert type(clone) is type(component)
+            if isinstance(component, (Resistor, Capacitor)):
+                assert clone.value == pytest.approx(component.value)
+
+    def test_roundtrip_macro_params(self):
+        text = ("V1 a 0 DC 0 AC 1\nR1 a b 1k\nR2 b c 1k\n"
+                "X1 0 b c opamp_macro a0=123k\n")
+        original = parse_netlist(text)
+        again = parse_netlist(circuit_to_netlist(original))
+        assert again["X1"].a0 == pytest.approx(123e3)
+
+    def test_file_io(self, tmp_path):
+        original = parse_netlist(SALLEN_KEY)
+        path = write_netlist(original, tmp_path / "sk.cir")
+        loaded = parse_netlist_file(path)
+        assert loaded.component_names == original.component_names
+
+    def test_file_name_from_stem(self, tmp_path):
+        path = tmp_path / "mycircuit.cir"
+        path.write_text("V1 a 0 1\nR1 a 0 1k\n")
+        assert parse_netlist_file(path).name == "mycircuit"

@@ -1,0 +1,189 @@
+"""Tests for engineering units, grids and dB helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    UnitError,
+    db,
+    db_to_linear,
+    decade_grid,
+    format_frequency,
+    format_value,
+    geometric_midpoint,
+    log_frequency_grid,
+    nearest_index,
+    octave_span,
+    parse_value,
+)
+
+
+class TestParseValue:
+    def test_plain_integer(self):
+        assert parse_value("1500") == 1500.0
+
+    def test_scientific(self):
+        assert parse_value("1.5e3") == 1500.0
+
+    def test_kilo(self):
+        assert parse_value("4.7k") == pytest.approx(4700.0)
+
+    def test_mega_spelled_meg(self):
+        assert parse_value("1MEG") == pytest.approx(1e6)
+
+    def test_meg_case_insensitive(self):
+        assert parse_value("2.2meg") == pytest.approx(2.2e6)
+
+    def test_milli_lowercase(self):
+        assert parse_value("3m") == pytest.approx(3e-3)
+
+    def test_milli_uppercase_is_milli_not_mega(self):
+        # SPICE semantics: case-insensitive, so "M" is milli.
+        assert parse_value("3M") == pytest.approx(3e-3)
+
+    def test_micro(self):
+        assert parse_value("10u") == pytest.approx(1e-5)
+
+    def test_nano_with_unit(self):
+        assert parse_value("15.9nF") == pytest.approx(15.9e-9)
+
+    def test_pico(self):
+        assert parse_value("22p") == pytest.approx(22e-12)
+
+    def test_femto(self):
+        assert parse_value("1f") == pytest.approx(1e-15)
+
+    def test_giga_tera(self):
+        assert parse_value("2G") == pytest.approx(2e9)
+        assert parse_value("1T") == pytest.approx(1e12)
+
+    def test_unit_suffix_ohm(self):
+        assert parse_value("4.7kohm") == pytest.approx(4700.0)
+
+    def test_negative_value(self):
+        assert parse_value("-3.3k") == pytest.approx(-3300.0)
+
+    def test_numeric_passthrough(self):
+        assert parse_value(330) == 330.0
+        assert parse_value(4.7) == 4.7
+
+    def test_malformed_raises(self):
+        with pytest.raises(UnitError):
+            parse_value("abc")
+
+    def test_empty_raises(self):
+        with pytest.raises(UnitError):
+            parse_value("")
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(UnitError):
+            parse_value(None)
+
+
+class TestFormatValue:
+    def test_kilo(self):
+        assert format_value(4700.0) == "4.7k"
+
+    def test_nano_with_unit(self):
+        assert format_value(1.59e-8, unit="F") == "15.9nF"
+
+    def test_zero(self):
+        assert format_value(0.0, unit="Hz") == "0Hz"
+
+    def test_unity(self):
+        assert format_value(1.0) == "1"
+
+    def test_mega(self):
+        assert format_value(2.5e6) == "2.5MEG"
+
+    def test_format_frequency(self):
+        assert format_frequency(1e3) == "1kHz"
+
+    @given(st.floats(min_value=1e-14, max_value=1e13,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip(self, value):
+        """parse(format(x)) stays within formatting precision of x."""
+        text = format_value(value, digits=12)
+        assert parse_value(text) == pytest.approx(value, rel=1e-9)
+
+
+class TestGrids:
+    def test_log_grid_endpoints(self):
+        grid = log_frequency_grid(10.0, 1e5, 41)
+        assert grid[0] == pytest.approx(10.0)
+        assert grid[-1] == pytest.approx(1e5)
+        assert len(grid) == 41
+
+    def test_log_grid_monotone(self):
+        grid = log_frequency_grid(1.0, 1e6, 301)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_log_grid_equal_ratios(self):
+        grid = log_frequency_grid(1.0, 1e4, 5)
+        ratios = grid[1:] / grid[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_log_grid_bad_bounds(self):
+        with pytest.raises(UnitError):
+            log_frequency_grid(-1.0, 10.0)
+        with pytest.raises(UnitError):
+            log_frequency_grid(100.0, 10.0)
+        with pytest.raises(UnitError):
+            log_frequency_grid(10.0, 100.0, points=1)
+
+    def test_decade_grid_density(self):
+        grid = decade_grid(10.0, 1e4, points_per_decade=10)
+        # 3 decades at 10/decade -> 31 points.
+        assert len(grid) == 31
+
+    def test_decade_grid_bad_density(self):
+        with pytest.raises(UnitError):
+            decade_grid(10.0, 1e4, points_per_decade=0)
+
+
+class TestDb:
+    def test_scalar(self):
+        assert db(10.0) == pytest.approx(20.0)
+
+    def test_complex(self):
+        assert db(1j) == pytest.approx(0.0)
+
+    def test_array(self):
+        out = db(np.array([1.0, 0.1]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(-20.0)
+
+    def test_floor_prevents_inf(self):
+        assert np.isfinite(db(0.0))
+
+    def test_db_to_linear_roundtrip(self):
+        assert db_to_linear(db(123.0)) == pytest.approx(123.0)
+
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_db_to_linear_inverse(self, value_db):
+        assert db(db_to_linear(value_db)) == pytest.approx(value_db,
+                                                           abs=1e-9)
+
+
+class TestMisc:
+    def test_geometric_midpoint(self):
+        assert geometric_midpoint(100.0, 10000.0) == pytest.approx(1000.0)
+
+    def test_geometric_midpoint_invalid(self):
+        with pytest.raises(UnitError):
+            geometric_midpoint(-1.0, 10.0)
+
+    def test_octave_span(self):
+        assert octave_span(440.0, 880.0) == pytest.approx(1.0)
+
+    def test_nearest_index_log(self):
+        grid = log_frequency_grid(10.0, 1e5, 5)  # 10,100,1k,10k,100k
+        assert nearest_index(grid, 900.0) == 2
+        assert nearest_index(grid, 5000.0) == 3
+
+    def test_nearest_index_empty(self):
+        with pytest.raises(UnitError):
+            nearest_index([], 1.0)

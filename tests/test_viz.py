@@ -1,0 +1,156 @@
+"""Tests for ASCII figures and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import (
+    confusion_csv,
+    ga_history_csv,
+    line_plot,
+    response_family_csv,
+    scatter_plot,
+    table,
+    trajectory_csv,
+    trajectory_plot,
+    write_csv,
+)
+
+
+class TestLinePlot:
+    def test_renders_with_legend(self):
+        x = np.logspace(1, 5, 50)
+        series = {"golden": -20.0 * np.log10(1 + x / 1e3),
+                  "faulty": -20.0 * np.log10(1 + x / 2e3)}
+        text = line_plot(x, series, title="Fig 1")
+        assert "Fig 1" in text
+        assert "*=golden" in text
+        assert "+=faulty" in text
+
+    def test_canvas_height(self):
+        x = np.logspace(1, 3, 10)
+        text = line_plot(x, {"a": np.linspace(0, 1, 10)}, height=12)
+        # 12 canvas rows between the two border rows.
+        assert sum(1 for line in text.splitlines()
+                   if line.strip().startswith("|")) == 12
+
+    def test_needs_series(self):
+        with pytest.raises(ReproError):
+            line_plot(np.array([1.0, 2.0]), {})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            line_plot(np.array([1.0, 2.0]), {"a": np.array([1.0])})
+
+    def test_too_many_series(self):
+        x = np.array([1.0, 2.0])
+        series = {f"s{i}": x for i in range(11)}
+        with pytest.raises(ReproError, match="too many"):
+            line_plot(x, series)
+
+    def test_flat_series_does_not_crash(self):
+        x = np.array([1.0, 10.0, 100.0])
+        text = line_plot(x, {"flat": np.zeros(3)})
+        assert "flat" in text
+
+
+class TestScatterAndTrajectory:
+    def test_scatter_markers(self):
+        points = {"A": np.array([[0.0, 0.0], [1.0, 1.0]]),
+                  "B": np.array([[0.5, -0.5]])}
+        text = scatter_plot(points, title="plane")
+        assert "*=A" in text and "+=B" in text
+
+    def test_scatter_needs_points(self):
+        with pytest.raises(ReproError):
+            scatter_plot({})
+
+    def test_scatter_rejects_3d(self):
+        with pytest.raises(ReproError):
+            scatter_plot({"A": np.zeros((2, 3))})
+
+    def test_trajectory_plot_marks_origin_and_unknown(self):
+        points = {"R3": np.array([[-1.0, -0.5], [0.0, 0.0],
+                                  [1.0, 0.5]])}
+        text = trajectory_plot(points, unknown=(0.4, 0.1))
+        assert "O" in text
+        assert "?" in text
+
+    def test_single_point_cloud(self):
+        text = scatter_plot({"A": np.array([[2.0, 3.0]])})
+        assert "*=A" in text
+
+
+class TestTable:
+    def test_alignment_and_rule(self):
+        text = table(["name", "value"],
+                     [["R1", 0.123456], ["C1", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "0.1235" in text  # default 4 significant digits
+
+    def test_needs_headers(self):
+        with pytest.raises(ReproError):
+            table([], [])
+
+
+class TestCsvExport:
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["a", "b"],
+                         [[1, 2], [3, 4]])
+        rows = list(csv.reader(path.open()))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "dir" / "t.csv", ["x"],
+                         [[1]])
+        assert path.exists()
+
+    def test_response_family(self, tmp_path, biquad_dictionary):
+        responses = {"golden": biquad_dictionary.golden,
+                     "R3+40%": biquad_dictionary.entry("R3+40%").response}
+        path = response_family_csv(tmp_path / "fig1.csv", responses)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["freq_hz", "golden_db", "R3+40%_db"]
+        assert len(rows) == 1 + len(biquad_dictionary.freqs_hz)
+
+    def test_response_family_grid_mismatch(self, tmp_path,
+                                           biquad_dictionary):
+        from repro.sim import FrequencyResponse
+        other = FrequencyResponse(np.array([1.0, 2.0]),
+                                  np.ones(2, dtype=complex))
+        with pytest.raises(ReproError, match="different frequency grid"):
+            response_family_csv(tmp_path / "bad.csv",
+                                {"golden": biquad_dictionary.golden,
+                                 "other": other})
+
+    def test_trajectory_csv(self, tmp_path, biquad_trajectories):
+        path = trajectory_csv(tmp_path / "fig3.csv", biquad_trajectories)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["component", "deviation", "coord1", "coord2"]
+        # 7 trajectories x 9 points.
+        assert len(rows) == 1 + 63
+
+    def test_ga_history_csv(self, tmp_path, biquad_surface):
+        from repro.ga import (FrequencySpace, GAConfig, GeneticAlgorithm,
+                              PaperFitness)
+        space = FrequencySpace(100.0, 1e5, 2)
+        result = GeneticAlgorithm(
+            space, PaperFitness(biquad_surface),
+            GAConfig.quick(seeded_generations=2, population_size=8)
+        ).run(seed=0)
+        path = ga_history_csv(tmp_path / "ga.csv", result)
+        rows = list(csv.reader(path.open()))
+        assert rows[0][0] == "generation"
+        assert len(rows) == 3
+
+    def test_confusion_csv(self, tmp_path):
+        path = confusion_csv(tmp_path / "conf.csv",
+                             {("R1", "R1"): 5, ("R1", "R2"): 1})
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["true_component", "predicted_component",
+                           "count"]
+        assert ["R1", "R2", "1"] in rows
