@@ -16,6 +16,9 @@ including the analog simulation substrate it depends on:
 * :mod:`repro.diagnosis` -- the perpendicular nearest-segment classifier,
   baselines and an evaluation harness;
 * :mod:`repro.core` -- the end-to-end ATPG pipeline;
+* :mod:`repro.runtime` -- the serving layer: batched diagnosis, parallel
+  dictionary builds, a content-addressed artifact store and the
+  multi-circuit :class:`DiagnosisService`;
 * :mod:`repro.viz` -- ASCII figures and CSV export.
 
 Quickstart::
@@ -71,6 +74,12 @@ from .faults import (
     paper_deviation_grid,
     parametric_universe,
 )
+from .runtime import (
+    ArtifactStore,
+    BatchDiagnoser,
+    DiagnosisService,
+    build_dictionary_parallel,
+)
 from .ga import (
     CombinedFitness,
     FrequencySpace,
@@ -96,7 +105,7 @@ from .trajectory import (
 )
 from .units import db, format_frequency, log_frequency_grid, parse_value
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -157,6 +166,11 @@ __all__ = [
     "FaultTrajectoryATPG",
     "ATPGResult",
     "PipelineConfig",
+    # runtime
+    "BatchDiagnoser",
+    "ArtifactStore",
+    "DiagnosisService",
+    "build_dictionary_parallel",
     # misc
     "ReproError",
     "parse_value",

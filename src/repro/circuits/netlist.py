@@ -10,6 +10,8 @@ cloning with a replaced component), and exposes small-signal metadata
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -34,6 +36,17 @@ from .components import (
 )
 
 __all__ = ["Circuit"]
+
+
+def _canonical_value(value) -> str:
+    """Render one component field deterministically (dicts sorted)."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        inner = ",".join(f"{key}:{_canonical_value(value[key])}"
+                         for key in sorted(value))
+        return "{" + inner + "}"
+    return str(value)
 
 
 class Circuit:
@@ -295,6 +308,32 @@ class Circuit:
             raise CircuitError(
                 f"{self.name}: {component_name!r} has no scalar value")
         return self.with_value(component_name, component.value * factor, name)
+
+    # ------------------------------------------------------------------
+    # Canonical form / content hashing
+    # ------------------------------------------------------------------
+    def canonical_form(self) -> str:
+        """Deterministic textual form of the netlist.
+
+        One line per component, in insertion order, listing every
+        dataclass field with floats rendered by ``repr`` (shortest
+        round-trip form). Two circuits with identical topology and
+        values always produce identical text, so the canonical form is
+        a stable cache key for simulation artifacts.
+        """
+        lines = [f"circuit name={self.name}"]
+        for component in self:
+            parts = [type(component).__name__]
+            for spec in dataclasses.fields(component):
+                value = getattr(component, spec.name)
+                parts.append(f"{spec.name}={_canonical_value(value)}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_form`."""
+        return hashlib.sha256(
+            self.canonical_form().encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Summaries

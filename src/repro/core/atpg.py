@@ -17,9 +17,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, FrozenSet, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
+
+if TYPE_CHECKING:  # avoid a core <-> runtime import cycle
+    from ..runtime.batch import BatchDiagnoser
+    from ..runtime.store import ArtifactStore
 
 from ..circuits.library import CircuitInfo
 from ..diagnosis.classifier import Diagnosis, TrajectoryClassifier
@@ -60,7 +65,6 @@ class ATPGResult:
     config: PipelineConfig
     universe: FaultUniverse
     dictionary: FaultDictionary
-    surface: ResponseSurface
     ga_result: GAResult
     test_vector_hz: Tuple[float, ...]
     mapper: SignatureMapper
@@ -69,8 +73,24 @@ class ATPGResult:
     metrics: TrajectoryMetrics
     groups: Tuple[FrozenSet[str], ...]
     elapsed_seconds: float
+    #: Which artifacts a ``store=`` run loaded instead of recomputing
+    #: (subset of {"dictionary", "ga", "exact", "trajectories"}).
+    cache_hits: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
+    @property
+    def surface(self) -> ResponseSurface:
+        """Response surface over the dense dictionary, built lazily.
+
+        A store-warmed run never evaluates fitness, so the surface's
+        magnitude matrix is only materialised when actually queried.
+        """
+        cached = getattr(self, "_surface_cache", None)
+        if cached is None:
+            cached = ResponseSurface(self.dictionary)
+            self._surface_cache = cached
+        return cached
+
     def diagnose_point(self, point: np.ndarray) -> Diagnosis:
         """Diagnose a signature-space point."""
         return self.classifier.classify_point(point)
@@ -78,6 +98,35 @@ class ATPGResult:
     def diagnose_response(self, response: FrequencyResponse) -> Diagnosis:
         """Diagnose a measured magnitude response."""
         return self.classifier.classify_response(response)
+
+    def batch_diagnoser(self) -> "BatchDiagnoser":
+        """Vectorised batch classifier over this result's trajectories.
+
+        Built lazily and memoised: the precomputed segment tensors are
+        shared by every subsequent :meth:`diagnose_many` call.
+        """
+        cached = getattr(self, "_batch_diagnoser", None)
+        if cached is None:
+            from ..runtime.batch import BatchDiagnoser
+            cached = BatchDiagnoser(self.trajectories,
+                                    golden=self.classifier.golden)
+            self._batch_diagnoser = cached
+        return cached
+
+    def diagnose_many(self, responses) -> List[Diagnosis]:
+        """Diagnose a batch of measured responses at once.
+
+        Accepts a sequence of :class:`FrequencyResponse` objects or an
+        (N, F) matrix of dB magnitudes sampled at the test vector (in
+        ascending-frequency order). Labels are bitwise-identical to
+        calling :meth:`diagnose_response` per response, but the
+        projection runs as one vectorised NumPy operation.
+        """
+        return self.batch_diagnoser().classify_responses(responses)
+
+    def diagnose_points(self, points: np.ndarray) -> List[Diagnosis]:
+        """Batch version of :meth:`diagnose_point` ((N, D) array)."""
+        return self.batch_diagnoser().classify_points(points)
 
     def evaluate(self, deviations: Sequence[float] = HELD_OUT_DEVIATIONS,
                  noise_db: float = 0.0, tolerance: float = 0.0,
@@ -130,16 +179,33 @@ class FaultTrajectoryATPG:
                 f"{info.circuit.name}: no faultable components")
 
     # ------------------------------------------------------------------
-    def build_dictionary(self) -> Tuple[FaultUniverse, FaultDictionary]:
-        """Stages 1-2: fault universe + fault simulation."""
+    def _simulate_dictionary(self, universe: FaultUniverse,
+                             freqs_hz: np.ndarray) -> FaultDictionary:
+        """Fault-simulate ``universe``, honouring the worker config."""
+        if self.config.n_workers > 1:
+            from ..runtime.parallel import build_dictionary_parallel
+            return build_dictionary_parallel(
+                universe, self.info.output_node, freqs_hz,
+                input_source=self.info.input_source,
+                n_workers=self.config.n_workers,
+                executor=self.config.executor)
+        return FaultDictionary.build(
+            universe, self.info.output_node, freqs_hz,
+            input_source=self.info.input_source)
+
+    def _stage_inputs(self) -> Tuple[FaultUniverse, np.ndarray]:
+        """Stage 1: the fault universe and the dense dictionary grid."""
         universe = parametric_universe(
             self.info.circuit, components=self.components,
             deviations=self.config.deviations)
         grid = log_frequency_grid(self.info.f_min_hz, self.info.f_max_hz,
                                   self.config.dictionary_points)
-        dictionary = FaultDictionary.build(
-            universe, self.info.output_node, grid,
-            input_source=self.info.input_source)
+        return universe, grid
+
+    def build_dictionary(self) -> Tuple[FaultUniverse, FaultDictionary]:
+        """Stages 1-2: fault universe + fault simulation."""
+        universe, grid = self._stage_inputs()
+        dictionary = self._simulate_dictionary(universe, grid)
         return universe, dictionary
 
     def make_fitness(self, surface: ResponseSurface) -> TrajectoryFitness:
@@ -164,17 +230,57 @@ class FaultTrajectoryATPG:
             margin_weight=self.config.margin_weight,
             margin_scale=self.config.margin_scale)
 
-    def run(self, seed: Optional[int] = None) -> ATPGResult:
-        """Execute the full pipeline."""
-        started = time.perf_counter()
-        universe, dictionary = self.build_dictionary()
-        surface = ResponseSurface(dictionary)
+    def run(self, seed: Optional[int] = None,
+            store: Optional["ArtifactStore"] = None) -> ATPGResult:
+        """Execute the full pipeline.
 
-        space = FrequencySpace(self.info.f_min_hz, self.info.f_max_hz,
-                               self.config.num_frequencies)
-        fitness = self.make_fitness(surface)
-        ga = GeneticAlgorithm(space, fitness, self.config.ga)
-        ga_result = ga.run(seed=seed)
+        With ``store=`` (a :class:`repro.runtime.store.ArtifactStore`)
+        every expensive artifact -- the dense dictionary, the per-seed
+        GA result and the exact test-vector dictionary -- is looked up
+        by content key first and persisted after computation, so a
+        repeat run of the same problem skips fault simulation and the
+        GA search entirely.
+        """
+        started = time.perf_counter()
+        universe, grid = self._stage_inputs()
+        cache_hits: List[str] = []
+        # Each artifact is keyed on only the inputs it depends on (see
+        # repro.runtime.store): sweeping a GA knob reuses the cached
+        # dictionary, and any config landing on the same test vector
+        # shares the exact dictionary.
+        base_key = store.problem_key(self.info, universe) if store \
+            else None
+        dict_key = store.derive_key(
+            base_key, "dense", [float(f) for f in grid]) if store else None
+
+        dictionary = store.load_dictionary("dictionary", dict_key) \
+            if store else None
+        if dictionary is not None:
+            cache_hits.append("dictionary")
+        else:
+            dictionary = self._simulate_dictionary(universe, grid)
+            if store:
+                store.save_dictionary("dictionary", dict_key, dictionary)
+
+        # An unseeded GA run is an independent random search by
+        # contract, so it must never be served from (or poison) the
+        # cache -- only seeded searches are memoisable.
+        ga_key = store.ga_search_key(dict_key, self.info, self.config,
+                                     seed) if store and seed is not None \
+            else None
+        ga_result = store.load_ga_result(ga_key) if ga_key else None
+        surface: Optional[ResponseSurface] = None
+        if ga_result is not None:
+            cache_hits.append("ga")
+        else:
+            space = FrequencySpace(self.info.f_min_hz, self.info.f_max_hz,
+                                   self.config.num_frequencies)
+            surface = ResponseSurface(dictionary)
+            fitness = self.make_fitness(surface)
+            ga = GeneticAlgorithm(space, fitness, self.config.ga)
+            ga_result = ga.run(seed=seed)
+            if ga_key:
+                store.save_ga_result(ga_key, ga_result)
         test_vector = ga_result.best_freqs_hz
 
         mapper = SignatureMapper(
@@ -185,23 +291,37 @@ class FaultTrajectoryATPG:
         # Interpolating the dense-grid dictionary instead would inject a
         # few-mdB error -- larger than the separation of near-degenerate
         # trajectory pairs (R3/R5, R4/C2 on the biquad CUT).
-        exact = FaultDictionary.build(
-            universe, self.info.output_node,
-            np.array(sorted(test_vector), dtype=float),
-            input_source=self.info.input_source)
-        trajectories = TrajectorySet.from_source(exact, mapper)
+        exact_key = store.derive_key(
+            base_key, "exact", sorted(float(f) for f in test_vector)) \
+            if store else None
+        exact = store.load_dictionary("exact", exact_key) if store else None
+        if exact is not None:
+            cache_hits.append("exact")
+        else:
+            exact = self._simulate_dictionary(
+                universe, np.array(sorted(test_vector), dtype=float))
+            if store:
+                store.save_dictionary("exact", exact_key, exact)
+        traj_key = store.trajectory_key(exact_key, self.config) \
+            if store else None
+        trajectories = store.load_trajectories(traj_key) if store else None
+        if trajectories is not None:
+            cache_hits.append("trajectories")
+        else:
+            trajectories = TrajectorySet.from_source(exact, mapper)
+            if store:
+                store.save_trajectories(traj_key, trajectories)
         metrics = evaluate_metrics(trajectories)
         groups = ambiguity_groups(trajectories,
                                   self.config.ambiguity_threshold)
         classifier = TrajectoryClassifier(trajectories,
                                           golden=exact.golden)
         elapsed = time.perf_counter() - started
-        return ATPGResult(
+        result = ATPGResult(
             info=self.info,
             config=self.config,
             universe=universe,
             dictionary=dictionary,
-            surface=surface,
             ga_result=ga_result,
             test_vector_hz=test_vector,
             mapper=mapper,
@@ -210,4 +330,8 @@ class FaultTrajectoryATPG:
             metrics=metrics,
             groups=groups,
             elapsed_seconds=elapsed,
+            cache_hits=tuple(cache_hits),
         )
+        if surface is not None:     # reuse the fitness's surface
+            result._surface_cache = surface
+        return result

@@ -12,6 +12,7 @@ from ..ga.config import GAConfig
 __all__ = ["PipelineConfig"]
 
 _FITNESS_KINDS = ("paper", "margin", "combined")
+_EXECUTOR_KINDS = ("process", "thread")
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,12 @@ class PipelineConfig:
     ambiguity_threshold:
         Trajectory separation (signature units) below which two
         components are reported as one ambiguity group.
+    n_workers:
+        Worker count for parallel fault-dictionary builds. 0 or 1 keep
+        the serial builder; >= 2 fans the fault universe out over a
+        ``concurrent.futures`` pool (see ``repro.runtime.parallel``).
+    executor:
+        Pool kind for parallel builds: ``"process"`` or ``"thread"``.
     """
 
     deviations: Tuple[float, ...] = field(
@@ -56,6 +63,8 @@ class PipelineConfig:
     margin_scale: float = 1.0
     ga: GAConfig = field(default_factory=GAConfig.paper)
     ambiguity_threshold: float = 0.01
+    n_workers: int = 0
+    executor: str = "process"
 
     def __post_init__(self) -> None:
         if self.fitness not in _FITNESS_KINDS:
@@ -71,6 +80,12 @@ class PipelineConfig:
             raise ReproError("deviation grid is empty")
         if self.ambiguity_threshold < 0.0:
             raise ReproError("ambiguity_threshold must be >= 0")
+        if self.n_workers < 0:
+            raise ReproError("n_workers must be >= 0")
+        if self.executor not in _EXECUTOR_KINDS:
+            raise ReproError(
+                f"executor must be one of {_EXECUTOR_KINDS}, "
+                f"got {self.executor!r}")
 
     @classmethod
     def paper(cls) -> "PipelineConfig":

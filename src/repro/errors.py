@@ -66,3 +66,11 @@ class GAError(ReproError):
 
 class DiagnosisError(ReproError):
     """Diagnosis could not be performed (empty trajectory set, ...)."""
+
+
+class StoreError(ReproError):
+    """Artifact-store persistence or lookup failed."""
+
+
+class ServiceError(ReproError):
+    """The diagnosis service could not handle a request."""

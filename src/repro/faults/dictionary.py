@@ -32,7 +32,8 @@ from .models import (
 )
 from .universe import FaultUniverse
 
-__all__ = ["DictionaryEntry", "FaultDictionary"]
+__all__ = ["DictionaryEntry", "FaultDictionary", "fault_to_json",
+           "fault_from_json"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,12 @@ class FaultDictionary:
     Build with :meth:`build`; query entries by label, component or index.
     The entry order follows the universe order (deterministic).
     """
+
+    #: Process-wide count of fault-simulation builds (incremented by
+    #: :meth:`build` and by the parallel builder in ``repro.runtime``).
+    #: Lets tests and the artifact store assert that a store-warmed
+    #: pipeline run skipped fault simulation entirely.
+    simulations_run = 0
 
     def __init__(self, circuit_name: str, output_node: str,
                  freqs_hz: np.ndarray, golden: FrequencyResponse,
@@ -81,6 +88,7 @@ class FaultDictionary:
               freqs_hz: np.ndarray,
               input_source: Optional[str] = None) -> "FaultDictionary":
         """Fault-simulate the whole universe over a frequency grid."""
+        FaultDictionary.simulations_run += 1
         freqs = np.asarray(freqs_hz, dtype=float)
         circuit = universe.circuit
         golden = ACAnalysis(circuit).transfer(output_node, freqs,
@@ -195,6 +203,16 @@ class FaultDictionary:
                                   label=fault.label)))
         return cls(metadata["circuit_name"], output_node, freqs, golden,
                    entries)
+
+
+def fault_to_json(fault: Fault) -> dict:
+    """JSON-serialisable description of one fault (stable field order)."""
+    return _fault_to_json(fault)
+
+
+def fault_from_json(data: dict) -> Fault:
+    """Inverse of :func:`fault_to_json`."""
+    return _fault_from_json(data)
 
 
 def _fault_to_json(fault: Fault) -> dict:

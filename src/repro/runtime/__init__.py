@@ -1,0 +1,35 @@
+"""repro.runtime: the serving-shaped execution layer.
+
+Turns the paper reproduction into an engine fit for heavy traffic:
+
+* :mod:`repro.runtime.batch` -- :class:`BatchDiagnoser`, vectorised
+  many-at-once nearest-segment classification (bitwise-identical to the
+  scalar :class:`~repro.diagnosis.classifier.TrajectoryClassifier`);
+* :mod:`repro.runtime.parallel` -- fault-dictionary builds fanned out
+  over a ``concurrent.futures`` pool, deterministic entry order;
+* :mod:`repro.runtime.store` -- :class:`ArtifactStore`, a
+  content-addressed on-disk cache of dictionaries, GA results and
+  trajectory sets keyed by the canonical problem statement;
+* :mod:`repro.runtime.service` -- :class:`DiagnosisService`, the warm
+  multi-circuit ``submit()`` facade with an engine LRU and counters.
+"""
+
+from .batch import BatchDiagnoser
+from .parallel import build_dictionary_parallel
+from .service import CircuitStats, DiagnosisService, ServiceStats
+from .store import (ArtifactStore, StoreStats, derive_key,
+                    ga_search_key, problem_key, trajectory_key)
+
+__all__ = [
+    "BatchDiagnoser",
+    "build_dictionary_parallel",
+    "ArtifactStore",
+    "StoreStats",
+    "problem_key",
+    "derive_key",
+    "ga_search_key",
+    "trajectory_key",
+    "DiagnosisService",
+    "CircuitStats",
+    "ServiceStats",
+]

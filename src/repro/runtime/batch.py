@@ -1,0 +1,228 @@
+"""Batched nearest-segment diagnosis.
+
+:class:`~repro.diagnosis.classifier.TrajectoryClassifier` answers one
+query at a time: a Python call per point, each projecting onto every
+trajectory segment. That is the serving hot path, and a diagnosis
+service sees *batches* of measured responses -- so this module
+precomputes the segment tensors once and classifies an ``(N, F)`` batch
+with fully vectorised NumPy: one ``(N, S, D)`` projection, one masked
+argmin per row, one gather for the deviation estimates.
+
+The batch path reproduces the scalar classifier *bitwise*: every
+floating-point reduction runs over the same operands in the same order
+as :func:`repro.trajectory.geometry.project_point_onto_segments`, the
+candidate masking and first-minimum tie-breaking match ``np.argmin``'s
+scalar semantics, and the per-component ranking uses the same stable
+ordering. The equivalence is asserted per benchmark circuit in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..diagnosis.classifier import Diagnosis, TrajectoryClassifier
+from ..errors import DiagnosisError
+from ..sim.ac import FrequencyResponse
+from ..trajectory.geometry import _EPS
+from ..trajectory.trajectory import TrajectorySet
+from ..units import db_to_linear
+
+__all__ = ["BatchDiagnoser"]
+
+ResponseBatch = Union[np.ndarray, Sequence[FrequencyResponse]]
+
+
+class BatchDiagnoser:
+    """Vectorised many-point version of :class:`TrajectoryClassifier`.
+
+    Precomputes flat segment tensors (starts, ends, directions, owner
+    and per-segment deviation endpoints) from a trajectory set, then
+    classifies whole batches of signature points or measured responses
+    in single NumPy operations.
+    """
+
+    def __init__(self, trajectories: TrajectorySet,
+                 golden: Optional[FrequencyResponse] = None) -> None:
+        self.trajectories = trajectories
+        self.golden = golden
+        starts, ends, owners = trajectories.all_segments()
+        self._starts = starts                          # (S, D)
+        self._ends = ends                              # (S, D)
+        self._owners = owners                          # (S,)
+        self._direction = ends - starts                # (S, D)
+        self._length_sq = np.sum(self._direction * self._direction,
+                                 axis=1)               # (S,)
+        self._safe = np.where(self._length_sq > _EPS, self._length_sq, 1.0)
+        # Deviation endpoints of every flat segment (vectorises
+        # FaultTrajectory.interpolate_deviation) and component names.
+        d0: List[float] = []
+        d1: List[float] = []
+        for trajectory in trajectories:
+            d0.extend(trajectory.deviations[:-1])
+            d1.extend(trajectory.deviations[1:])
+        self._seg_dev0 = np.array(d0, dtype=float)     # (S,)
+        self._seg_dev1 = np.array(d1, dtype=float)     # (S,)
+        self._components: Tuple[str, ...] = trajectories.components
+        # all_segments() stacks segments trajectory-by-trajectory, so
+        # owner groups are contiguous: reduceat offsets give exact
+        # per-trajectory distance minima.
+        counts = [t.num_segments for t in trajectories]
+        self._group_offsets = np.concatenate(
+            ([0], np.cumsum(counts)[:-1])).astype(int)
+
+    # ------------------------------------------------------------------
+    # Signature construction
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.trajectories.dimension
+
+    def _golden_sample_db(self) -> np.ndarray:
+        if self.golden is None:
+            raise DiagnosisError(
+                "batch diagnoser needs the golden response to map "
+                "measured responses; pass golden= at construction")
+        freqs = np.array(self.trajectories.mapper.test_freqs_hz)
+        return np.atleast_1d(np.asarray(
+            self.golden.magnitude_db_at(freqs)))
+
+    def signatures_from_db(self, magnitudes_db: np.ndarray) -> np.ndarray:
+        """Signature points for an (N, F) matrix of dB magnitudes.
+
+        Each row holds the measured dB magnitudes at the mapper's test
+        frequencies, in ascending-frequency order -- the wire format a
+        measurement frontend produces without ever materialising
+        :class:`FrequencyResponse` objects.
+        """
+        mapper = self.trajectories.mapper
+        matrix = np.asarray(magnitudes_db, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != mapper.dimension:
+            raise DiagnosisError(
+                f"expected an (N, {mapper.dimension}) magnitude matrix, "
+                f"got shape {matrix.shape}")
+        if mapper.scale != "db":
+            matrix = np.asarray(db_to_linear(matrix), dtype=float)
+        if mapper.relative_to_golden:
+            golden_db = self._golden_sample_db()
+            golden = golden_db if mapper.scale == "db" else np.asarray(
+                db_to_linear(golden_db), dtype=float)
+            matrix = matrix - golden[None, :]
+        return matrix
+
+    def _signatures(self, responses: ResponseBatch) -> np.ndarray:
+        if isinstance(responses, np.ndarray):
+            return self.signatures_from_db(responses)
+        mapper = self.trajectories.mapper
+        golden = self.golden if mapper.relative_to_golden else None
+        if mapper.relative_to_golden and golden is None:
+            raise DiagnosisError(
+                "batch diagnoser needs the golden response to map "
+                "measured responses; pass golden= at construction")
+        return np.vstack([mapper.signature(response, golden)
+                          for response in responses])
+
+    # ------------------------------------------------------------------
+    # Batched classification
+    # ------------------------------------------------------------------
+    def _check_points(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise DiagnosisError(
+                f"expected an (N, {self.dimension}) point batch, got "
+                f"shape {points.shape}")
+        return points
+
+    def _project(self, points: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                            np.ndarray]:
+        """Vectorised core: project N points onto all S segments.
+
+        Returns ``(distances, t_raw, has_perpendicular, winners)`` with
+        shapes (N, S), (N, S), (N,), (N,).
+        """
+        # The same reductions as project_point_onto_segments, batched
+        # over N (bitwise-identical per row).
+        diff = points[:, None, :] - self._starts[None, :, :]   # (N, S, D)
+        t_raw = np.sum(diff * self._direction[None, :, :],
+                       axis=2) / self._safe[None, :]
+        t_raw = np.where(self._length_sq[None, :] > _EPS, t_raw, 0.0)
+        interior = (t_raw > 0.0) & (t_raw < 1.0) & \
+            (self._length_sq[None, :] > _EPS)
+        t_clamped = np.clip(t_raw, 0.0, 1.0)
+        closest = self._starts[None, :, :] + \
+            t_clamped[:, :, None] * self._direction[None, :, :]
+        distances = np.linalg.norm(points[:, None, :] - closest, axis=2)
+
+        # Paper rule, batched: rows with any interior foot restrict the
+        # argmin to interior segments; the rest fall back to endpoint
+        # distance over all segments.
+        has_perpendicular = np.any(interior, axis=1)           # (N,)
+        masked = np.where(interior, distances, np.inf)
+        candidates = np.where(has_perpendicular[:, None], masked,
+                              distances)
+        winners = np.argmin(candidates, axis=1)                # (N,)
+        return distances, t_raw, has_perpendicular, winners
+
+    def classify_points(self, points: np.ndarray) -> List[Diagnosis]:
+        """Diagnose an (N, D) batch of signature-space points."""
+        points = self._check_points(points)
+        distances, t_raw, has_perpendicular, winners = \
+            self._project(points)
+
+        rows = np.arange(points.shape[0])
+        t_win = np.clip(t_raw[rows, winners], 0.0, 1.0)
+        dev0 = self._seg_dev0[winners]
+        deviations = dev0 + t_win * (self._seg_dev1[winners] - dev0)
+        win_distances = distances[rows, winners]
+        owners = self._owners[winners]
+
+        # Best clamped distance per component: exact minima over the
+        # contiguous owner groups.
+        per_component = np.minimum.reduceat(
+            distances, self._group_offsets, axis=1)            # (N, T)
+
+        diagnoses: List[Diagnosis] = []
+        for row in rows:
+            order = np.argsort(per_component[row], kind="stable")
+            ranking = tuple((self._components[index],
+                             float(per_component[row, index]))
+                            for index in order)
+            component = self._components[int(owners[row])]
+            margin = TrajectoryClassifier._margin(ranking, component)
+            diagnoses.append(Diagnosis(
+                component=component,
+                estimated_deviation=float(deviations[row]),
+                distance=float(win_distances[row]),
+                perpendicular=bool(has_perpendicular[row]),
+                margin=margin,
+                point=tuple(float(x) for x in points[row]),
+                ranking=ranking,
+            ))
+        return diagnoses
+
+    def classify_responses(self, responses: ResponseBatch
+                           ) -> List[Diagnosis]:
+        """Diagnose a batch of measured responses.
+
+        Accepts either a sequence of :class:`FrequencyResponse` objects
+        or an (N, F) matrix of dB magnitudes sampled at the mapper's
+        test frequencies (see :meth:`signatures_from_db`).
+        """
+        return self.classify_points(self._signatures(responses))
+
+    def components_for(self, points: np.ndarray) -> Tuple[str, ...]:
+        """Winning component labels only -- the fastest batched query.
+
+        Skips deviation estimation, ranking and margin computation: one
+        projection, one argmin, one gather. Labels match
+        :meth:`classify_points` exactly.
+        """
+        points = self._check_points(points)
+        _, _, _, winners = self._project(points)
+        owners = self._owners[winners]
+        return tuple(self._components[int(owner)] for owner in owners)

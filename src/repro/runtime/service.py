@@ -1,0 +1,195 @@
+"""Serving facade: warmed diagnosis engines behind one submit() seam.
+
+:class:`DiagnosisService` is the shape a future HTTP layer plugs into:
+it owns an LRU cache of warmed per-circuit engines (an ATPG run plus
+its batch diagnoser), loads artifacts through an optional
+:class:`~repro.runtime.store.ArtifactStore` so cold starts skip
+simulation, and answers ``submit(circuit_name, responses)`` requests
+with batched classification while keeping simple request/latency
+counters.
+
+Thread-safety: engine-cache mutation and counter updates hold one lock;
+classification itself runs outside it (the batch diagnoser is
+read-only after construction).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.library import BENCHMARK_CIRCUITS, CircuitInfo, \
+    get_benchmark
+from ..core.atpg import ATPGResult, FaultTrajectoryATPG
+from ..core.config import PipelineConfig
+from ..diagnosis.classifier import Diagnosis
+from ..errors import ServiceError
+from .batch import BatchDiagnoser, ResponseBatch
+from .store import ArtifactStore
+
+__all__ = ["DiagnosisService", "CircuitStats", "ServiceStats"]
+
+
+@dataclass
+class CircuitStats:
+    """Counters for one named circuit."""
+
+    requests: int = 0
+    responses_diagnosed: int = 0
+    total_latency_seconds: float = 0.0
+    warm_loads: int = 0
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.total_latency_seconds / self.requests
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters plus the per-circuit breakdown."""
+
+    requests: int = 0
+    responses_diagnosed: int = 0
+    total_latency_seconds: float = 0.0
+    evictions: int = 0
+    per_circuit: Dict[str, CircuitStats] = field(default_factory=dict)
+
+    def for_circuit(self, name: str) -> CircuitStats:
+        return self.per_circuit.setdefault(name, CircuitStats())
+
+
+@dataclass
+class _Engine:
+    """One warmed circuit: the pipeline result + its batch diagnoser."""
+
+    result: ATPGResult
+    diagnoser: BatchDiagnoser
+
+
+class DiagnosisService:
+    """Multi-circuit diagnosis frontend with an engine LRU.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration used to warm engines (defaults to
+        :meth:`PipelineConfig.paper`).
+    store:
+        Optional artifact store; warmed engines then load cached
+        dictionaries/GA results instead of re-simulating.
+    max_engines:
+        LRU capacity: the least recently used engine is evicted when a
+        warm-up would exceed it.
+    seed:
+        GA seed used for every warm-up (per-circuit determinism).
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 store: Optional[ArtifactStore] = None,
+                 max_engines: int = 4, seed: int = 0) -> None:
+        if max_engines < 1:
+            raise ServiceError("max_engines must be >= 1")
+        self.config = config or PipelineConfig.paper()
+        self.store = store
+        self.max_engines = max_engines
+        self.seed = seed
+        self.stats = ServiceStats()
+        self._circuits: Dict[str, CircuitInfo] = {}
+        self._engines: "OrderedDict[str, _Engine]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Circuit registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, info: CircuitInfo) -> None:
+        """Register a custom circuit under ``name``.
+
+        Benchmark circuits (see ``BENCHMARK_CIRCUITS``) resolve by name
+        automatically and need no registration.
+        """
+        with self._lock:
+            self._circuits[name] = info
+
+    def _resolve(self, name: str) -> CircuitInfo:
+        with self._lock:
+            info = self._circuits.get(name)
+        if info is not None:
+            return info
+        if name in BENCHMARK_CIRCUITS:
+            return get_benchmark(name)
+        raise ServiceError(
+            f"unknown circuit {name!r}; register() it or use one of "
+            f"{sorted(BENCHMARK_CIRCUITS)}")
+
+    @property
+    def warmed_circuits(self) -> Tuple[str, ...]:
+        """Currently warmed circuit names, least recently used first."""
+        with self._lock:
+            return tuple(self._engines)
+
+    # ------------------------------------------------------------------
+    # Warm-up / LRU
+    # ------------------------------------------------------------------
+    def warm(self, circuit_name: str) -> ATPGResult:
+        """Ensure an engine for ``circuit_name`` is loaded; return its
+        pipeline result. Runs the ATPG flow (store-accelerated when a
+        store is configured) on a cold miss."""
+        return self._engine(circuit_name).result
+
+    def _engine(self, circuit_name: str) -> _Engine:
+        with self._lock:
+            engine = self._engines.get(circuit_name)
+            if engine is not None:
+                self._engines.move_to_end(circuit_name)
+                return engine
+        # Build outside the lock: warming is slow and other circuits'
+        # requests must not stall behind it.
+        info = self._resolve(circuit_name)
+        result = FaultTrajectoryATPG(info, self.config).run(
+            seed=self.seed, store=self.store)
+        engine = _Engine(result=result,
+                         diagnoser=result.batch_diagnoser())
+        with self._lock:
+            raced = self._engines.get(circuit_name)
+            if raced is not None:        # concurrent warm-up won
+                self._engines.move_to_end(circuit_name)
+                return raced
+            self._engines[circuit_name] = engine
+            self.stats.for_circuit(circuit_name).warm_loads += 1
+            while len(self._engines) > self.max_engines:
+                self._engines.popitem(last=False)
+                self.stats.evictions += 1
+        return engine
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(self, circuit_name: str,
+               responses: ResponseBatch) -> List[Diagnosis]:
+        """Diagnose a batch of measured responses for one circuit.
+
+        ``responses`` is a sequence of
+        :class:`~repro.sim.ac.FrequencyResponse` objects or an (N, F)
+        matrix of dB magnitudes at the circuit's test vector (ascending
+        frequency order). Returns one :class:`Diagnosis` per row.
+        """
+        started = time.perf_counter()
+        engine = self._engine(circuit_name)
+        diagnoses = engine.diagnoser.classify_responses(responses)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            for scope in (self.stats,
+                          self.stats.for_circuit(circuit_name)):
+                scope.requests += 1
+                scope.responses_diagnosed += len(diagnoses)
+                scope.total_latency_seconds += elapsed
+        return diagnoses
+
+    def test_vector_hz(self, circuit_name: str) -> Tuple[float, ...]:
+        """The warmed test vector for a circuit (what to measure at)."""
+        return self._engine(circuit_name).result.test_vector_hz

@@ -1,0 +1,313 @@
+"""Content-addressed, on-disk artifact store for pipeline products.
+
+Every expensive artifact of the ATPG flow -- the dense fault
+dictionary, the GA search result, the exact test-vector dictionary and
+the trajectory set -- is a deterministic function of (netlist canonical
+form, fault universe spec, frequency grid, pipeline config [, seed]).
+This module hashes that tuple into a stable SHA-256 key and persists
+the artifacts under it, so a repeat ``FaultTrajectoryATPG.run()`` with
+``store=`` loads everything back instead of re-simulating.
+
+Layout: ``<root>/<kind>/<key[:2]>/<key>/`` holding the artifact's
+files. Writers populate a temporary sibling directory and ``os.rename``
+it into place, so concurrent readers only ever observe complete
+artifacts; a lost rename race simply discards the duplicate.
+
+Each artifact is keyed on *only* the inputs it depends on, so sweeping
+a GA knob reuses the cached dictionary and two configs landing on the
+same test vector share the exact dictionary:
+
+* dictionary      <- problem (netlist, ports, universe) + dense grid
+* ga              <- dictionary key + search config + seed
+* exact           <- problem + test vector
+* trajectories    <- exact key + mapper options
+
+Execution-only knobs (``n_workers``, ``executor``) never enter a key:
+a dictionary built on 8 workers is byte-identical to the serial one
+and must share its cache slot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import shutil
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.library import CircuitInfo
+from ..errors import StoreError
+from ..faults.dictionary import FaultDictionary, fault_to_json
+from ..faults.universe import FaultUniverse
+from ..ga.engine import GAResult, GenerationStats
+from ..trajectory.mapping import SignatureMapper
+from ..trajectory.trajectory import FaultTrajectory, TrajectorySet
+
+__all__ = ["ArtifactStore", "StoreStats", "problem_key", "derive_key",
+           "ga_search_key", "trajectory_key"]
+
+
+_KEY_PATTERN = re.compile(r"[0-9a-f]{64}")
+_KIND_PATTERN = re.compile(r"[a-z][a-z0-9_-]*")
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/put counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def snapshot(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Key construction
+# ----------------------------------------------------------------------
+def _digest(payload) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def problem_key(info: CircuitInfo, universe: FaultUniverse) -> str:
+    """Stable content key of one diagnosis problem statement.
+
+    Hashes the netlist canonical form, the measurement ports and the
+    fault universe spec -- the inputs every simulation artifact depends
+    on. Identical inputs produce the identical key in any process on
+    any machine (floats are rendered in shortest round-trip form).
+    Artifact-specific inputs (grid, search config, seed, test vector)
+    are layered on with :func:`derive_key`.
+    """
+    payload = {
+        "netlist": universe.circuit.canonical_form(),
+        "output_node": info.output_node,
+        "input_source": info.input_source,
+        "universe": [fault_to_json(fault) for fault in universe.faults],
+    }
+    return _digest(payload)
+
+
+def derive_key(base_key: str, *parts) -> str:
+    """Sub-key of a problem key (e.g. per-grid dictionary)."""
+    return _digest([base_key, list(parts)])
+
+
+def ga_search_key(dictionary_key: str, info: CircuitInfo, config,
+                  seed) -> str:
+    """Key of one GA search: the surface it ran on + every knob that
+    steers it (frequency space bounds, fitness shape, GA hyper-
+    parameters, seed). Knobs that never change the search --
+    ``ambiguity_threshold``, ``n_workers``, ``executor`` -- stay out,
+    so sweeping them reuses the cached result. (The deviation grid
+    reaches this key through ``dictionary_key``: it reshapes the
+    universe the surface was built from.)"""
+    payload = {
+        "f_min_hz": float(info.f_min_hz),
+        "f_max_hz": float(info.f_max_hz),
+        "num_frequencies": config.num_frequencies,
+        "signature_scale": config.signature_scale,
+        "relative_to_golden": config.relative_to_golden,
+        "fitness": config.fitness,
+        "overlap_weight": config.overlap_weight,
+        "margin_weight": config.margin_weight,
+        "margin_scale": config.margin_scale,
+        "ga": dataclasses.asdict(config.ga),
+        "seed": seed,
+    }
+    return _digest([dictionary_key, "ga", payload])
+
+
+def trajectory_key(exact_key: str, config) -> str:
+    """Key of a trajectory set: the exact dictionary it was mapped
+    from (test vector included there) + the mapper options."""
+    return _digest([exact_key, "trajectories", config.signature_scale,
+                    config.relative_to_golden])
+
+
+# ----------------------------------------------------------------------
+# GA result (de)serialisation
+# ----------------------------------------------------------------------
+def _ga_result_to_json(result: GAResult) -> dict:
+    return {
+        "best_freqs_hz": [float(f) for f in result.best_freqs_hz],
+        "best_fitness": result.best_fitness,
+        "generations_run": result.generations_run,
+        "evaluations": result.evaluations,
+        "elapsed_seconds": result.elapsed_seconds,
+        "history": [dataclasses.asdict(stats) for stats in result.history],
+        "final_population": np.asarray(result.final_population,
+                                       dtype=float).tolist(),
+        "final_fitness": np.asarray(result.final_fitness,
+                                    dtype=float).tolist(),
+    }
+
+
+def _ga_result_from_json(data: dict) -> GAResult:
+    history = [GenerationStats(
+        generation=entry["generation"],
+        best_fitness=entry["best_fitness"],
+        mean_fitness=entry["mean_fitness"],
+        std_fitness=entry["std_fitness"],
+        best_freqs_hz=tuple(entry["best_freqs_hz"]),
+    ) for entry in data["history"]]
+    return GAResult(
+        best_freqs_hz=tuple(data["best_freqs_hz"]),
+        best_fitness=data["best_fitness"],
+        history=history,
+        generations_run=data["generations_run"],
+        evaluations=data["evaluations"],
+        elapsed_seconds=data["elapsed_seconds"],
+        final_population=np.asarray(data["final_population"], dtype=float),
+        final_fitness=np.asarray(data["final_fitness"], dtype=float),
+    )
+
+
+class ArtifactStore:
+    """Content-addressed cache of pipeline artifacts on local disk."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # -- key helpers exposed on the instance so callers need no extra
+    # -- imports (core.atpg stays free of runtime imports).
+    problem_key = staticmethod(problem_key)
+    derive_key = staticmethod(derive_key)
+    ga_search_key = staticmethod(ga_search_key)
+    trajectory_key = staticmethod(trajectory_key)
+
+    # ------------------------------------------------------------------
+    # Directory plumbing
+    # ------------------------------------------------------------------
+    def _slot(self, kind: str, key: str) -> Path:
+        # Keys are always SHA-256 hex digests and kinds simple names:
+        # anything else ('..', separators, ...) could escape the root.
+        if not _KEY_PATTERN.fullmatch(key or ""):
+            raise StoreError(f"invalid artifact key {key!r}")
+        if not _KIND_PATTERN.fullmatch(kind or ""):
+            raise StoreError(f"invalid artifact kind {kind!r}")
+        return self.root / kind / key[:2] / key
+
+    def has(self, kind: str, key: str) -> bool:
+        return self._slot(kind, key).is_dir()
+
+    def _open(self, kind: str, key: str) -> Optional[Path]:
+        slot = self._slot(kind, key)
+        if slot.is_dir():
+            self.stats.hits += 1
+            return slot
+        self.stats.misses += 1
+        return None
+
+    def _publish(self, kind: str, key: str, populate) -> None:
+        """Write an artifact atomically: populate a temp dir, rename it.
+
+        ``populate`` receives the temp directory path. If another
+        writer wins the rename race the temp copy is discarded -- both
+        writers produced identical content by construction.
+        """
+        slot = self._slot(kind, key)
+        slot.parent.mkdir(parents=True, exist_ok=True)
+        scratch = slot.parent / f".tmp-{key[:8]}-{uuid.uuid4().hex}"
+        scratch.mkdir()
+        published = False
+        try:
+            populate(scratch)
+            try:
+                os.rename(scratch, slot)
+                published = True
+            except OSError:
+                if not slot.is_dir():
+                    raise
+                shutil.rmtree(scratch, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise
+        if published:
+            self.stats.puts += 1
+
+    # ------------------------------------------------------------------
+    # Fault dictionaries
+    # ------------------------------------------------------------------
+    def load_dictionary(self, kind: str, key: str
+                        ) -> Optional[FaultDictionary]:
+        slot = self._open(kind, key)
+        if slot is None:
+            return None
+        return FaultDictionary.load(slot / "dictionary")
+
+    def save_dictionary(self, kind: str, key: str,
+                        dictionary: FaultDictionary) -> None:
+        self._publish(kind, key,
+                      lambda scratch: dictionary.save(scratch / "dictionary"))
+
+    # ------------------------------------------------------------------
+    # GA results
+    # ------------------------------------------------------------------
+    def load_ga_result(self, key: str) -> Optional[GAResult]:
+        slot = self._open("ga", key)
+        if slot is None:
+            return None
+        data = json.loads((slot / "result.json").read_text())
+        return _ga_result_from_json(data)
+
+    def save_ga_result(self, key: str, result: GAResult) -> None:
+        payload = json.dumps(_ga_result_to_json(result))
+        self._publish(
+            "ga", key,
+            lambda scratch: (scratch / "result.json").write_text(payload))
+
+    # ------------------------------------------------------------------
+    # Trajectory sets
+    # ------------------------------------------------------------------
+    def load_trajectories(self, key: str) -> Optional[TrajectorySet]:
+        slot = self._open("trajectories", key)
+        if slot is None:
+            return None
+        metadata = json.loads((slot / "trajectories.json").read_text())
+        arrays = np.load(slot / "trajectories.npz")
+        mapper = SignatureMapper(
+            tuple(metadata["mapper"]["test_freqs_hz"]),
+            scale=metadata["mapper"]["scale"],
+            relative_to_golden=metadata["mapper"]["relative_to_golden"])
+        trajectories = []
+        for index, component in enumerate(metadata["components"]):
+            trajectories.append(FaultTrajectory(
+                component,
+                tuple(metadata["deviations"][index]),
+                arrays[f"points_{index}"]))
+        return TrajectorySet(mapper, trajectories)
+
+    def save_trajectories(self, key: str,
+                          trajectories: TrajectorySet) -> None:
+        mapper = trajectories.mapper
+        metadata = {
+            "mapper": {
+                "test_freqs_hz": [float(f) for f in mapper.test_freqs_hz],
+                "scale": mapper.scale,
+                "relative_to_golden": mapper.relative_to_golden,
+            },
+            "components": list(trajectories.components),
+            "deviations": [[float(d) for d in t.deviations]
+                           for t in trajectories],
+        }
+        arrays = {f"points_{index}": t.points
+                  for index, t in enumerate(trajectories)}
+
+        def populate(scratch: Path) -> None:
+            (scratch / "trajectories.json").write_text(
+                json.dumps(metadata))
+            np.savez_compressed(scratch / "trajectories.npz", **arrays)
+
+        self._publish("trajectories", key, populate)

@@ -155,3 +155,34 @@ class TestMutation:
         text = build_divider().summary()
         for name in ("VIN", "R1", "R2"):
             assert name in text
+
+
+class TestCanonicalForm:
+    def test_canonical_form_is_deterministic(self):
+        assert build_divider().canonical_form() == \
+            build_divider().canonical_form()
+        assert build_divider().content_hash() == \
+            build_divider().content_hash()
+
+    def test_canonical_form_lists_every_component(self):
+        text = build_divider().canonical_form()
+        for name in ("VIN", "R1", "R2"):
+            assert f"name={name}" in text
+
+    def test_hash_tracks_values_and_topology(self):
+        base = build_divider().content_hash()
+        assert build_divider().with_value("R1", 11e3).content_hash() \
+            != base
+        renodal = build_divider()
+        renodal.add_resistor("R3", "out", "0", 1e3)
+        assert renodal.content_hash() != base
+
+    def test_clone_hashes_equal(self):
+        ckt = build_divider()
+        assert ckt.clone().content_hash() == ckt.content_hash()
+
+    def test_opamp_macro_params_hashed_sorted(self):
+        from repro.circuits.library import tow_thomas_biquad
+        a = tow_thomas_biquad(ideal_opamps=False)
+        b = tow_thomas_biquad(ideal_opamps=False)
+        assert a.circuit.content_hash() == b.circuit.content_hash()

@@ -1,0 +1,97 @@
+"""Parallel dictionary builds: exact equality with the serial builder."""
+
+import numpy as np
+import pytest
+
+from repro import parametric_universe, rc_lowpass, tow_thomas_biquad
+from repro.errors import DictionaryError
+from repro.faults import FaultDictionary
+from repro.runtime import build_dictionary_parallel
+from repro.units import log_frequency_grid
+
+
+@pytest.fixture(scope="module")
+def setup():
+    info = tow_thomas_biquad(ideal_opamps=False)
+    universe = parametric_universe(info.circuit,
+                                   components=info.faultable,
+                                   deviations=(-0.4, -0.2, 0.2, 0.4))
+    grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 48)
+    serial = FaultDictionary.build(universe, info.output_node, grid,
+                                   input_source=info.input_source)
+    return info, universe, grid, serial
+
+
+def _assert_identical(parallel, serial):
+    assert parallel.circuit_name == serial.circuit_name
+    assert parallel.labels == serial.labels
+    assert np.array_equal(parallel.freqs_hz, serial.freqs_hz)
+    assert np.array_equal(parallel.golden.values, serial.golden.values)
+    for built, reference in zip(parallel.entries, serial.entries):
+        assert built.fault == reference.fault
+        assert built.response.label == reference.response.label
+        assert np.array_equal(built.response.values,
+                              reference.response.values)
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_parallel_equals_serial(setup, executor):
+    info, universe, grid, serial = setup
+    parallel = build_dictionary_parallel(
+        universe, info.output_node, grid,
+        input_source=info.input_source, n_workers=3, executor=executor)
+    _assert_identical(parallel, serial)
+
+
+def test_chunk_size_does_not_change_result(setup):
+    info, universe, grid, serial = setup
+    for chunk_size in (1, 5, 100):
+        parallel = build_dictionary_parallel(
+            universe, info.output_node, grid,
+            input_source=info.input_source, n_workers=2,
+            executor="thread", chunk_size=chunk_size)
+        _assert_identical(parallel, serial)
+
+
+def test_single_worker_falls_back_to_serial(setup):
+    info, universe, grid, serial = setup
+    for n_workers in (0, 1):
+        fallback = build_dictionary_parallel(
+            universe, info.output_node, grid,
+            input_source=info.input_source, n_workers=n_workers)
+        _assert_identical(fallback, serial)
+
+
+def test_invalid_executor_rejected(setup):
+    info, universe, grid, _ = setup
+    with pytest.raises(DictionaryError):
+        build_dictionary_parallel(universe, info.output_node, grid,
+                                  n_workers=2, executor="gpu")
+
+
+def test_counts_as_a_simulation(setup):
+    info, universe, grid, _ = setup
+    before = FaultDictionary.simulations_run
+    build_dictionary_parallel(universe, info.output_node, grid,
+                              input_source=info.input_source,
+                              n_workers=2, executor="thread")
+    assert FaultDictionary.simulations_run == before + 1
+
+
+def test_pipeline_config_threads_workers():
+    """n_workers/executor flow from PipelineConfig into the build and
+    reproduce the serial pipeline exactly."""
+    from repro import FaultTrajectoryATPG, PipelineConfig
+    from repro.ga import GAConfig
+
+    info = rc_lowpass()
+    ga = GAConfig(population_size=8, generations=2)
+    serial_cfg = PipelineConfig(dictionary_points=32,
+                                deviations=(-0.2, 0.2), ga=ga)
+    pooled_cfg = PipelineConfig(dictionary_points=32,
+                                deviations=(-0.2, 0.2), ga=ga,
+                                n_workers=2, executor="thread")
+    serial = FaultTrajectoryATPG(info, serial_cfg).run(seed=7)
+    pooled = FaultTrajectoryATPG(info, pooled_cfg).run(seed=7)
+    assert pooled.test_vector_hz == serial.test_vector_hz
+    _assert_identical(pooled.dictionary, serial.dictionary)

@@ -1,0 +1,102 @@
+"""DiagnosisService: warm-up, batched submits, LRU and counters."""
+
+import numpy as np
+import pytest
+
+from repro import ArtifactStore, DiagnosisService, PipelineConfig, \
+    rc_lowpass
+from repro.errors import ServiceError
+from repro.ga import GAConfig
+from repro.sim import ACAnalysis
+
+QUICK = PipelineConfig(dictionary_points=32, deviations=(-0.2, 0.2),
+                       ga=GAConfig(population_size=8, generations=2))
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return DiagnosisService(config=QUICK,
+                            store=ArtifactStore(tmp_path / "store"),
+                            max_engines=2, seed=3)
+
+
+def _measured_batch(info, freqs, specs):
+    rows = []
+    for component, deviation in specs:
+        faulty = info.circuit.scaled_value(component, 1.0 + deviation)
+        response = ACAnalysis(faulty).transfer(info.output_node, freqs)
+        rows.append(response.magnitude_db_at(freqs))
+    return np.vstack(rows)
+
+
+class TestServiceRequests:
+    def test_submit_diagnoses_batches(self, service):
+        info = rc_lowpass()
+        service.register("dut", info)
+        freqs = np.array(sorted(service.test_vector_hz("dut")))
+        batch = _measured_batch(info, freqs, (("R1", 0.15),
+                                              ("C1", -0.12),
+                                              ("R1", -0.18)))
+        diagnoses = service.submit("dut", batch)
+        assert len(diagnoses) == 3
+        assert all(d.component in info.faultable for d in diagnoses)
+        # submit() agrees with the warmed engine's scalar classifier.
+        result = service.warm("dut")
+        scalar = [result.diagnose_response(
+            ACAnalysis(info.circuit.scaled_value(c, 1.0 + d)).transfer(
+                info.output_node, freqs))
+            for c, d in (("R1", 0.15), ("C1", -0.12), ("R1", -0.18))]
+        assert [d.component for d in diagnoses] == \
+            [d.component for d in scalar]
+
+    def test_benchmark_circuits_resolve_by_name(self, service):
+        result = service.warm("rc_lowpass")
+        assert result.info.circuit.name == "rc_lowpass"
+        assert service.warmed_circuits == ("rc_lowpass",)
+
+    def test_unknown_circuit_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.submit("not_a_circuit", np.zeros((1, 2)))
+
+    def test_counters_accumulate(self, service):
+        info = rc_lowpass()
+        service.register("dut", info)
+        freqs = np.array(sorted(service.test_vector_hz("dut")))
+        batch = _measured_batch(info, freqs, (("R1", 0.15),
+                                              ("C1", -0.12)))
+        service.submit("dut", batch)
+        service.submit("dut", batch)
+        assert service.stats.requests == 2
+        assert service.stats.responses_diagnosed == 4
+        assert service.stats.total_latency_seconds > 0.0
+        per = service.stats.per_circuit["dut"]
+        assert per.requests == 2
+        assert per.responses_diagnosed == 4
+        assert per.warm_loads == 1
+        assert per.mean_latency_seconds > 0.0
+
+
+class TestServiceLru:
+    def test_lru_evicts_least_recently_used(self, tmp_path):
+        service = DiagnosisService(config=QUICK, max_engines=1, seed=3,
+                                   store=ArtifactStore(tmp_path))
+        service.warm("rc_lowpass")
+        service.warm("voltage_divider")
+        assert service.warmed_circuits == ("voltage_divider",)
+        assert service.stats.evictions == 1
+        # Re-warming the evicted circuit hits the artifact store, so no
+        # fault simulation reruns.
+        from repro.faults import FaultDictionary
+        before = FaultDictionary.simulations_run
+        service.warm("rc_lowpass")
+        assert FaultDictionary.simulations_run == before
+
+    def test_warm_hits_keep_engine_hot(self, service):
+        service.warm("rc_lowpass")
+        first = service._engine("rc_lowpass")
+        assert service._engine("rc_lowpass") is first
+        assert service.stats.per_circuit["rc_lowpass"].warm_loads == 1
+
+    def test_max_engines_validated(self):
+        with pytest.raises(ServiceError):
+            DiagnosisService(max_engines=0)
