@@ -196,8 +196,17 @@ class TestProjection:
         ends = np.array([b])
         point = starts[0] + t * (ends[0] - starts[0])
         distance = point_to_segments_distance(point, starts, ends)[0]
-        scale = max(np.linalg.norm(ends[0] - starts[0]), 1.0)
-        assert distance <= 1e-9 * scale + 1e-12
+        direction = ends[0] - starts[0]
+        length_sq = float(np.dot(direction, direction))
+        if length_sq <= 1e-12:
+            # Below the degeneracy threshold (geometry._EPS, gated on
+            # the squared length exactly as here) the segment is
+            # treated as a point at its start, so the distance can be
+            # as large as the segment itself.
+            assert distance <= np.sqrt(length_sq) + 1e-12
+        else:
+            scale = max(np.sqrt(length_sq), 1.0)
+            assert distance <= 1e-9 * scale + 1e-12
 
 
 class TestPolylines:
