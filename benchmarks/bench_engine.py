@@ -1,0 +1,234 @@
+"""T-ENGINE -- stamp-once/solve-many simulation engine performance.
+
+Measures the two hot paths the ``repro.sim.engine`` layer accelerates
+and writes a machine-readable ``BENCH_engine.json``:
+
+* **dictionary build, scalar vs batched** -- ``FaultDictionary.build``
+  through :class:`ScalarMnaEngine` (one circuit assembly + sweep per
+  fault, the historical path) against :class:`BatchedMnaEngine`
+  (delta-stamped variants, chunked batched solves), in two regimes:
+
+  - *dense*: the 401-point dictionary grid. Here LAPACK factorisation
+    time dominates and is identical on both paths (same per-matrix
+    solves, bitwise-equal results), so the speedup is modest;
+  - *test_vector*: the exact dictionary at a 2-frequency test vector --
+    the per-run pipeline stage and the serving-shaped workload. Here
+    per-fault assembly overhead dominates the scalar path and
+    stamp-once wins big.
+
+* **GA generation evaluation, per-individual vs population** --
+  ``fitness(vector)`` in a Python loop against
+  ``fitness.score_population`` (one shared response-surface sampling
+  pass + memo-deduplicated scoring) on identical fresh-cache
+  populations.
+
+Both comparisons assert result equality before timing is trusted.
+
+Run standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out F]
+
+``--quick`` shrinks every workload for the CI smoke job; ``--check``
+additionally validates the emitted JSON structure and exits non-zero on
+a malformed report, so the harness cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    BatchedMnaEngine,
+    ScalarMnaEngine,
+    parametric_universe,
+    tow_thomas_biquad,
+)
+from repro.faults import FaultDictionary, ResponseSurface
+from repro.ga import PaperFitness
+from repro.ga.encoding import FrequencySpace
+from repro.units import log_frequency_grid
+
+SEED = 2005
+
+REQUIRED_KEYS = {
+    "dictionary_build": ("dense", "test_vector"),
+    "ga_evaluation": ("per_individual_s", "population_s", "speedup"),
+}
+
+
+def _best_of(repeats, func):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _assert_identical(built, reference):
+    assert built.labels == reference.labels
+    assert np.array_equal(built.golden.values, reference.golden.values)
+    for a, b in zip(built.entries, reference.entries):
+        assert np.array_equal(a.response.values, b.response.values)
+
+
+def bench_dictionary_build(info, universe, grid, repeats):
+    """Scalar vs batched build on one grid; results asserted equal."""
+    scalar_s, scalar = _best_of(repeats, lambda: FaultDictionary.build(
+        universe, info.output_node, grid,
+        input_source=info.input_source,
+        engine=ScalarMnaEngine(info.circuit)))
+    batched_s, batched = _best_of(repeats, lambda: FaultDictionary.build(
+        universe, info.output_node, grid,
+        input_source=info.input_source,
+        engine=BatchedMnaEngine(info.circuit)))
+    # Warm: the pipeline stamps once and reuses the engine across the
+    # dense grid, the exact grid and held-out case generation.
+    engine = BatchedMnaEngine(info.circuit)
+    warm_s, _ = _best_of(repeats, lambda: FaultDictionary.build(
+        universe, info.output_node, grid,
+        input_source=info.input_source, engine=engine))
+    _assert_identical(batched, scalar)
+    return {
+        "points": int(np.asarray(grid).size),
+        "n_variants": len(universe) + 1,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "batched_warm_s": warm_s,
+        "speedup": scalar_s / batched_s,
+        "speedup_warm": scalar_s / warm_s,
+    }
+
+
+def bench_ga_evaluation(info, universe, grid, population_size, repeats):
+    """Per-individual loop vs score_population on fresh caches."""
+    dictionary = FaultDictionary.build(
+        universe, info.output_node, grid,
+        input_source=info.input_source)
+    space = FrequencySpace(info.f_min_hz, info.f_max_hz, 2)
+    rng = np.random.default_rng(SEED)
+    population = space.random_population(rng, population_size)
+    decoded = [space.decode(genome) for genome in population]
+
+    def per_individual():
+        fitness = PaperFitness(ResponseSurface(dictionary))
+        return np.array([fitness(freqs) for freqs in decoded])
+
+    def population_level():
+        fitness = PaperFitness(ResponseSurface(dictionary))
+        return fitness.score_population(decoded)
+
+    individual_s, individual_scores = _best_of(repeats, per_individual)
+    population_s, population_scores = _best_of(repeats, population_level)
+    assert np.array_equal(individual_scores, population_scores)
+    return {
+        "population": population_size,
+        "per_individual_s": individual_s,
+        "population_s": population_s,
+        "speedup": individual_s / population_s,
+    }
+
+
+def run(quick: bool) -> dict:
+    info = tow_thomas_biquad(ideal_opamps=False)
+    universe = parametric_universe(info.circuit,
+                                   components=info.faultable)
+    dense_points = 101 if quick else 401
+    repeats = 2 if quick else 5
+    dense_grid = log_frequency_grid(info.f_min_hz, info.f_max_hz,
+                                    dense_points)
+    test_vector = np.array([500.0, 1500.0])
+
+    report = {
+        "benchmark": "T-ENGINE",
+        "quick": quick,
+        "circuit": info.circuit.name,
+        "n_faults": len(universe),
+        "dictionary_build": {
+            "dense": bench_dictionary_build(info, universe, dense_grid,
+                                            repeats),
+            "test_vector": bench_dictionary_build(
+                info, universe, test_vector,
+                repeats=10 if quick else 30),
+        },
+        "ga_evaluation": bench_ga_evaluation(
+            info, universe, dense_grid,
+            population_size=32 if quick else 128,
+            repeats=2 if quick else 3),
+        "notes": (
+            "All timed paths are asserted bitwise-equal before the "
+            "numbers are trusted. 'test_vector' is the exact-dictionary "
+            "stage every pipeline run and diagnosis request executes; "
+            "'dense' is LAPACK-bound, so both paths share its floor."),
+    }
+    report["dictionary_build_speedup"] = \
+        report["dictionary_build"]["test_vector"]["speedup"]
+    return report
+
+
+def check(report: dict) -> None:
+    """Validate the report structure (the CI smoke contract)."""
+    for key, fields in REQUIRED_KEYS.items():
+        section = report[key]
+        for field in fields:
+            if field not in section:
+                raise SystemExit(
+                    f"BENCH_engine.json missing {key}.{field}")
+    for regime in ("dense", "test_vector"):
+        for field in ("scalar_s", "batched_s", "speedup"):
+            value = report["dictionary_build"][regime][field]
+            if not (isinstance(value, float) and value > 0.0):
+                raise SystemExit(
+                    f"BENCH_engine.json has bad "
+                    f"dictionary_build.{regime}.{field}: {value!r}")
+    if report["dictionary_build_speedup"] <= 0.0:
+        raise SystemExit("bad headline dictionary_build_speedup")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workloads (CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the emitted JSON structure")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "out" /
+                        "BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    build = report["dictionary_build"]
+    print(f"dictionary build (dense, {build['dense']['points']} pts): "
+          f"scalar {build['dense']['scalar_s'] * 1e3:.1f} ms, "
+          f"batched {build['dense']['batched_s'] * 1e3:.1f} ms "
+          f"({build['dense']['speedup']:.2f}x)")
+    tv = build["test_vector"]
+    print(f"dictionary build (test vector, {tv['points']} pts): "
+          f"scalar {tv['scalar_s'] * 1e3:.2f} ms, "
+          f"batched {tv['batched_s'] * 1e3:.2f} ms "
+          f"({tv['speedup']:.2f}x cold, {tv['speedup_warm']:.2f}x warm)")
+    ga = report["ga_evaluation"]
+    print(f"GA evaluation ({ga['population']} individuals): "
+          f"per-individual {ga['per_individual_s'] * 1e3:.1f} ms, "
+          f"population {ga['population_s'] * 1e3:.1f} ms "
+          f"({ga['speedup']:.2f}x)")
+    print(f"wrote {args.out}")
+    if args.check:
+        check(report)
+        print("structure check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,10 +91,16 @@ from .ga import (
 )
 from .sim import (
     ACAnalysis,
+    BatchedMnaEngine,
     DCAnalysis,
     FrequencyResponse,
     MnaSystem,
+    ResponseBlock,
+    ScalarMnaEngine,
+    SimulationEngine,
     TransientAnalysis,
+    VariantSpec,
+    make_engine,
     sensitivity_analysis,
 )
 from .trajectory import (
@@ -132,6 +138,12 @@ __all__ = [
     "TransientAnalysis",
     "FrequencyResponse",
     "sensitivity_analysis",
+    "SimulationEngine",
+    "BatchedMnaEngine",
+    "ScalarMnaEngine",
+    "ResponseBlock",
+    "VariantSpec",
+    "make_engine",
     # faults
     "ParametricFault",
     "CatastrophicFault",

@@ -48,6 +48,7 @@ from ..ga.fitness import (
     TrajectoryFitness,
 )
 from ..sim.ac import FrequencyResponse
+from ..sim.engine import SimulationEngine, make_engine
 from ..trajectory.mapping import SignatureMapper
 from ..trajectory.metrics import TrajectoryMetrics, evaluate_metrics
 from ..trajectory.trajectory import TrajectorySet
@@ -76,6 +77,9 @@ class ATPGResult:
     #: Which artifacts a ``store=`` run loaded instead of recomputing
     #: (subset of {"dictionary", "ga", "exact", "trajectories"}).
     cache_hits: Tuple[str, ...] = ()
+    #: The simulation engine the pipeline ran on (already stamped for
+    #: this circuit); :meth:`evaluate` reuses it for case generation.
+    engine: Optional[SimulationEngine] = None
 
     # ------------------------------------------------------------------
     @property
@@ -137,9 +141,11 @@ class ATPGResult:
             self.info, self.mapper,
             components=self.universe.components,
             deviations=deviations, noise_db=noise_db,
-            tolerance=tolerance, repeats=repeats, seed=seed)
+            tolerance=tolerance, repeats=repeats, seed=seed,
+            engine=self.engine)
         return evaluate_classifier(self.classifier, cases,
-                                   groups=self.groups)
+                                   groups=self.groups,
+                                   diagnoser=self.batch_diagnoser())
 
     def report(self) -> str:
         """Human-readable run summary."""
@@ -177,6 +183,10 @@ class FaultTrajectoryATPG:
         if not self.components:
             raise ReproError(
                 f"{info.circuit.name}: no faultable components")
+        # One engine for the whole pipeline: the nominal circuit is
+        # stamped once here and reused by the dense dictionary, the
+        # exact test-vector dictionary and held-out case generation.
+        self.engine = make_engine(info.circuit, self.config.engine)
 
     # ------------------------------------------------------------------
     def _simulate_dictionary(self, universe: FaultUniverse,
@@ -188,10 +198,12 @@ class FaultTrajectoryATPG:
                 universe, self.info.output_node, freqs_hz,
                 input_source=self.info.input_source,
                 n_workers=self.config.n_workers,
-                executor=self.config.executor)
+                executor=self.config.executor,
+                engine_kind=self.config.engine)
         return FaultDictionary.build(
             universe, self.info.output_node, freqs_hz,
-            input_source=self.info.input_source)
+            input_source=self.info.input_source,
+            engine=self.engine)
 
     def _stage_inputs(self) -> Tuple[FaultUniverse, np.ndarray]:
         """Stage 1: the fault universe and the dense dictionary grid."""
@@ -277,7 +289,8 @@ class FaultTrajectoryATPG:
                                    self.config.num_frequencies)
             surface = ResponseSurface(dictionary)
             fitness = self.make_fitness(surface)
-            ga = GeneticAlgorithm(space, fitness, self.config.ga)
+            ga = GeneticAlgorithm(space, fitness, self.config.ga,
+                                  n_workers=self.config.n_workers)
             ga_result = ga.run(seed=seed)
             if ga_key:
                 store.save_ga_result(ga_key, ga_result)
@@ -331,6 +344,7 @@ class FaultTrajectoryATPG:
             groups=groups,
             elapsed_seconds=elapsed,
             cache_hits=tuple(cache_hits),
+            engine=self.engine,
         )
         if surface is not None:     # reuse the fitness's surface
             result._surface_cache = surface

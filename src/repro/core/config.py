@@ -8,6 +8,7 @@ from typing import Optional, Tuple
 from ..errors import ReproError
 from ..faults.models import paper_deviation_grid
 from ..ga.config import GAConfig
+from ..sim.engine import ENGINE_KINDS
 
 __all__ = ["PipelineConfig"]
 
@@ -44,11 +45,22 @@ class PipelineConfig:
         Trajectory separation (signature units) below which two
         components are reported as one ambiguity group.
     n_workers:
-        Worker count for parallel fault-dictionary builds. 0 or 1 keep
-        the serial builder; >= 2 fans the fault universe out over a
-        ``concurrent.futures`` pool (see ``repro.runtime.parallel``).
+        Worker count for parallel fault-dictionary builds and for
+        population-level GA evaluation. 0 or 1 keep the serial paths;
+        >= 2 fans dictionary variant blocks out over a
+        ``concurrent.futures`` pool (see ``repro.runtime.parallel``)
+        and uncached GA individuals over a thread pool.
     executor:
-        Pool kind for parallel builds: ``"process"`` or ``"thread"``.
+        Pool kind for parallel dictionary builds: ``"process"`` or
+        ``"thread"`` (GA evaluation always uses threads so the fitness
+        memo cache stays shared).
+    engine:
+        Simulation engine for every fault-simulation stage:
+        ``"batched"`` (default; stamp-once/solve-many
+        :class:`~repro.sim.engine.BatchedMnaEngine`) or ``"scalar"``
+        (one circuit assembly per variant -- the reference path, kept
+        for conservative deployments and equivalence testing). Both
+        produce bitwise-identical responses.
     """
 
     deviations: Tuple[float, ...] = field(
@@ -65,6 +77,7 @@ class PipelineConfig:
     ambiguity_threshold: float = 0.01
     n_workers: int = 0
     executor: str = "process"
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.fitness not in _FITNESS_KINDS:
@@ -86,6 +99,10 @@ class PipelineConfig:
             raise ReproError(
                 f"executor must be one of {_EXECUTOR_KINDS}, "
                 f"got {self.executor!r}")
+        if self.engine not in ENGINE_KINDS:
+            raise ReproError(
+                f"engine must be one of {ENGINE_KINDS}, "
+                f"got {self.engine!r}")
 
     @classmethod
     def paper(cls) -> "PipelineConfig":

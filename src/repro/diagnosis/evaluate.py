@@ -16,20 +16,23 @@ Tow-Thomas CUT has two such pairs, see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, \
-    Tuple
+    TYPE_CHECKING, Tuple
 
 import numpy as np
 
 from ..circuits.library import CircuitInfo
 from ..errors import DiagnosisError
 from ..faults.models import ParametricFault
-from ..sim.ac import ACAnalysis
+from ..sim.engine import BatchedMnaEngine, SimulationEngine, VariantSpec
 from ..trajectory.mapping import SignatureMapper
 from ..trajectory.metrics import pairwise_separations
 from ..trajectory.trajectory import TrajectorySet
-from .classifier import Diagnosis
+from .classifier import Diagnosis, TrajectoryClassifier
+
+if TYPE_CHECKING:  # avoid a diagnosis <-> runtime import cycle
+    from ..runtime.batch import BatchDiagnoser
 
 __all__ = [
     "DiagnosisCase",
@@ -179,7 +182,9 @@ def make_test_cases(info: CircuitInfo, mapper: SignatureMapper,
                     tolerance: float = 0.0,
                     repeats: int = 1,
                     rng: Optional[np.random.Generator] = None,
-                    seed: Optional[int] = None) -> List[DiagnosisCase]:
+                    seed: Optional[int] = None,
+                    engine: Optional[SimulationEngine] = None
+                    ) -> List[DiagnosisCase]:
     """Simulate unknown-fault measurements for a circuit.
 
     For every (component, held-out deviation) pair the faulty circuit is
@@ -188,6 +193,13 @@ def make_test_cases(info: CircuitInfo, mapper: SignatureMapper,
     ``tolerance`` perturbs every *other* passive uniformly within
     +/-tolerance (manufacturing spread); ``repeats`` draws that many
     noisy/toleranced instances per pair.
+
+    The whole case set is one simulation-engine variant block (golden
+    first), so the circuit is stamped once and every case solved
+    batched; ``engine`` optionally injects an already-stamped engine
+    (the pipeline result's). Random draws happen per case in the same
+    order the scalar loop used, so results for a given seed are
+    unchanged.
     """
     if noise_db < 0.0 or tolerance < 0.0:
         raise DiagnosisError("noise_db and tolerance must be >= 0")
@@ -195,45 +207,85 @@ def make_test_cases(info: CircuitInfo, mapper: SignatureMapper,
         raise DiagnosisError("repeats must be >= 1")
     if (noise_db > 0.0 or tolerance > 0.0) and rng is None:
         rng = np.random.default_rng(seed)
+    if engine is None:
+        engine = BatchedMnaEngine(info.circuit)
+    elif engine.circuit is not info.circuit:
+        raise DiagnosisError(
+            f"engine was built for circuit {engine.circuit.name!r}, "
+            f"cases target {info.circuit.name!r}")
 
     targets = tuple(components) if components else info.faultable
     freqs = np.array(sorted(mapper.test_freqs_hz))
-    golden_response = ACAnalysis(info.circuit).transfer(
-        info.output_node, freqs, info.input_source)
 
-    cases: List[DiagnosisCase] = []
+    variants: List[VariantSpec] = [VariantSpec(name=info.circuit.name)]
+    case_meta: List[Tuple[str, float, Optional[np.ndarray]]] = []
     for name in targets:
         for deviation in deviations:
             fault = ParametricFault(name, float(deviation))
             for _ in range(repeats):
-                circuit = fault.apply(info.circuit)
+                replacements = [fault.replacement_component(info.circuit)]
                 if tolerance > 0.0:
                     for other in info.faultable:
                         if other == name:
                             continue
                         spread = float(rng.uniform(-tolerance, tolerance))
-                        circuit = circuit.scaled_value(other, 1.0 + spread)
-                response = ACAnalysis(circuit).transfer(
-                    info.output_node, freqs, info.input_source)
-                point = mapper.signature(response, golden_response)
-                if noise_db > 0.0:
-                    point = point + rng.normal(0.0, noise_db,
-                                               size=point.shape)
-                cases.append(DiagnosisCase(name, float(deviation), point))
-    if not cases:
+                        component = info.circuit[other]
+                        replacements.append(component.with_value(
+                            component.value * (1.0 + spread)))
+                noise = rng.normal(0.0, noise_db,
+                                   size=mapper.dimension) \
+                    if noise_db > 0.0 else None
+                variants.append(VariantSpec(
+                    tuple(replacements),
+                    name=f"{info.circuit.name}#{fault.label}"))
+                case_meta.append((name, float(deviation), noise))
+    if not case_meta:
         raise DiagnosisError("no test cases generated")
+
+    block = engine.transfer_block(info.output_node, freqs, variants,
+                                  info.input_source)
+    golden_response = block.response(0)
+    cases: List[DiagnosisCase] = []
+    for index, (name, deviation, noise) in enumerate(case_meta):
+        point = mapper.signature(block.response(index + 1),
+                                 golden_response)
+        if noise is not None:
+            point = point + noise
+        cases.append(DiagnosisCase(name, deviation, point))
     return cases
 
 
 def evaluate_classifier(classifier: PointClassifier,
                         cases: Sequence[DiagnosisCase],
-                        groups: Tuple[FrozenSet[str], ...] = ()
+                        groups: Tuple[FrozenSet[str], ...] = (),
+                        diagnoser: Optional["BatchDiagnoser"] = None
                         ) -> EvaluationResult:
-    """Run every case through the classifier and aggregate."""
+    """Run every case through the classifier and aggregate.
+
+    A :class:`~repro.diagnosis.classifier.TrajectoryClassifier` is
+    automatically upgraded to a vectorised
+    :class:`~repro.runtime.batch.BatchDiagnoser`: the whole case suite
+    becomes one (N, D) classification call with identical diagnoses.
+    Pass ``diagnoser=`` to reuse a prebuilt one (e.g.
+    ``ATPGResult.batch_diagnoser()``); other classifiers fall back to
+    the per-point protocol.
+    """
     if not cases:
         raise DiagnosisError("no cases to evaluate")
-    results = [CaseResult(case, classifier.classify_point(case.point))
-               for case in cases]
+    if diagnoser is None and type(classifier) is TrajectoryClassifier:
+        # Exact-type check: a subclass overriding classify_point must
+        # keep its per-point behaviour, not be silently vectorised.
+        from ..runtime.batch import BatchDiagnoser
+        diagnoser = BatchDiagnoser(classifier.trajectories,
+                                   golden=classifier.golden)
+    if diagnoser is not None:
+        points = np.vstack([case.point for case in cases])
+        diagnoses = diagnoser.classify_points(points)
+        results = [CaseResult(case, diagnosis)
+                   for case, diagnosis in zip(cases, diagnoses)]
+    else:
+        results = [CaseResult(case, classifier.classify_point(case.point))
+                   for case in cases]
     return EvaluationResult(results, groups)
 
 

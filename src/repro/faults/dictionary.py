@@ -20,9 +20,9 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.netlist import Circuit
 from ..errors import DictionaryError
-from ..sim.ac import ACAnalysis, FrequencyResponse
+from ..sim.ac import FrequencyResponse
+from ..sim.engine import BatchedMnaEngine, SimulationEngine, VariantSpec
 from .models import (
     CatastrophicFault,
     Fault,
@@ -74,8 +74,12 @@ class FaultDictionary:
             if entry.label in self._by_label:
                 raise DictionaryError(
                     f"duplicate dictionary label {entry.label!r}")
-            if entry.response.freqs_hz.shape != self.freqs_hz.shape or \
-                    not np.allclose(entry.response.freqs_hz, self.freqs_hz):
+            # Entries sliced from one ResponseBlock share the grid array
+            # itself; the identity check skips a per-entry allclose scan.
+            if entry.response.freqs_hz is not self.freqs_hz and (
+                    entry.response.freqs_hz.shape != self.freqs_hz.shape
+                    or not np.allclose(entry.response.freqs_hz,
+                                       self.freqs_hz)):
                 raise DictionaryError(
                     f"entry {entry.label!r} simulated on a different grid")
             self._by_label[entry.label] = entry
@@ -86,18 +90,35 @@ class FaultDictionary:
     @classmethod
     def build(cls, universe: FaultUniverse, output_node: str,
               freqs_hz: np.ndarray,
-              input_source: Optional[str] = None) -> "FaultDictionary":
-        """Fault-simulate the whole universe over a frequency grid."""
+              input_source: Optional[str] = None,
+              engine: Optional[SimulationEngine] = None
+              ) -> "FaultDictionary":
+        """Fault-simulate the whole universe over a frequency grid.
+
+        The build requests one :class:`~repro.sim.engine.ResponseBlock`
+        covering golden + every fault from a simulation engine. By
+        default a fresh :class:`~repro.sim.engine.BatchedMnaEngine` is
+        constructed (stamp once, solve the whole universe batched);
+        pass ``engine=`` to reuse an already-stamped engine across
+        builds or to force the scalar reference path. The responses are
+        bitwise-identical either way.
+        """
         FaultDictionary.simulations_run += 1
         freqs = np.asarray(freqs_hz, dtype=float)
         circuit = universe.circuit
-        golden = ACAnalysis(circuit).transfer(output_node, freqs,
-                                              input_source)
-        entries = []
-        for fault, faulty in universe.faulty_circuits():
-            response = ACAnalysis(faulty).transfer(output_node, freqs,
-                                                   input_source)
-            entries.append(DictionaryEntry(fault, response))
+        if engine is None:
+            engine = BatchedMnaEngine(circuit)
+        elif engine.circuit is not circuit:
+            raise DictionaryError(
+                f"engine was built for circuit "
+                f"{engine.circuit.name!r}, universe targets "
+                f"{circuit.name!r}")
+        variants = (VariantSpec(name=circuit.name),) + universe.variants()
+        block = engine.transfer_block(output_node, freqs, variants,
+                                      input_source)
+        golden = block.response(0)
+        entries = [DictionaryEntry(fault, block.response(index + 1))
+                   for index, fault in enumerate(universe.faults)]
         return cls(circuit.name, output_node, freqs, golden, entries)
 
     # ------------------------------------------------------------------
@@ -142,10 +163,22 @@ class FaultDictionary:
         return found
 
     def response_matrix_db(self) -> np.ndarray:
-        """(1 + n_faults, n_grid) dB magnitudes; row 0 is golden."""
-        rows = [self.golden.magnitude_db]
-        rows.extend(entry.response.magnitude_db for entry in self.entries)
-        return np.vstack(rows)
+        """(1 + n_faults, n_grid) dB magnitudes; row 0 is golden.
+
+        Entries are immutable after construction, so the matrix is
+        computed once and memoised; the cached array is returned
+        read-only (invalidation-by-construction -- there is nothing
+        that could invalidate it).
+        """
+        cached = getattr(self, "_matrix_db_cache", None)
+        if cached is None:
+            rows = [self.golden.magnitude_db]
+            rows.extend(entry.response.magnitude_db
+                        for entry in self.entries)
+            cached = np.vstack(rows)
+            cached.setflags(write=False)
+            self._matrix_db_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Persistence

@@ -85,9 +85,45 @@ class Fault:
         """Unique human-readable identifier, used as dictionary key."""
         raise NotImplementedError
 
+    def replacement_component(self, circuit: Circuit):
+        """The faulted component that replaces the nominal one.
+
+        This is the single-component delta every fault reduces to; the
+        batched simulation engine stamps it directly instead of cloning
+        the circuit, and :meth:`apply` wraps it into a faulty copy.
+
+        Subclasses that only override :meth:`apply` (the historical
+        extension contract) are still supported: the base
+        implementation applies the fault and diffs the faulty circuit
+        against the nominal one. Faults that add, remove or rewire
+        components cannot be expressed as a replacement and raise
+        :class:`FaultError`.
+        """
+        if type(self).apply is Fault.apply:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement "
+                "replacement_component() or apply()")
+        faulty = self.apply(circuit)
+        if faulty.component_names != circuit.component_names:
+            raise FaultError(
+                f"{self.label}: apply() changes the component set; such "
+                "faults cannot be delta-stamped by the simulation "
+                "engine -- implement replacement_component() or keep "
+                "the topology fixed")
+        changed = [component for component in faulty
+                   if component != circuit[component.name]]
+        if len(changed) != 1:
+            raise FaultError(
+                f"{self.label}: apply() changed {len(changed)} "
+                "components; replacement_component() expects exactly "
+                "one -- override it for multi-component faults")
+        return changed[0]
+
     def apply(self, circuit: Circuit) -> Circuit:
         """Return a faulty copy of ``circuit``."""
-        raise NotImplementedError
+        return circuit.with_component(
+            self.replacement_component(circuit),
+            name=f"{circuit.name}#{self.label}")
 
     def _require(self, circuit: Circuit):
         if self.component not in circuit:
@@ -117,16 +153,14 @@ class ParametricFault(Fault):
     def label(self) -> str:
         return f"{self.component}{self.deviation * 100.0:+.6g}%"
 
-    def apply(self, circuit: Circuit) -> Circuit:
+    def replacement_component(self, circuit: Circuit) -> TwoTerminal:
         target = self._require(circuit)
         if not isinstance(target, TwoTerminal):
             raise FaultError(
                 f"{self.component!r} is a {type(target).__name__}; "
                 "parametric faults target two-terminal passives "
                 "(use OpAmpParamFault for active devices)")
-        return circuit.scaled_value(
-            self.component, 1.0 + self.deviation,
-            name=f"{circuit.name}#{self.label}")
+        return target.with_value(target.value * (1.0 + self.deviation))
 
 
 @dataclass(frozen=True)
@@ -158,14 +192,12 @@ class CatastrophicFault(Fault):
     def label(self) -> str:
         return f"{self.component}:{self.kind}"
 
-    def apply(self, circuit: Circuit) -> Circuit:
+    def replacement_component(self, circuit: Circuit) -> TwoTerminal:
         target = self._require(circuit)
         for component_type in (Resistor, Capacitor, Inductor):
             if isinstance(target, component_type):
-                value = self._VALUES[(component_type, self.kind)]
-                return circuit.with_value(
-                    self.component, value,
-                    name=f"{circuit.name}#{self.label}")
+                return target.with_value(
+                    self._VALUES[(component_type, self.kind)])
         raise FaultError(
             f"{self.component!r} is a {type(target).__name__}; "
             "catastrophic faults target R, C or L")
@@ -193,7 +225,7 @@ class OpAmpParamFault(Fault):
         return (f"{self.component}.{self.param}"
                 f"{self.deviation * 100.0:+.6g}%")
 
-    def apply(self, circuit: Circuit) -> Circuit:
+    def replacement_component(self, circuit: Circuit) -> OpAmpMacro:
         target = self._require(circuit)
         if not isinstance(target, OpAmpMacro):
             raise FaultError(
@@ -206,7 +238,5 @@ class OpAmpParamFault(Fault):
             raise FaultError(
                 f"{self.component}: macromodel has no parameter "
                 f"{self.param!r}")
-        faulty = target.with_param(self.param,
-                                   nominal * (1.0 + self.deviation))
-        return circuit.with_component(
-            faulty, name=f"{circuit.name}#{self.label}")
+        return target.with_param(self.param,
+                                 nominal * (1.0 + self.deviation))

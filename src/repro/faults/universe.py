@@ -74,6 +74,26 @@ class FaultUniverse:
         for fault in self.faults:
             yield fault, fault.apply(self.circuit)
 
+    def variants(self) -> Tuple["VariantSpec", ...]:
+        """The universe as simulation-engine variant specs.
+
+        One :class:`~repro.sim.engine.VariantSpec` per fault, named like
+        the faulty circuit clones ``fault.apply`` produces, so engine
+        responses carry the same labels as the scalar fault simulation.
+        Memoised: the universe is immutable, and a pipeline run builds
+        several dictionaries (dense grid, exact test vector) from the
+        same universe.
+        """
+        cached = getattr(self, "_variants_cache", None)
+        if cached is None:
+            from ..sim.engine import VariantSpec
+            cached = tuple(
+                VariantSpec((fault.replacement_component(self.circuit),),
+                            name=f"{self.circuit.name}#{fault.label}")
+                for fault in self.faults)
+            object.__setattr__(self, "_variants_cache", cached)
+        return cached
+
     def restricted_to(self, components: Sequence[str]) -> "FaultUniverse":
         """Sub-universe containing only faults on the given components."""
         wanted = set(components)

@@ -12,6 +12,7 @@ reproduces the same search trajectory.
 from __future__ import annotations
 
 import time
+from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -71,19 +72,45 @@ class GAResult:
 
 
 class GeneticAlgorithm:
-    """Evolutionary search for an optimal test vector."""
+    """Evolutionary search for an optimal test vector.
+
+    Populations are evaluated at population level when the fitness
+    supports it (``score_population``, as every
+    :class:`~repro.ga.fitness.TrajectoryFitness` does): the whole
+    generation becomes one call that samples the shared response surface
+    once and optionally fans the uncached individuals out over a thread
+    pool of ``n_workers`` (threads, not processes, so the fitness memo
+    cache stays shared). Scores -- and therefore the whole search
+    trajectory for a given seed -- are identical to per-individual
+    evaluation.
+    """
 
     def __init__(self, space: FrequencySpace, fitness: FitnessFunction,
-                 config: Optional[GAConfig] = None) -> None:
+                 config: Optional[GAConfig] = None,
+                 n_workers: int = 0) -> None:
         self.space = space
         self.fitness = fitness
         self.config = config or GAConfig.paper()
+        if n_workers < 0:
+            raise GAError("n_workers must be >= 0")
+        self.n_workers = int(n_workers)
 
     # ------------------------------------------------------------------
-    def _evaluate(self, population: np.ndarray) -> np.ndarray:
-        scores = np.empty(population.shape[0])
-        for index, genome in enumerate(population):
-            scores[index] = self.fitness(self.space.decode(genome))
+    def _evaluate(self, population: np.ndarray,
+                  pool: Optional[Executor] = None) -> np.ndarray:
+        decoded = [self.space.decode(genome) for genome in population]
+        score_population = getattr(self.fitness, "score_population", None)
+        if score_population is not None:
+            scores = np.asarray(score_population(decoded, executor=pool),
+                                dtype=float)
+            if scores.shape != (population.shape[0],):
+                raise GAError(
+                    f"score_population returned shape {scores.shape} "
+                    f"for a population of {population.shape[0]}")
+        else:
+            scores = np.empty(population.shape[0])
+            for index, freqs in enumerate(decoded):
+                scores[index] = self.fitness(freqs)
         if np.any(scores < 0.0) or not np.all(np.isfinite(scores)):
             raise GAError("fitness must return finite non-negative values")
         return scores
@@ -119,7 +146,23 @@ class GeneticAlgorithm:
         evaluations = 0
         started = time.perf_counter()
 
-        scores = self._evaluate(population)
+        pool: Optional[Executor] = None
+        if self.n_workers > 1 and \
+                hasattr(self.fitness, "score_population"):
+            pool = ThreadPoolExecutor(max_workers=self.n_workers,
+                                      thread_name_prefix="ga-eval")
+        try:
+            return self._run_generations(rng, config, select, crossover,
+                                         population, history, evaluations,
+                                         started, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def _run_generations(self, rng, config, select, crossover, population,
+                         history, evaluations, started,
+                         pool: Optional[Executor]) -> GAResult:
+        scores = self._evaluate(population, pool)
         evaluations += population.shape[0]
 
         best_index = int(np.argmax(scores))
@@ -166,7 +209,7 @@ class GeneticAlgorithm:
                 next_population[cursor + row] = self.space.clip(child)
             population = next_population
 
-            scores = self._evaluate(population)
+            scores = self._evaluate(population, pool)
             evaluations += population.shape[0]
             generation_best = int(np.argmax(scores))
             if scores[generation_best] > best_fitness:

@@ -21,15 +21,21 @@ same region constantly and trajectory construction is the dominant cost.
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import GAError
+from ..faults.models import ParametricFault
 from ..faults.surface import ResponseSurface
 from ..trajectory.mapping import SignatureMapper
-from ..trajectory.metrics import TrajectoryMetrics, evaluate_metrics
+from ..trajectory.metrics import (
+    TrajectoryMetrics,
+    conflict_counts_batch,
+    evaluate_metrics,
+)
 from ..trajectory.trajectory import TrajectorySet
 
 __all__ = [
@@ -42,6 +48,27 @@ __all__ = [
 # Cache keys round log-frequencies to this many digits; two vectors that
 # agree to 1e-9 decades are physically identical.
 _CACHE_DIGITS = 9
+
+
+@dataclass(frozen=True)
+class _ConflictPlan:
+    """Precomputed trajectory layout for population conflict counting.
+
+    The trajectory *structure* (which dictionary rows form which
+    trajectory, where the golden vertex sits, how vertices chain into
+    segments) is a pure function of the dictionary and the component
+    filter -- only the vertex coordinates change per candidate test
+    vector. Precomputing it turns a whole population's conflict counts
+    into two fancy-index gathers plus one batched orientation pass.
+    """
+
+    row_order: np.ndarray      # dictionary entry row per fault vertex
+    fault_slots: np.ndarray    # vertex slot of each fault vertex
+    golden_slots: np.ndarray   # vertex slot of each golden insertion
+    seg_start: np.ndarray      # vertex slot of each segment start
+    seg_end: np.ndarray        # vertex slot of each segment end
+    owners: np.ndarray         # trajectory index per segment
+    num_vertices: int
 
 
 class TrajectoryFitness:
@@ -67,6 +94,8 @@ class TrajectoryFitness:
         self.components = components
         self._cache: Dict[Tuple[float, ...], float] = {}
         self.evaluations = 0
+        self._plan: Optional[_ConflictPlan] = None
+        self._plan_built = False
 
     # ------------------------------------------------------------------
     def trajectories_for(self, freqs_hz: Tuple[float, ...]) -> TrajectorySet:
@@ -82,21 +111,203 @@ class TrajectoryFitness:
     def score(self, metrics: TrajectoryMetrics) -> float:
         raise NotImplementedError
 
-    def __call__(self, freqs_hz: Tuple[float, ...]) -> float:
-        key = tuple(round(float(np.log10(f)), _CACHE_DIGITS)
-                    for f in freqs_hz)
-        if key in self._cache:
-            return self._cache[key]
-        metrics = self.metrics_for(
-            freqs_hz, include_separations=self.needs_separations)
+    # ------------------------------------------------------------------
+    # Evaluation: single vector and whole populations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_key(freqs_hz: Tuple[float, ...]) -> Tuple[float, ...]:
+        return tuple(round(float(np.log10(f)), _CACHE_DIGITS)
+                     for f in freqs_hz)
+
+    def _score_vector(self, freqs_hz: Tuple[float, ...],
+                      sampled_db: Optional[np.ndarray] = None) -> float:
+        """Uncached evaluation of one test vector.
+
+        ``sampled_db`` optionally injects this candidate's presampled
+        surface magnitudes (golden row first); the resulting score is
+        bitwise-identical to sampling inside -- the sampling operations
+        are per-query-column independent.
+        """
+        if sampled_db is None:
+            metrics = self.metrics_for(
+                freqs_hz, include_separations=self.needs_separations)
+        else:
+            mapper = self._mapper_template.with_freqs(freqs_hz)
+            trajectories = TrajectorySet.from_source(
+                self.surface, mapper, components=self.components,
+                signature_matrix=mapper.signature_matrix_from_db(
+                    sampled_db),
+                golden_point=mapper.golden_signature_from_db(
+                    sampled_db[0]))
+            metrics = evaluate_metrics(
+                trajectories,
+                include_separations=self.needs_separations)
         value = float(self.score(metrics))
         if value < 0.0:
             raise GAError(
                 f"{type(self).__name__} returned negative fitness "
                 f"{value}; roulette selection requires >= 0")
+        return value
+
+    def __call__(self, freqs_hz: Tuple[float, ...]) -> float:
+        key = self._cache_key(freqs_hz)
+        if key in self._cache:
+            return self._cache[key]
+        value = self._score_vector(freqs_hz)
         self._cache[key] = value
         self.evaluations += 1
         return value
+
+    def score_population(self, vectors: Sequence[Tuple[float, ...]],
+                         executor: Optional[Executor] = None
+                         ) -> np.ndarray:
+        """Fitness of a whole candidate population at once.
+
+        Deduplicates against the memo cache, samples the shared response
+        surface *once* for every uncached candidate (one vectorised
+        interpolation over the concatenated test vectors), then scores
+        the uncached candidates. Conflict-count fitnesses over 2-D
+        signatures (the paper configuration) are scored as a single
+        tensor pass over the whole batch; otherwise candidates are
+        scored individually -- serially or fanned out over ``executor``
+        (a thread pool; scoring is numpy-bound and the memo cache stays
+        shared). Scores are identical to calling the fitness per
+        individual in any order.
+        """
+        vectors = [tuple(float(f) for f in vector) for vector in vectors]
+        keys = [self._cache_key(vector) for vector in vectors]
+        pending: Dict[Tuple[float, ...], Tuple[float, ...]] = {}
+        for key, vector in zip(keys, vectors):
+            if key not in self._cache:
+                pending.setdefault(key, vector)
+        if pending:
+            candidates: List[Tuple[float, ...]] = list(pending.values())
+            lengths = [len(vector) for vector in candidates]
+            offsets = np.concatenate(([0], np.cumsum(lengths)))
+            sampled = self.surface.sample_db(
+                np.concatenate([np.asarray(vector, dtype=float)
+                                for vector in candidates]))
+
+            plan = self._conflict_plan() if not self.needs_separations \
+                else None
+            if plan is not None and \
+                    all(length == 2 for length in lengths):
+                values = self._score_batch_conflicts(
+                    candidates, sampled, offsets, plan)
+            else:
+                def job(index: int) -> float:
+                    lo, hi = offsets[index], offsets[index + 1]
+                    return self._score_vector(candidates[index],
+                                              sampled[:, lo:hi])
+
+                if executor is not None:
+                    values = list(executor.map(job,
+                                               range(len(candidates))))
+                else:
+                    values = [job(index)
+                              for index in range(len(candidates))]
+            for key, value in zip(pending, values):
+                self._cache[key] = value
+                self.evaluations += 1
+        return np.array([self._cache[key] for key in keys], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Population-level conflict counting (the paper-fitness fast path)
+    # ------------------------------------------------------------------
+    def _conflict_plan(self) -> Optional[_ConflictPlan]:
+        """The precomputed trajectory layout, or None to fall back.
+
+        Falling back (non-parametric-only sources, fewer than two
+        trajectories, degenerate deviation grids) routes through the
+        per-candidate path, which raises the exact errors the scalar
+        evaluation would.
+        """
+        if self._plan_built:
+            return self._plan
+        self._plan_built = True
+        dictionary = getattr(self.surface, "dictionary", None)
+        if dictionary is None:
+            return None
+        groups: Dict[str, List[Tuple[float, int]]] = {}
+        for row, entry in enumerate(dictionary.entries):
+            if isinstance(entry.fault, ParametricFault):
+                groups.setdefault(entry.fault.component, []).append(
+                    (entry.fault.deviation, row))
+        if self.components is not None:
+            if set(self.components) - set(groups):
+                return None
+            groups = {name: groups[name] for name in self.components}
+        if len(groups) < 2:
+            return None
+        row_order: List[int] = []
+        fault_slots: List[int] = []
+        golden_slots: List[int] = []
+        seg_start: List[int] = []
+        seg_end: List[int] = []
+        owners: List[int] = []
+        cursor = 0
+        for index, pairs in enumerate(groups.values()):
+            pairs = sorted(pairs, key=lambda item: item[0])
+            deviations = [pair[0] for pair in pairs]
+            if any(abs(d) < 1e-12 for d in deviations) or \
+                    any(b <= a for a, b in
+                        zip(deviations, deviations[1:])):
+                return None
+            insert_at = int(np.searchsorted(np.asarray(deviations), 0.0))
+            count = len(pairs) + 1
+            slots = list(range(cursor, cursor + count))
+            golden_slots.append(slots[insert_at])
+            fault_slots.extend(slots[:insert_at] + slots[insert_at + 1:])
+            row_order.extend(pair[1] for pair in pairs)
+            seg_start.extend(slots[:-1])
+            seg_end.extend(slots[1:])
+            owners.extend([index] * (count - 1))
+            cursor += count
+        self._plan = _ConflictPlan(
+            row_order=np.array(row_order, dtype=int),
+            fault_slots=np.array(fault_slots, dtype=int),
+            golden_slots=np.array(golden_slots, dtype=int),
+            seg_start=np.array(seg_start, dtype=int),
+            seg_end=np.array(seg_end, dtype=int),
+            owners=np.array(owners, dtype=int),
+            num_vertices=cursor)
+        return self._plan
+
+    def _score_batch_conflicts(self, candidates: List[Tuple[float, ...]],
+                               sampled: np.ndarray, offsets: np.ndarray,
+                               plan: _ConflictPlan) -> List[float]:
+        """Score a 2-D candidate batch with one conflict-tensor pass."""
+        matrices = []
+        goldens = []
+        for index, vector in enumerate(candidates):
+            mapper = self._mapper_template.with_freqs(vector)
+            columns = sampled[:, offsets[index]:offsets[index + 1]]
+            matrices.append(mapper.signature_matrix_from_db(columns))
+            goldens.append(mapper.golden_signature_from_db(columns[0]))
+        stacked = np.stack(matrices)                  # (K, n_faults, 2)
+        golden = np.stack(goldens)                    # (K, 2)
+        vertices = np.empty((len(candidates), plan.num_vertices, 2))
+        vertices[:, plan.fault_slots] = stacked[:, plan.row_order]
+        vertices[:, plan.golden_slots] = golden[:, None, :]
+        intersections, overlaps = conflict_counts_batch(
+            vertices[:, plan.seg_start], vertices[:, plan.seg_end],
+            plan.owners)
+        values = []
+        for crossings, pathways in zip(intersections, overlaps):
+            metrics = TrajectoryMetrics(
+                intersections=int(crossings),
+                common_pathways=int(pathways),
+                min_separation=float("nan"),
+                mean_separation=float("nan"),
+                per_pair_separation={},
+            )
+            value = float(self.score(metrics))
+            if value < 0.0:
+                raise GAError(
+                    f"{type(self).__name__} returned negative fitness "
+                    f"{value}; roulette selection requires >= 0")
+            values.append(value)
+        return values
 
     def cache_clear(self) -> None:
         self._cache.clear()

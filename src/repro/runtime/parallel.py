@@ -1,12 +1,15 @@
 """Parallel fault-dictionary builds.
 
-``FaultDictionary.build`` walks the fault universe serially: one MNA
-sweep per fault. Faults are independent, so the build is embarrassingly
-parallel -- this module chunks the universe over a
-``concurrent.futures`` pool (process or thread) and reassembles the
-entries in universe order, producing a dictionary *identical* to the
-serial build (same floating-point operations per fault, deterministic
-ordering regardless of completion order).
+Faults are independent, so a dictionary build is embarrassingly
+parallel. This module shards the fault universe into *variant blocks* --
+contiguous chunks of delta-stamped variants -- over a
+``concurrent.futures`` pool (process or thread). Each worker stamps the
+nominal circuit once with its own
+:class:`~repro.sim.engine.BatchedMnaEngine` and solves its whole block
+batched, then the parent reassembles the entries in universe order. The
+result is *identical* to the serial build (same delta-stamps, same
+per-matrix LAPACK solves, deterministic ordering regardless of
+completion order).
 
 The pipeline reaches this through ``PipelineConfig.n_workers`` /
 ``PipelineConfig.executor``; it can also be called directly.
@@ -25,22 +28,28 @@ from ..errors import DictionaryError
 from ..faults.dictionary import DictionaryEntry, FaultDictionary
 from ..faults.models import Fault
 from ..faults.universe import FaultUniverse
-from ..sim.ac import ACAnalysis, FrequencyResponse
+from ..sim.ac import FrequencyResponse
+from ..sim.engine import VariantSpec, make_engine
 
 __all__ = ["build_dictionary_parallel"]
 
 _EXECUTORS = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}
 
 
-def _simulate_chunk(circuit: Circuit, faults: Sequence[Fault],
+def _simulate_block(circuit: Circuit, faults: Sequence[Fault],
                     output_node: str, freqs: np.ndarray,
-                    input_source: Optional[str]
-                    ) -> List[FrequencyResponse]:
-    """Simulate one chunk of faults; top-level so process pools can
-    pickle it. Returns the same responses the serial build produces."""
-    return [ACAnalysis(fault.apply(circuit)).transfer(
-                output_node, freqs, input_source)
-            for fault in faults]
+                    input_source: Optional[str],
+                    engine_kind: str) -> List[FrequencyResponse]:
+    """Solve one variant block; top-level so process pools can pickle
+    it. Returns the same responses the serial build produces."""
+    engine = make_engine(circuit, engine_kind)
+    variants = tuple(
+        VariantSpec((fault.replacement_component(circuit),),
+                    name=f"{circuit.name}#{fault.label}")
+        for fault in faults)
+    block = engine.transfer_block(output_node, freqs, variants,
+                                  input_source)
+    return [block.response(index) for index in range(len(faults))]
 
 
 def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
@@ -48,19 +57,22 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
                               input_source: Optional[str] = None,
                               n_workers: int = 0,
                               executor: str = "process",
-                              chunk_size: Optional[int] = None
+                              chunk_size: Optional[int] = None,
+                              engine_kind: str = "batched"
                               ) -> FaultDictionary:
     """Build a fault dictionary across a worker pool.
 
     ``n_workers`` of 0 or 1 falls back to the serial
     :meth:`FaultDictionary.build`. The result is equal to the serial
-    build entry-for-entry (asserted in the test suite): workers run the
-    exact same per-fault simulation and the chunks are reassembled in
-    universe order.
+    build entry-for-entry (asserted in the test suite): workers
+    delta-stamp the exact same variants and the blocks are reassembled
+    in universe order. ``engine_kind`` selects the per-worker engine
+    (``"batched"`` default, ``"scalar"`` reference).
     """
     if n_workers <= 1:
-        return FaultDictionary.build(universe, output_node, freqs_hz,
-                                     input_source=input_source)
+        return FaultDictionary.build(
+            universe, output_node, freqs_hz, input_source=input_source,
+            engine=make_engine(universe.circuit, engine_kind))
     try:
         pool_cls = _EXECUTORS[executor]
     except KeyError:
@@ -71,7 +83,9 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
     FaultDictionary.simulations_run += 1
     freqs = np.asarray(freqs_hz, dtype=float)
     circuit = universe.circuit
-    golden = ACAnalysis(circuit).transfer(output_node, freqs, input_source)
+    golden = make_engine(circuit, engine_kind).transfer_block(
+        output_node, freqs, (VariantSpec(name=circuit.name),),
+        input_source).response(0)
 
     faults: Tuple[Fault, ...] = universe.faults
     if chunk_size is None:
@@ -80,8 +94,9 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
               for index in range(0, len(faults), chunk_size)]
 
     with pool_cls(max_workers=n_workers) as pool:
-        futures = [pool.submit(_simulate_chunk, circuit, chunk,
-                               output_node, freqs, input_source)
+        futures = [pool.submit(_simulate_block, circuit, chunk,
+                               output_node, freqs, input_source,
+                               engine_kind)
                    for chunk in chunks]
         # Collect in submission order, not completion order: entry
         # ordering must match the universe exactly.

@@ -107,8 +107,9 @@ def ga_search_key(dictionary_key: str, info: CircuitInfo, config,
     """Key of one GA search: the surface it ran on + every knob that
     steers it (frequency space bounds, fitness shape, GA hyper-
     parameters, seed). Knobs that never change the search --
-    ``ambiguity_threshold``, ``n_workers``, ``executor`` -- stay out,
-    so sweeping them reuses the cached result. (The deviation grid
+    ``ambiguity_threshold``, ``n_workers``, ``executor``, ``engine``
+    (both simulation engines are bitwise-identical) -- stay out, so
+    sweeping them reuses the cached result. (The deviation grid
     reaches this key through ``dictionary_key``: it reshapes the
     universe the surface was built from.)"""
     payload = {

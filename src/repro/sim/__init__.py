@@ -2,7 +2,15 @@
 
 from .ac import ACAnalysis, FrequencyResponse
 from .dc import DCAnalysis, OperatingPoint
-from .mna import MnaSolution, MnaSystem
+from .engine import (
+    BatchedMnaEngine,
+    ResponseBlock,
+    ScalarMnaEngine,
+    SimulationEngine,
+    VariantSpec,
+    make_engine,
+)
+from .mna import ComponentOps, MnaSolution, MnaSystem
 from .sensitivity import (
     SensitivityResult,
     rank_frequencies,
@@ -22,6 +30,13 @@ from .transient import (
 __all__ = [
     "MnaSystem",
     "MnaSolution",
+    "ComponentOps",
+    "SimulationEngine",
+    "BatchedMnaEngine",
+    "ScalarMnaEngine",
+    "ResponseBlock",
+    "VariantSpec",
+    "make_engine",
     "ACAnalysis",
     "FrequencyResponse",
     "DCAnalysis",

@@ -20,7 +20,25 @@ from ..errors import SimulationError
 from ..units import db, log_frequency_grid
 from .mna import MnaSystem
 
-__all__ = ["FrequencyResponse", "ACAnalysis"]
+__all__ = ["FrequencyResponse", "ACAnalysis", "source_phasor"]
+
+
+def source_phasor(component, source_name: str) -> complex:
+    """AC stimulus phasor of an independent source, with validation.
+
+    Shared by :class:`ACAnalysis` and the simulation engines so the
+    stimulus normalisation (and its error surface) cannot diverge
+    between the scalar and batched paths.
+    """
+    if not isinstance(component, (VoltageSource, CurrentSource)):
+        raise SimulationError(
+            f"{source_name!r} is not an independent source")
+    if component.ac_magnitude <= 0.0:
+        raise SimulationError(
+            f"{source_name!r} has no AC magnitude; set ac=... on the "
+            "stimulus source")
+    return component.ac_magnitude * cmath.exp(
+        1j * math.radians(component.ac_phase_deg))
 
 
 @dataclass(frozen=True)
@@ -53,6 +71,23 @@ class FrequencyResponse:
                                   "increasing")
         object.__setattr__(self, "freqs_hz", freqs)
         object.__setattr__(self, "values", values)
+
+    @classmethod
+    def _trusted(cls, freqs_hz: np.ndarray, values: np.ndarray,
+                 output: str, label: str) -> "FrequencyResponse":
+        """Construct without re-validating an already-checked grid.
+
+        Internal fast path for :class:`~repro.sim.engine.ResponseBlock`,
+        which validates the shared grid once and slices many responses
+        out of one value matrix. ``freqs_hz``/``values`` must already be
+        float/complex arrays satisfying the ``__post_init__`` contract.
+        """
+        response = object.__new__(cls)
+        object.__setattr__(response, "freqs_hz", freqs_hz)
+        object.__setattr__(response, "values", values)
+        object.__setattr__(response, "output", output)
+        object.__setattr__(response, "label", label)
+        return response
 
     def __len__(self) -> int:
         return int(self.freqs_hz.size)
@@ -181,16 +216,7 @@ class ACAnalysis:
         self.system = MnaSystem(circuit, gmin=gmin)
 
     def _source_phasor(self, source_name: str) -> complex:
-        component = self.circuit[source_name]
-        if not isinstance(component, (VoltageSource, CurrentSource)):
-            raise SimulationError(
-                f"{source_name!r} is not an independent source")
-        if component.ac_magnitude <= 0.0:
-            raise SimulationError(
-                f"{source_name!r} has no AC magnitude; set ac=... on the "
-                "stimulus source")
-        return component.ac_magnitude * cmath.exp(
-            1j * math.radians(component.ac_phase_deg))
+        return source_phasor(self.circuit[source_name], source_name)
 
     def transfer(self, output_node: str,
                  freqs_hz: np.ndarray | Sequence[float],

@@ -48,7 +48,7 @@ from ..circuits.netlist import Circuit
 from ..errors import SimulationError, SingularCircuitError
 from ..units import TWO_PI
 
-__all__ = ["MnaSystem", "MnaSolution", "OPAMP_MACRO_GM"]
+__all__ = ["MnaSystem", "MnaSolution", "ComponentOps", "OPAMP_MACRO_GM"]
 
 # Transconductance used when expanding the op-amp macromodel; the pole
 # resistor is scaled as a0/gm so the DC open-loop gain is exactly a0.
@@ -57,6 +57,69 @@ OPAMP_MACRO_GM = 1e-3
 # Above this unknown count the batched dense solve is chunked to bound the
 # memory of the (F, N, N) stack.
 _BATCH_MEMORY_BUDGET = 64 * 1024 * 1024  # bytes
+
+
+class _ApplySink:
+    """Stamp sink that accumulates contributions into MNA arrays.
+
+    Every stamp is an in-place ``+=`` on one entry, exactly as the
+    original monolithic stamper performed it, so assembling through this
+    sink is bitwise-identical to the historical behaviour.
+    """
+
+    __slots__ = ("g", "b", "z_dc", "z_ac")
+
+    def __init__(self, g: np.ndarray, b: np.ndarray, z_dc: np.ndarray,
+                 z_ac: np.ndarray) -> None:
+        self.g = g
+        self.b = b
+        self.z_dc = z_dc
+        self.z_ac = z_ac
+
+    def add(self, target: str, row: int, col: int, value: complex) -> None:
+        if row >= 0 and col >= 0:
+            (self.g if target == "g" else self.b)[row, col] += value
+
+    def add_rhs(self, target: str, row: int, value: complex) -> None:
+        if row >= 0:
+            (self.z_dc if target == "dc" else self.z_ac)[row] += value
+
+
+class _RecordingSink:
+    """Stamp sink that records the ordered contribution list instead.
+
+    Used by :class:`repro.sim.engine.BatchedMnaEngine` to learn which
+    matrix entries a component touches and with what values, preserving
+    the exact accumulation order of the direct stamper.
+    """
+
+    __slots__ = ("matrix_ops", "rhs_ops")
+
+    def __init__(self) -> None:
+        self.matrix_ops: List[Tuple[str, int, int, complex]] = []
+        self.rhs_ops: List[Tuple[str, int, complex]] = []
+
+    def add(self, target: str, row: int, col: int, value: complex) -> None:
+        if row >= 0 and col >= 0:
+            self.matrix_ops.append((target, row, col, value))
+
+    def add_rhs(self, target: str, row: int, value: complex) -> None:
+        if row >= 0:
+            self.rhs_ops.append((target, row, value))
+
+
+@dataclass(frozen=True)
+class ComponentOps:
+    """Ordered stamp contributions of one component.
+
+    ``matrix_ops`` entries are ``(target, row, col, value)`` with target
+    ``"g"`` or ``"b"``; ``rhs_ops`` entries are ``(target, row, value)``
+    with target ``"dc"`` or ``"ac"``. Replaying every component's ops in
+    circuit order reproduces the assembled system bitwise.
+    """
+
+    matrix_ops: Tuple[Tuple[str, int, int, complex], ...]
+    rhs_ops: Tuple[Tuple[str, int, complex], ...]
 
 
 class MnaSystem:
@@ -150,69 +213,76 @@ class MnaSystem:
     # ------------------------------------------------------------------
     # Stamping
     # ------------------------------------------------------------------
-    def _add(self, matrix: np.ndarray, row: int, col: int,
-             value: complex) -> None:
-        if row >= 0 and col >= 0:
-            matrix[row, col] += value
-
-    def _stamp_conductance(self, matrix: np.ndarray, positive: int,
+    def _stamp_conductance(self, sink, target: str, positive: int,
                            negative: int, value: complex) -> None:
-        self._add(matrix, positive, positive, value)
-        self._add(matrix, negative, negative, value)
-        self._add(matrix, positive, negative, -value)
-        self._add(matrix, negative, positive, -value)
+        sink.add(target, positive, positive, value)
+        sink.add(target, negative, negative, value)
+        sink.add(target, positive, negative, -value)
+        sink.add(target, negative, positive, -value)
 
     def _stamp_all(self) -> None:
+        sink = _ApplySink(self._g, self._b, self._z_dc, self._z_ac)
         for component in self.circuit:
-            self._stamp(component)
+            self._stamp(component, sink)
 
-    def _stamp(self, component) -> None:
+    def component_ops(self, component) -> ComponentOps:
+        """Ordered stamp contributions of ``component`` in this system.
+
+        The component must be structurally compatible with this system's
+        unknown indexing (same name, same terminals) -- e.g. the nominal
+        component itself or a value-deviated replacement. The batched
+        engine uses these ops to delta-stamp fault variants without
+        re-assembling the circuit.
+        """
+        sink = _RecordingSink()
+        self._stamp(component, sink)
+        return ComponentOps(tuple(sink.matrix_ops), tuple(sink.rhs_ops))
+
+    def _stamp(self, component, sink) -> None:
         if isinstance(component, Resistor):
             p = self.node_index(component.positive)
             n = self.node_index(component.negative)
-            self._stamp_conductance(self._g, p, n, 1.0 / component.value)
+            self._stamp_conductance(sink, "g", p, n, 1.0 / component.value)
         elif isinstance(component, Capacitor):
             p = self.node_index(component.positive)
             n = self.node_index(component.negative)
-            self._stamp_conductance(self._b, p, n, component.value)
+            self._stamp_conductance(sink, "b", p, n, component.value)
         elif isinstance(component, Inductor):
             p = self.node_index(component.positive)
             n = self.node_index(component.negative)
             k = self.branch_index(component.name)
-            self._add(self._g, p, k, 1.0)
-            self._add(self._g, n, k, -1.0)
-            self._add(self._g, k, p, 1.0)
-            self._add(self._g, k, n, -1.0)
-            self._b[k, k] += -component.value
+            sink.add("g", p, k, 1.0)
+            sink.add("g", n, k, -1.0)
+            sink.add("g", k, p, 1.0)
+            sink.add("g", k, n, -1.0)
+            sink.add("b", k, k, -component.value)
         elif isinstance(component, VoltageSource):
             p = self.node_index(component.positive)
             n = self.node_index(component.negative)
             k = self.branch_index(component.name)
-            self._add(self._g, p, k, 1.0)
-            self._add(self._g, n, k, -1.0)
-            self._add(self._g, k, p, 1.0)
-            self._add(self._g, k, n, -1.0)
-            self._z_dc[k] += component.value
-            self._z_ac[k] += (component.ac_magnitude *
-                              cmath.exp(1j * math.radians(
-                                  component.ac_phase_deg)))
+            sink.add("g", p, k, 1.0)
+            sink.add("g", n, k, -1.0)
+            sink.add("g", k, p, 1.0)
+            sink.add("g", k, n, -1.0)
+            sink.add_rhs("dc", k, component.value)
+            sink.add_rhs("ac", k, (component.ac_magnitude *
+                                   cmath.exp(1j * math.radians(
+                                       component.ac_phase_deg))))
         elif isinstance(component, CurrentSource):
             p = self.node_index(component.positive)
             n = self.node_index(component.negative)
             phasor = (component.ac_magnitude *
                       cmath.exp(1j * math.radians(component.ac_phase_deg)))
-            if p >= 0:
-                self._z_dc[p] -= component.value
-                self._z_ac[p] -= phasor
-            if n >= 0:
-                self._z_dc[n] += component.value
-                self._z_ac[n] += phasor
+            sink.add_rhs("dc", p, -component.value)
+            sink.add_rhs("ac", p, -phasor)
+            sink.add_rhs("dc", n, component.value)
+            sink.add_rhs("ac", n, phasor)
         elif isinstance(component, VCVS):
-            self._stamp_vcvs(component.name, component.positive,
+            self._stamp_vcvs(sink, component.name, component.positive,
                              component.negative, component.ctrl_positive,
                              component.ctrl_negative, component.gain)
         elif isinstance(component, VCCS):
-            self._stamp_vccs(component.positive, component.negative,
+            self._stamp_vccs(sink, component.positive, component.negative,
                              component.ctrl_positive,
                              component.ctrl_negative,
                              component.transconductance)
@@ -221,33 +291,33 @@ class MnaSystem:
             n = self.node_index(component.negative)
             k = self.branch_index(component.name)
             j = self.branch_index(component.ctrl_source)
-            self._add(self._g, p, k, 1.0)
-            self._add(self._g, n, k, -1.0)
-            self._add(self._g, k, p, 1.0)
-            self._add(self._g, k, n, -1.0)
-            self._g[k, j] += -component.transresistance
+            sink.add("g", p, k, 1.0)
+            sink.add("g", n, k, -1.0)
+            sink.add("g", k, p, 1.0)
+            sink.add("g", k, n, -1.0)
+            sink.add("g", k, j, -component.transresistance)
         elif isinstance(component, CCCS):
             p = self.node_index(component.positive)
             n = self.node_index(component.negative)
             j = self.branch_index(component.ctrl_source)
-            self._add(self._g, p, j, component.gain)
-            self._add(self._g, n, j, -component.gain)
+            sink.add("g", p, j, component.gain)
+            sink.add("g", n, j, -component.gain)
         elif isinstance(component, IdealOpAmp):
             inp = self.node_index(component.in_positive)
             inn = self.node_index(component.in_negative)
             out = self.node_index(component.output)
             k = self.branch_index(component.name)
-            self._add(self._g, out, k, 1.0)   # output supplies current
-            self._add(self._g, k, inp, 1.0)   # constraint V+ - V- = 0
-            self._add(self._g, k, inn, -1.0)
+            sink.add("g", out, k, 1.0)   # output supplies current
+            sink.add("g", k, inp, 1.0)   # constraint V+ - V- = 0
+            sink.add("g", k, inn, -1.0)
         elif isinstance(component, OpAmpMacro):
-            self._stamp_opamp_macro(component)
+            self._stamp_opamp_macro(component, sink)
         else:
             raise SimulationError(
                 f"no MNA stamp for component type "
                 f"{type(component).__name__}")
 
-    def _stamp_vcvs(self, name: str, positive: str, negative: str,
+    def _stamp_vcvs(self, sink, name: str, positive: str, negative: str,
                     ctrl_positive: str, ctrl_negative: str,
                     gain: float) -> None:
         p = self.node_index(positive)
@@ -255,25 +325,26 @@ class MnaSystem:
         cp = self.node_index(ctrl_positive)
         cn = self.node_index(ctrl_negative)
         k = self.branch_index(name)
-        self._add(self._g, p, k, 1.0)
-        self._add(self._g, n, k, -1.0)
-        self._add(self._g, k, p, 1.0)
-        self._add(self._g, k, n, -1.0)
-        self._add(self._g, k, cp, -gain)
-        self._add(self._g, k, cn, gain)
+        sink.add("g", p, k, 1.0)
+        sink.add("g", n, k, -1.0)
+        sink.add("g", k, p, 1.0)
+        sink.add("g", k, n, -1.0)
+        sink.add("g", k, cp, -gain)
+        sink.add("g", k, cn, gain)
 
-    def _stamp_vccs(self, positive: str, negative: str, ctrl_positive: str,
-                    ctrl_negative: str, gm: float) -> None:
+    def _stamp_vccs(self, sink, positive: str, negative: str,
+                    ctrl_positive: str, ctrl_negative: str,
+                    gm: float) -> None:
         p = self.node_index(positive)
         n = self.node_index(negative)
         cp = self.node_index(ctrl_positive)
         cn = self.node_index(ctrl_negative)
-        self._add(self._g, p, cp, gm)
-        self._add(self._g, p, cn, -gm)
-        self._add(self._g, n, cp, -gm)
-        self._add(self._g, n, cn, gm)
+        sink.add("g", p, cp, gm)
+        sink.add("g", p, cn, -gm)
+        sink.add("g", n, cp, -gm)
+        sink.add("g", n, cn, gm)
 
-    def _stamp_opamp_macro(self, macro: OpAmpMacro) -> None:
+    def _stamp_opamp_macro(self, macro: OpAmpMacro, sink) -> None:
         """Expand the single-pole macromodel into primitive stamps.
 
         Rin across the inputs; gm*(V+ - V-) injected into the internal pole
@@ -287,23 +358,23 @@ class MnaSystem:
         # Input resistance.
         inp = self.node_index(macro.in_positive)
         inn = self.node_index(macro.in_negative)
-        self._stamp_conductance(self._g, inp, inn, 1.0 / macro.rin)
+        self._stamp_conductance(sink, "g", inp, inn, 1.0 / macro.rin)
         # Transconductance into the pole node (current injected INTO the
         # node for positive differential input, hence output+ = ground).
-        self._stamp_vccs(GROUND, pole_node, macro.in_positive,
+        self._stamp_vccs(sink, GROUND, pole_node, macro.in_positive,
                          macro.in_negative, OPAMP_MACRO_GM)
         # Pole load.
         rp = macro.a0 / OPAMP_MACRO_GM
         cp = 1.0 / (TWO_PI * macro.pole_hz * rp)
         pole = self.node_index(pole_node)
-        self._stamp_conductance(self._g, pole, -1, 1.0 / rp)
-        self._stamp_conductance(self._b, pole, -1, cp)
+        self._stamp_conductance(sink, "g", pole, -1, 1.0 / rp)
+        self._stamp_conductance(sink, "b", pole, -1, cp)
         # Unity buffer and output resistance.
-        self._stamp_vcvs(f"{macro.name}::buffer", buf_node, GROUND,
+        self._stamp_vcvs(sink, f"{macro.name}::buffer", buf_node, GROUND,
                          pole_node, GROUND, 1.0)
         buf = self.node_index(buf_node)
         out = self.node_index(macro.output)
-        self._stamp_conductance(self._g, buf, out, 1.0 / macro.rout)
+        self._stamp_conductance(sink, "g", buf, out, 1.0 / macro.rout)
 
     # ------------------------------------------------------------------
     # Solving

@@ -101,6 +101,38 @@ class SignatureMapper:
     # ------------------------------------------------------------------
     # Batched over a dictionary / surface
     # ------------------------------------------------------------------
+    def signature_matrix_from_db(self, sampled_db: np.ndarray
+                                 ) -> np.ndarray:
+        """Signature matrix from presampled dB magnitudes.
+
+        ``sampled_db`` is ``(1 + n_faults, dimension)`` with the golden
+        row first -- exactly what
+        :meth:`~repro.faults.surface.ResponseSurface.sample_db` returns
+        at this mapper's test frequencies. Splitting the sampling from
+        the mapping lets population-level GA evaluation sample the
+        surface once for many candidate vectors.
+        """
+        sampled_db = np.asarray(sampled_db, dtype=float)
+        golden_db = sampled_db[0]
+        faults_db = sampled_db[1:]
+        if self.scale == "db":
+            if self.relative_to_golden:
+                return faults_db - golden_db[None, :]
+            return faults_db
+        faults_lin = np.asarray(db_to_linear(faults_db), dtype=float)
+        if self.relative_to_golden:
+            golden_lin = np.asarray(db_to_linear(golden_db), dtype=float)
+            return faults_lin - golden_lin[None, :]
+        return faults_lin
+
+    def golden_signature_from_db(self, golden_db: np.ndarray) -> np.ndarray:
+        """Golden point from its presampled dB magnitudes."""
+        if self.relative_to_golden:
+            return np.zeros(self.dimension)
+        if self.scale == "db":
+            return np.asarray(golden_db, dtype=float)
+        return np.asarray(db_to_linear(golden_db), dtype=float)
+
     def signature_matrix(self, source: FaultDictionary | ResponseSurface
                          ) -> np.ndarray:
         """Signatures of every fault entry, shape (n_faults, dimension).
@@ -111,18 +143,7 @@ class SignatureMapper:
         """
         freqs = np.array(self.test_freqs_hz)
         if isinstance(source, ResponseSurface):
-            sampled_db = source.sample_db(freqs)
-            golden_db = sampled_db[0]
-            faults_db = sampled_db[1:]
-            if self.scale == "db":
-                if self.relative_to_golden:
-                    return faults_db - golden_db[None, :]
-                return faults_db
-            faults_lin = np.asarray(db_to_linear(faults_db), dtype=float)
-            if self.relative_to_golden:
-                golden_lin = np.asarray(db_to_linear(golden_db), dtype=float)
-                return faults_lin - golden_lin[None, :]
-            return faults_lin
+            return self.signature_matrix_from_db(source.sample_db(freqs))
         if isinstance(source, FaultDictionary):
             golden = source.golden if self.relative_to_golden else None
             return np.vstack([self.signature(entry.response, golden)

@@ -26,13 +26,14 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import TrajectoryError
-from .geometry import _EPS, _pairwise_orientations
+from .geometry import _EPS, _pairwise_orientations, cross2
 from .trajectory import TrajectorySet
 
 __all__ = [
     "TrajectoryMetrics",
     "count_intersections",
     "count_common_pathways",
+    "conflict_counts_batch",
     "min_separation",
     "pairwise_separations",
     "evaluate_metrics",
@@ -86,6 +87,49 @@ def _orientation_data(starts: np.ndarray, ends: np.ndarray,
     return d1, d2, d3, d4, different, scale
 
 
+def _overlap_loop(collinear: np.ndarray, starts: np.ndarray,
+                  ends: np.ndarray) -> int:
+    """Positive-length 1-D interval overlap count over a collinear mask.
+
+    The single implementation behind the scalar and batched overlap
+    counters, so both are the same floating-point code path.
+    """
+    count = 0
+    rows, cols = np.nonzero(collinear)
+    for i, j in zip(rows, cols):
+        direction = ends[i] - starts[i]
+        norm = float(np.dot(direction, direction))
+        if norm <= _EPS:
+            continue
+        s0 = float(np.dot(starts[j] - starts[i], direction)) / norm
+        s1 = float(np.dot(ends[j] - starts[i], direction)) / norm
+        lo = max(0.0, min(s0, s1))
+        hi = min(1.0, max(s0, s1))
+        if hi - lo > 1e-9:
+            count += 1
+    return count
+
+
+def _counts_2d(starts: np.ndarray, ends: np.ndarray,
+               d1: np.ndarray, d2: np.ndarray, d3: np.ndarray,
+               d4: np.ndarray, different: np.ndarray,
+               scale: float) -> Tuple[int, int]:
+    """(crossings, overlaps) from shared orientation determinants."""
+    eps = _EPS * scale
+    crossing = (d1 * d2 < -eps) & (d3 * d4 < -eps) & different
+    # The relation is symmetric; each unordered pair appears twice.
+    intersections = int(np.count_nonzero(crossing) // 2)
+    eps_overlap = _OVERLAP_EPS_SCALE * scale
+    collinear = ((np.abs(d1) <= eps_overlap) &
+                 (np.abs(d2) <= eps_overlap) &
+                 (np.abs(d3) <= eps_overlap) &
+                 (np.abs(d4) <= eps_overlap) & different)
+    collinear = np.triu(collinear)  # unordered pairs once
+    overlaps = _overlap_loop(collinear, starts, ends) \
+        if np.any(collinear) else 0
+    return intersections, overlaps
+
+
 def _crossing_count_2d(trajectories: TrajectorySet) -> int:
     starts, ends, owners = _stacked(trajectories)
     d1, d2, d3, d4, different, scale = _orientation_data(starts, ends,
@@ -106,20 +150,69 @@ def _overlap_count_2d(trajectories: TrajectorySet) -> int:
     collinear = np.triu(collinear)  # unordered pairs once
     if not np.any(collinear):
         return 0
-    count = 0
-    rows, cols = np.nonzero(collinear)
-    for i, j in zip(rows, cols):
-        direction = ends[i] - starts[i]
-        norm = float(np.dot(direction, direction))
-        if norm <= _EPS:
-            continue
-        s0 = float(np.dot(starts[j] - starts[i], direction)) / norm
-        s1 = float(np.dot(ends[j] - starts[i], direction)) / norm
-        lo = max(0.0, min(s0, s1))
-        hi = min(1.0, max(s0, s1))
-        if hi - lo > 1e-9:
-            count += 1
-    return count
+    return _overlap_loop(collinear, starts, ends)
+
+
+def conflict_counts_batch(starts: np.ndarray, ends: np.ndarray,
+                          owners: np.ndarray, chunk_size: int = 32
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """(intersections, common_pathways) for a 2-D trajectory-set batch.
+
+    ``starts``/``ends`` are ``(K, S, 2)`` stacked segment arrays sharing
+    one ``owners`` layout -- K candidate configurations of the *same*
+    trajectory structure (the GA population case). Counts are identical
+    to calling :func:`count_intersections` /
+    :func:`count_common_pathways` per member: the orientation
+    determinants are the same element-wise operations with a leading
+    batch axis, and the rare overlap resolution runs the exact scalar
+    loop.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    if starts.ndim != 3 or starts.shape[2] != 2 or \
+            starts.shape != ends.shape:
+        raise TrajectoryError(
+            f"conflict_counts_batch needs matching (K, S, 2) arrays, "
+            f"got {starts.shape} and {ends.shape}")
+    num_members, num_segments = starts.shape[:2]
+    owners = np.asarray(owners)
+    if owners.shape != (num_segments,):
+        raise TrajectoryError(
+            f"owners must have shape ({num_segments},), got "
+            f"{owners.shape}")
+    different = owners[:, None] != owners[None, :]
+    upper = np.triu(np.ones((num_segments, num_segments), dtype=bool))
+    intersections = np.empty(num_members, dtype=int)
+    overlaps = np.zeros(num_members, dtype=int)
+    for low in range(0, num_members, chunk_size):
+        high = min(low + chunk_size, num_members)
+        s = starts[low:high]
+        e = ends[low:high]
+        direction = e - s
+        b_dir = direction[:, None, :, :]               # (k, 1, S, 2)
+        a_dir = direction[:, :, None, :]               # (k, S, 1, 2)
+        diff_ab = s[:, :, None, :] - s[:, None, :, :]  # a_start - b_start
+        diff_ba = s[:, None, :, :] - s[:, :, None, :]  # b_start - a_start
+        d1 = cross2(b_dir, diff_ab)
+        d2 = cross2(b_dir, e[:, :, None, :] - s[:, None, :, :])
+        d3 = cross2(a_dir, diff_ba)
+        d4 = cross2(a_dir, e[:, None, :, :] - s[:, :, None, :])
+        lengths_sq = np.sum(direction * direction, axis=-1)
+        scale = np.maximum(lengths_sq.max(axis=1), _EPS)
+        eps = (_EPS * scale)[:, None, None]
+        crossing = (d1 * d2 < -eps) & (d3 * d4 < -eps) & different[None]
+        intersections[low:high] = \
+            np.count_nonzero(crossing, axis=(1, 2)) // 2
+        eps_overlap = (_OVERLAP_EPS_SCALE * scale)[:, None, None]
+        collinear = ((np.abs(d1) <= eps_overlap) &
+                     (np.abs(d2) <= eps_overlap) &
+                     (np.abs(d3) <= eps_overlap) &
+                     (np.abs(d4) <= eps_overlap) &
+                     different[None] & upper[None])
+        for offset in np.nonzero(np.any(collinear, axis=(1, 2)))[0]:
+            overlaps[low + offset] = _overlap_loop(
+                collinear[offset], s[offset], e[offset])
+    return intersections, overlaps
 
 
 def _vertex_segment_distances(trajectories: TrajectorySet
@@ -246,8 +339,18 @@ def evaluate_metrics(trajectories: TrajectorySet,
     paper fitness only needs conflict counts) and reports separations as
     ``nan``.
     """
-    intersections = count_intersections(trajectories)
-    overlaps = count_common_pathways(trajectories)
+    if trajectories.dimension == 2 and len(trajectories) >= 2:
+        # Fused 2-D fast path: the crossing and overlap counts share
+        # one orientation-determinant computation (the GA calls this
+        # thousands of times; counts are identical to the split calls).
+        starts, ends, owners = _stacked(trajectories)
+        d1, d2, d3, d4, different, scale = _orientation_data(
+            starts, ends, owners)
+        intersections, overlaps = _counts_2d(
+            starts, ends, d1, d2, d3, d4, different, scale)
+    else:
+        intersections = count_intersections(trajectories)
+        overlaps = count_common_pathways(trajectories)
     if not include_separations or len(trajectories) < 2:
         return TrajectoryMetrics(
             intersections=intersections,

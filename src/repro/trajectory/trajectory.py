@@ -147,18 +147,30 @@ class TrajectorySet:
     @classmethod
     def from_source(cls, source: FaultDictionary | ResponseSurface,
                     mapper: SignatureMapper,
-                    components: Optional[Sequence[str]] = None
+                    components: Optional[Sequence[str]] = None,
+                    *, signature_matrix: Optional[np.ndarray] = None,
+                    golden_point: Optional[np.ndarray] = None
                     ) -> "TrajectorySet":
         """Build trajectories from a dictionary or response surface.
 
         Only parametric-fault entries form trajectories (a trajectory is
         a parametric sweep by definition); entries of other fault kinds
         are ignored here and handled by the catastrophic classifier.
+
+        ``signature_matrix``/``golden_point`` optionally inject
+        precomputed mapping results (must match what the mapper would
+        produce from ``source``); population-level GA evaluation uses
+        this to sample the response surface once for a whole candidate
+        batch.
         """
         dictionary = source.dictionary if isinstance(
             source, ResponseSurface) else source
-        matrix = mapper.signature_matrix(source)
-        golden_point = mapper.golden_signature(source)
+        if signature_matrix is None:
+            signature_matrix = mapper.signature_matrix(source)
+        if golden_point is None:
+            golden_point = mapper.golden_signature(source)
+        matrix = np.asarray(signature_matrix, dtype=float)
+        golden_point = np.asarray(golden_point, dtype=float)
 
         groups: Dict[str, List[Tuple[float, np.ndarray]]] = {}
         for row, entry in zip(matrix, dictionary.entries):
