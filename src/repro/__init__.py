@@ -17,8 +17,10 @@ including the analog simulation substrate it depends on:
   baselines and an evaluation harness;
 * :mod:`repro.core` -- the end-to-end ATPG pipeline;
 * :mod:`repro.runtime` -- the serving layer: batched diagnosis, parallel
-  dictionary builds, a content-addressed artifact store and the
-  multi-circuit :class:`DiagnosisService`;
+  dictionary builds, a content-addressed artifact store, the
+  multi-circuit :class:`DiagnosisService` and its asyncio front
+  (:class:`AsyncDiagnosisService`: request coalescing, backpressure,
+  a stdlib JSON-over-HTTP server);
 * :mod:`repro.viz` -- ASCII figures and CSV export.
 
 Quickstart::
@@ -76,9 +78,13 @@ from .faults import (
 )
 from .runtime import (
     ArtifactStore,
+    AsyncDiagnosisService,
     BatchDiagnoser,
+    DiagnosisHTTPServer,
     DiagnosisService,
+    ServiceStats,
     build_dictionary_parallel,
+    serve,
 )
 from .ga import (
     CombinedFitness,
@@ -111,7 +117,7 @@ from .trajectory import (
 )
 from .units import db, format_frequency, log_frequency_grid, parse_value
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -182,6 +188,10 @@ __all__ = [
     "BatchDiagnoser",
     "ArtifactStore",
     "DiagnosisService",
+    "ServiceStats",
+    "AsyncDiagnosisService",
+    "DiagnosisHTTPServer",
+    "serve",
     "build_dictionary_parallel",
     # misc
     "ReproError",

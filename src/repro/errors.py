@@ -74,3 +74,17 @@ class StoreError(ReproError):
 
 class ServiceError(ReproError):
     """The diagnosis service could not handle a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Backpressure refused a request (pending queue at capacity).
+
+    Raised by the async serving front when ``overflow="reject"`` and
+    more than ``max_pending`` requests are already queued or in flight.
+    Clients should retry with backoff.
+    """
+
+
+class CodecError(ServiceError):
+    """A serving-layer request/response payload could not be
+    encoded or decoded."""

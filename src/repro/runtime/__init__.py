@@ -11,11 +11,17 @@ Turns the paper reproduction into an engine fit for heavy traffic:
   content-addressed on-disk cache of dictionaries, GA results and
   trajectory sets keyed by the canonical problem statement;
 * :mod:`repro.runtime.service` -- :class:`DiagnosisService`, the warm
-  multi-circuit ``submit()`` facade with an engine LRU and counters.
+  multi-circuit ``submit()`` facade with an engine LRU and counters;
+* :mod:`repro.runtime.server` -- :class:`AsyncDiagnosisService`, the
+  awaitable coalescing front (micro-batching window, backpressure),
+  plus a stdlib JSON-over-HTTP server (:func:`serve`);
+* :mod:`repro.runtime.codec` -- the transport-agnostic JSON wire
+  format those requests and responses ride on.
 """
 
 from .batch import BatchDiagnoser
 from .parallel import build_dictionary_parallel
+from .server import AsyncDiagnosisService, DiagnosisHTTPServer, serve
 from .service import CircuitStats, DiagnosisService, ServiceStats
 from .store import (ArtifactStore, StoreStats, derive_key,
                     ga_search_key, problem_key, trajectory_key)
@@ -32,4 +38,7 @@ __all__ = [
     "DiagnosisService",
     "CircuitStats",
     "ServiceStats",
+    "AsyncDiagnosisService",
+    "DiagnosisHTTPServer",
+    "serve",
 ]

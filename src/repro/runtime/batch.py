@@ -112,7 +112,16 @@ class BatchDiagnoser:
             matrix = matrix - golden[None, :]
         return matrix
 
-    def _signatures(self, responses: ResponseBatch) -> np.ndarray:
+    def signatures(self, responses: ResponseBatch) -> np.ndarray:
+        """Signature points for any accepted response batch.
+
+        This is exactly the conversion :meth:`classify_responses`
+        applies before classification; it is exposed so callers that
+        coalesce several batches (the async serving front) can convert
+        each batch independently, concatenate the points and classify
+        once -- every operation is row-independent, so the result is
+        bitwise-identical to converting per batch.
+        """
         if isinstance(responses, np.ndarray):
             return self.signatures_from_db(responses)
         mapper = self.trajectories.mapper
@@ -213,7 +222,7 @@ class BatchDiagnoser:
         or an (N, F) matrix of dB magnitudes sampled at the mapper's
         test frequencies (see :meth:`signatures_from_db`).
         """
-        return self.classify_points(self._signatures(responses))
+        return self.classify_points(self.signatures(responses))
 
     def components_for(self, points: np.ndarray) -> Tuple[str, ...]:
         """Winning component labels only -- the fastest batched query.

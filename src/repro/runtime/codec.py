@@ -1,0 +1,177 @@
+"""Transport-agnostic JSON codec for the diagnosis serving layer.
+
+One wire format, independent of the transport that carries it: the
+stdlib HTTP front (:mod:`repro.runtime.server`) uses it, but so can a
+message queue or a unix-socket RPC layer. Requests carry a circuit name
+plus an ``(N, F)`` matrix of measured dB magnitudes at the circuit's
+test vector; responses carry one diagnosis dict per row.
+
+Floats survive the round trip exactly: ``json`` serialises Python
+floats with ``repr`` (shortest round-trip form), so
+``decode_response(encode_response(d)) == d`` bitwise -- the property
+the serving equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..diagnosis.classifier import Diagnosis
+from ..errors import CodecError
+
+__all__ = [
+    "DiagnoseRequest",
+    "decode_request",
+    "encode_request",
+    "decode_response",
+    "encode_response",
+    "diagnosis_to_dict",
+    "diagnosis_from_dict",
+    "encode_error",
+    "encode_stats",
+]
+
+Payload = Union[bytes, bytearray, str]
+
+
+def _loads(payload: Payload) -> object:
+    if isinstance(payload, (bytes, bytearray)):
+        try:
+            payload = payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"payload is not valid UTF-8: {exc}") from exc
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"payload is not valid JSON: {exc}") from exc
+
+
+def _dumps(obj: object) -> bytes:
+    return json.dumps(obj, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiagnoseRequest:
+    """A decoded diagnosis request: one circuit, N measured rows."""
+
+    circuit: str
+    magnitudes_db: np.ndarray    # (N, F) float matrix
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.magnitudes_db.shape[0])
+
+
+def encode_request(circuit: str,
+                   magnitudes_db: Union[np.ndarray, Sequence[Sequence[float]]]
+                   ) -> bytes:
+    """Serialise a diagnosis request to its JSON wire form."""
+    matrix = np.asarray(magnitudes_db, dtype=float)
+    if matrix.ndim != 2:
+        raise CodecError(
+            f"magnitudes_db must be a 2-D (N, F) matrix, got shape "
+            f"{matrix.shape}")
+    return _dumps({"circuit": circuit,
+                   "magnitudes_db": matrix.tolist()})
+
+
+def decode_request(payload: Payload) -> DiagnoseRequest:
+    """Parse and validate a diagnosis request payload."""
+    obj = _loads(payload)
+    if not isinstance(obj, dict):
+        raise CodecError("request must be a JSON object")
+    circuit = obj.get("circuit")
+    if not isinstance(circuit, str) or not circuit:
+        raise CodecError("request needs a non-empty string 'circuit'")
+    rows = obj.get("magnitudes_db")
+    if not isinstance(rows, list) or not rows:
+        raise CodecError(
+            "request needs a non-empty 'magnitudes_db' list of rows")
+    try:
+        matrix = np.asarray(rows, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(
+            f"magnitudes_db is not a numeric matrix: {exc}") from exc
+    if matrix.ndim != 2:
+        raise CodecError(
+            f"magnitudes_db must be rectangular 2-D, got shape "
+            f"{matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise CodecError("magnitudes_db contains non-finite values")
+    return DiagnoseRequest(circuit=circuit, magnitudes_db=matrix)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def diagnosis_to_dict(diagnosis: Diagnosis) -> Dict[str, object]:
+    """JSON-ready dict for one diagnosis (bitwise round-trippable)."""
+    # A single-trajectory set has an infinite margin; JSON has no inf,
+    # so it rides as null and decodes back to inf.
+    margin = diagnosis.margin if np.isfinite(diagnosis.margin) else None
+    return {
+        "component": diagnosis.component,
+        "estimated_deviation": diagnosis.estimated_deviation,
+        "distance": diagnosis.distance,
+        "perpendicular": diagnosis.perpendicular,
+        "margin": margin,
+        "point": list(diagnosis.point),
+        "ranking": [[name, distance]
+                    for name, distance in diagnosis.ranking],
+    }
+
+
+def diagnosis_from_dict(obj: Dict[str, object]) -> Diagnosis:
+    """Rebuild a :class:`Diagnosis` from its wire dict."""
+    try:
+        margin = obj["margin"]
+        return Diagnosis(
+            component=str(obj["component"]),
+            estimated_deviation=float(obj["estimated_deviation"]),
+            distance=float(obj["distance"]),
+            perpendicular=bool(obj["perpendicular"]),
+            margin=float("inf") if margin is None else float(margin),
+            point=tuple(float(x) for x in obj["point"]),
+            ranking=tuple((str(name), float(distance))
+                          for name, distance in obj["ranking"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed diagnosis dict: {exc}") from exc
+
+
+def encode_response(diagnoses: Sequence[Diagnosis]) -> bytes:
+    """Serialise a list of diagnoses to the JSON wire form."""
+    return _dumps({"diagnoses": [diagnosis_to_dict(d)
+                                 for d in diagnoses]})
+
+
+def decode_response(payload: Payload) -> List[Diagnosis]:
+    """Parse a diagnosis response payload back into objects."""
+    obj = _loads(payload)
+    if not isinstance(obj, dict) or "diagnoses" not in obj:
+        raise CodecError("response must be an object with 'diagnoses'")
+    items = obj["diagnoses"]
+    if not isinstance(items, list):
+        raise CodecError("'diagnoses' must be a list")
+    return [diagnosis_from_dict(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Errors and stats
+# ----------------------------------------------------------------------
+def encode_error(message: str, kind: str = "error") -> bytes:
+    """Serialise an error payload (`kind` names the exception class)."""
+    return _dumps({"error": {"kind": kind, "message": message}})
+
+
+def encode_stats(snapshot: Dict[str, object]) -> bytes:
+    """Serialise a :meth:`ServiceStats.snapshot` dict."""
+    return _dumps(snapshot)

@@ -1,0 +1,605 @@
+"""Async serving front: request coalescing over :class:`DiagnosisService`.
+
+The paper's end goal is an online diagnoser: measured frequency
+responses arrive concurrently and must be classified against the
+fault-trajectory dictionary at interactive latency. Classification is
+throughput-bound (the batch diagnoser amortises its fixed NumPy cost
+over rows), so the win is *micro-batching*: concurrent requests for the
+same circuit are coalesced into one
+:meth:`~repro.runtime.batch.BatchDiagnoser.classify_points` call and the
+results sliced back per request.
+
+Equivalence guarantee
+---------------------
+A coalesced flush converts every request to signature points with the
+same code path a lone ``submit`` uses
+(:meth:`BatchDiagnoser.signatures`), concatenates the points, and
+classifies once. Every classification operation is row-independent, so
+each request's diagnoses are **bitwise-identical** to what a sequential
+:meth:`DiagnosisService.submit` would have returned -- the property
+tests in ``tests/test_serving.py`` pin this down across circuits, batch
+sizes and arrival interleavings.
+
+Knobs
+-----
+``window_seconds``
+    Micro-batching window: how long the first request of a batch waits
+    for company before the flush fires.
+``max_batch``
+    Row budget per coalesced batch: reaching it flushes immediately
+    (no window wait).
+``max_pending`` / ``overflow``
+    Backpressure: with more than ``max_pending`` requests queued or in
+    flight, new submits either wait for capacity (``"wait"``, default)
+    or fail fast with :class:`ServiceOverloadedError` (``"reject"``).
+
+A minimal stdlib HTTP front (:class:`DiagnosisHTTPServer`, asyncio
+streams -- no new runtime dependencies) exposes the service over the
+JSON codec in :mod:`repro.runtime.codec`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..diagnosis.classifier import Diagnosis
+from ..errors import (CodecError, ServiceError, ServiceOverloadedError)
+from . import codec
+from .batch import ResponseBatch
+from .service import DiagnosisService
+
+__all__ = ["AsyncDiagnosisService", "DiagnosisHTTPServer", "serve"]
+
+_OVERFLOW_KINDS = ("wait", "reject")
+
+
+def _count_rows(responses: ResponseBatch) -> int:
+    """Rows a request contributes to a batch, without converting it."""
+    if isinstance(responses, np.ndarray):
+        if responses.ndim != 2:
+            raise ServiceError(
+                f"expected an (N, F) magnitude matrix, got shape "
+                f"{responses.shape}")
+        return int(responses.shape[0])
+    try:
+        return len(responses)                      # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ServiceError(
+            "responses must be an (N, F) array or a sequence of "
+            "FrequencyResponse objects") from exc
+
+
+class _Pending:
+    """One queued request: its raw responses and the result future."""
+
+    __slots__ = ("responses", "rows", "future", "enqueued_at")
+
+    def __init__(self, responses: ResponseBatch, rows: int,
+                 future: "asyncio.Future[List[Diagnosis]]") -> None:
+        self.responses = responses
+        self.rows = rows
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class _CircuitQueue:
+    """Pending requests for one circuit plus the window timer."""
+
+    __slots__ = ("items", "rows", "timer")
+
+    def __init__(self) -> None:
+        self.items: List[_Pending] = []
+        self.rows = 0
+        self.timer: Optional["asyncio.Task[None]"] = None
+
+
+class AsyncDiagnosisService:
+    """Awaitable, coalescing front over a :class:`DiagnosisService`.
+
+    Single-loop object: construct and use it from one running asyncio
+    event loop. The wrapped :class:`DiagnosisService` stays fully usable
+    from other threads (its engine cache and stats are thread-safe);
+    engine warm-ups triggered by async requests run on the loop's
+    default thread pool so the loop never blocks on a pipeline build.
+
+    Parameters
+    ----------
+    service:
+        The synchronous service to front. Built from
+        ``service_kwargs`` (forwarded to :class:`DiagnosisService`)
+        when omitted.
+    window_seconds:
+        Micro-batching window (seconds). ``0.0`` still coalesces
+        whatever arrives within one loop iteration.
+    max_batch:
+        Flush as soon as a circuit's queued rows reach this budget.
+    max_pending:
+        Backpressure bound on requests queued or in flight.
+    overflow:
+        ``"wait"`` parks new submits until capacity frees;
+        ``"reject"`` raises :class:`ServiceOverloadedError` instead.
+    eager_flush:
+        Adaptive windowing (default on): flush as soon as one full
+        event-loop pass produces no new arrivals for the circuit, so
+        closed-loop clients never stall on the timer; the window stays
+        the upper bound. Set ``False`` to always wait the full window
+        (maximises coalescing for time-spread open-loop arrivals).
+    executor:
+        Optional ``concurrent.futures.Executor`` to run coalesced
+        classify calls on. Default ``None`` classifies inline on the
+        loop (classification is microseconds-scale; inline avoids the
+        thread hop). Engine warm-ups always run on the loop's default
+        executor regardless.
+    """
+
+    def __init__(self, service: Optional[DiagnosisService] = None, *,
+                 window_seconds: float = 0.002, max_batch: int = 64,
+                 max_pending: int = 1024, overflow: str = "wait",
+                 eager_flush: bool = True, executor=None,
+                 **service_kwargs) -> None:
+        if service is None:
+            service = DiagnosisService(**service_kwargs)
+        elif service_kwargs:
+            raise ServiceError(
+                "pass either a prebuilt service or DiagnosisService "
+                "kwargs, not both")
+        if window_seconds < 0.0:
+            raise ServiceError("window_seconds must be >= 0")
+        if max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ServiceError("max_pending must be >= 1")
+        if overflow not in _OVERFLOW_KINDS:
+            raise ServiceError(
+                f"overflow must be one of {_OVERFLOW_KINDS}, "
+                f"got {overflow!r}")
+        self.service = service
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.overflow = overflow
+        self.eager_flush = eager_flush
+        self._executor = executor
+        self._queues: Dict[str, _CircuitQueue] = {}
+        self._inflight: Set["asyncio.Task[None]"] = set()
+        self._pending = 0
+        self._waiters = 0        # submits parked on backpressure
+        self._capacity = asyncio.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection / passthrough
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.service.stats
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued or in flight."""
+        return self._pending
+
+    def register(self, name: str, info) -> None:
+        self.service.register(name, info)
+
+    async def warm(self, circuit_name: str):
+        """Warm a circuit without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.service.warm,
+                                          circuit_name)
+
+    async def test_vector_hz(self, circuit_name: str) -> Tuple[float, ...]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.service.test_vector_hz, circuit_name)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, circuit_name: str,
+                     responses: ResponseBatch) -> List[Diagnosis]:
+        """Diagnose a batch of measured responses (awaitable).
+
+        Concurrent submits for the same circuit are coalesced into one
+        batched classify; results are bitwise-identical to sequential
+        :meth:`DiagnosisService.submit` calls.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        if not self.service.has_circuit(circuit_name):
+            # Fail before any per-circuit queue state is allocated, so
+            # a stream of bogus names cannot grow _queues unboundedly.
+            raise ServiceError(
+                f"unknown circuit {circuit_name!r}; register() it "
+                f"first")
+        rows = _count_rows(responses)
+        await self._admit()
+        loop = asyncio.get_running_loop()
+        item = _Pending(responses, rows, loop.create_future())
+        queue = self._queues.get(circuit_name)
+        if queue is None:
+            queue = self._queues.setdefault(circuit_name, _CircuitQueue())
+        queue.items.append(item)
+        queue.rows += rows
+        stats = self.service.stats
+        if self._pending > stats.peak_queue_depth:   # lock only on a new peak
+            stats.observe_queue_depth(self._pending)
+        if queue.rows >= self.max_batch:
+            self._start_flush(circuit_name)
+        elif queue.timer is None:
+            queue.timer = loop.create_task(
+                self._window_timer(circuit_name))
+        return await item.future
+
+    async def _admit(self) -> None:
+        if self._pending < self.max_pending:
+            self._pending += 1
+            return
+        if self.overflow == "reject":
+            self.service.stats.record_rejection()
+            raise ServiceOverloadedError(
+                f"{self._pending} requests pending "
+                f"(max_pending={self.max_pending})")
+        self._waiters += 1
+        try:
+            async with self._capacity:
+                while self._pending >= self.max_pending:
+                    await self._capacity.wait()
+                self._pending += 1
+        finally:
+            self._waiters -= 1
+
+    async def _settle(self, count: int) -> None:
+        self._pending -= count
+        async with self._capacity:
+            self._capacity.notify_all()
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    async def _window_timer(self, circuit_name: str) -> None:
+        queue = self._queues.get(circuit_name)
+        if queue is None:
+            return
+        try:
+            if self.eager_flush:
+                # Adaptive window: give every ready task one full loop
+                # pass to enqueue; flush as soon as arrivals go quiet
+                # (or the window expires). Closed-loop clients thus
+                # never stall on the timer, while a burst still
+                # coalesces completely.
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + self.window_seconds
+                seen = queue.rows
+                while True:
+                    await asyncio.sleep(0)
+                    if queue.rows == seen or loop.time() >= deadline:
+                        break
+                    seen = queue.rows
+            else:
+                await asyncio.sleep(self.window_seconds)
+        except asyncio.CancelledError:
+            return
+        self._start_flush(circuit_name, from_timer=True)
+
+    def _start_flush(self, circuit_name: str, *,
+                     from_timer: bool = False) -> None:
+        queue = self._queues.get(circuit_name)
+        if queue is None:
+            return
+        timer, queue.timer = queue.timer, None
+        if timer is not None and not from_timer:
+            timer.cancel()
+        if not queue.items:
+            return
+        items, queue.items, queue.rows = queue.items, [], 0
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(circuit_name, items))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    def _stack_signatures(self, diagnoser, items: Sequence[_Pending]
+                          ) -> Tuple[List[_Pending], Optional[np.ndarray]]:
+        """Convert each live request to signature points and stack them.
+
+        Conversion failures (wrong width, missing golden, ...) fail only
+        the offending request's future, never its batch peers.
+        """
+        live = [item for item in items
+                if not item.future.done()]   # skip cancelled requests
+        if not live:
+            return live, None
+        # Fast path: every request is already a float64 (n, F) matrix of
+        # the right width -- concatenate the raw rows and convert once.
+        # signatures() is elementwise/row-independent, so this is
+        # bitwise-identical to converting per request.
+        dimension = diagnoser.trajectories.mapper.dimension
+        if len(live) > 1 and all(
+                isinstance(item.responses, np.ndarray)
+                and item.responses.dtype == np.float64
+                and item.responses.ndim == 2
+                and item.responses.shape[1] == dimension
+                for item in live):
+            raw = np.concatenate([item.responses for item in live],
+                                 axis=0)
+            try:
+                return live, diagnoser.signatures(raw)
+            except Exception as exc:     # noqa: BLE001 -- shared fault
+                # e.g. missing golden response: every request is
+                # equally affected.
+                for item in live:
+                    item.future.set_exception(exc)
+                return [], None
+        points: List[np.ndarray] = []
+        converted_live: List[_Pending] = []
+        for item in live:
+            try:
+                converted = diagnoser.signatures(item.responses)
+            except Exception as exc:     # noqa: BLE001 -- per-request fault
+                item.future.set_exception(exc)
+                continue
+            converted_live.append(item)
+            points.append(converted)
+        if not converted_live:
+            return converted_live, None
+        if len(points) == 1:
+            return converted_live, points[0]
+        return converted_live, np.concatenate(points, axis=0)
+
+    async def _run_batch(self, circuit_name: str,
+                         items: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            try:
+                engine = self.service._engine_if_warm(circuit_name)
+                if engine is None:
+                    # Cold miss: the pipeline build must not block the
+                    # loop. The per-circuit build lock inside _engine
+                    # dedupes racing warm-ups.
+                    engine = await loop.run_in_executor(
+                        None, self.service._engine, circuit_name)
+            except Exception as exc:     # noqa: BLE001 -- shared fault
+                for item in items:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            live, stacked = self._stack_signatures(engine.diagnoser,
+                                                   items)
+            if not live:
+                return
+            try:
+                if self._executor is None:
+                    diagnoses = engine.diagnoser.classify_points(stacked)
+                else:
+                    diagnoses = await loop.run_in_executor(
+                        self._executor, engine.diagnoser.classify_points,
+                        stacked)
+            except Exception as exc:     # noqa: BLE001 -- shared fault
+                for item in live:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            finished = time.perf_counter()
+            offset = 0
+            records: List[Tuple[int, float]] = []
+            for item in live:
+                part = diagnoses[offset:offset + item.rows]
+                offset += item.rows
+                if not item.future.done():
+                    item.future.set_result(part)
+                records.append((item.rows, finished - item.enqueued_at))
+            self.service.stats.record_coalesced(
+                circuit_name, records, n_rows=int(stacked.shape[0]))
+        finally:
+            await self._settle(len(items))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self, circuit_name: Optional[str] = None) -> None:
+        """Force pending batches out immediately (skip the window)."""
+        names = [circuit_name] if circuit_name is not None \
+            else list(self._queues)
+        for name in names:
+            self._start_flush(name)
+
+    async def drain(self) -> None:
+        """Flush everything and wait until no request is in flight.
+
+        Covers submits parked on backpressure too: drain only returns
+        once they have been admitted, flushed and answered.
+        """
+        while True:
+            self.flush()
+            tasks = list(self._inflight)
+            if not tasks and self._waiters == 0 and \
+                    not any(q.items for q in self._queues.values()):
+                return
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            else:
+                await asyncio.sleep(0)
+
+    async def aclose(self) -> None:
+        """Refuse new submits, then drain in-flight work."""
+        self._closed = True
+        await self.drain()
+
+
+# ----------------------------------------------------------------------
+# Minimal stdlib HTTP front
+# ----------------------------------------------------------------------
+_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                 405: "Method Not Allowed", 413: "Payload Too Large",
+                 500: "Internal Server Error",
+                 503: "Service Unavailable"}
+
+#: Upper bound on an accepted request body (a diagnosis batch is a few
+#: KiB of JSON; anything near this is abuse, not traffic).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class DiagnosisHTTPServer:
+    """JSON-over-HTTP front for an :class:`AsyncDiagnosisService`.
+
+    Pure stdlib (asyncio streams): one short-lived HTTP/1.0-style
+    exchange per connection. Routes:
+
+    * ``POST /v1/diagnose`` -- body is the codec request
+      (``{"circuit": ..., "magnitudes_db": [[...], ...]}``); answers
+      the codec response with one diagnosis per row.
+    * ``GET /v1/stats`` -- :meth:`ServiceStats.snapshot`.
+    * ``GET /v1/circuits`` -- registered/benchmark/warmed names.
+    * ``GET /v1/test-vector/<circuit>`` -- the measurement frequencies
+      (warms the circuit when cold).
+    * ``GET /v1/healthz`` -- liveness.
+    """
+
+    def __init__(self, service: AsyncDiagnosisService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- useful with ``port=0``."""
+        if self._server is None:
+            raise ServiceError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "DiagnosisHTTPServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await self._respond(reader)
+            reason = _HTTP_REASONS.get(status, "Unknown")
+            head = (f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n").encode("latin1")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, bytes]:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin1").split()
+            if len(parts) < 2:
+                return 400, codec.encode_error("malformed request line")
+            method, path = parts[0].upper(), parts[1]
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                return 400, codec.encode_error("bad Content-Length")
+            if length < 0:
+                return 400, codec.encode_error("bad Content-Length")
+            if length > MAX_BODY_BYTES:
+                return 413, codec.encode_error(
+                    f"body exceeds {MAX_BODY_BYTES} bytes")
+            body = await reader.readexactly(length) if length > 0 \
+                else b""
+        except ValueError:
+            # StreamReader raises ValueError past its line limit
+            # (oversized request line or header).
+            return 400, codec.encode_error("request line/header too long")
+        try:
+            return await self._route(method, path, body)
+        except ServiceOverloadedError as exc:
+            return 503, codec.encode_error(str(exc),
+                                           kind=type(exc).__name__)
+        except CodecError as exc:
+            return 400, codec.encode_error(str(exc),
+                                           kind=type(exc).__name__)
+        except ServiceError as exc:
+            return 404, codec.encode_error(str(exc),
+                                           kind=type(exc).__name__)
+        except Exception as exc:         # noqa: BLE001 -- server boundary
+            return 500, codec.encode_error(str(exc),
+                                           kind=type(exc).__name__)
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, bytes]:
+        if path == "/v1/diagnose":
+            if method != "POST":
+                return 405, codec.encode_error("use POST")
+            request = codec.decode_request(body)
+            diagnoses = await self.service.submit(request.circuit,
+                                                  request.magnitudes_db)
+            return 200, codec.encode_response(diagnoses)
+        if path == "/v1/stats" and method == "GET":
+            return 200, codec.encode_stats(
+                self.service.stats.snapshot())
+        if path == "/v1/circuits" and method == "GET":
+            known = self.service.service.known_circuits()
+            return 200, codec.encode_stats(
+                {origin: list(names) for origin, names in known.items()})
+        if path.startswith("/v1/test-vector/") and method == "GET":
+            circuit = path[len("/v1/test-vector/"):]
+            freqs = await self.service.test_vector_hz(circuit)
+            return 200, codec.encode_stats(
+                {"circuit": circuit,
+                 "test_vector_hz": sorted(freqs)})
+        if path == "/v1/healthz" and method == "GET":
+            return 200, codec.encode_stats(
+                {"status": "ok",
+                 "queue_depth": self.service.queue_depth,
+                 "warmed": list(self.service.service.warmed_circuits)})
+        return 404, codec.encode_error(f"no route for {method} {path}")
+
+
+async def serve(service: Optional[AsyncDiagnosisService] = None,
+                host: str = "127.0.0.1", port: int = 8080,
+                **async_kwargs) -> DiagnosisHTTPServer:
+    """Start an HTTP diagnosis server; returns it already listening.
+
+    ``async_kwargs`` are forwarded to :class:`AsyncDiagnosisService`
+    when no prebuilt service is given.
+    """
+    if service is None:
+        service = AsyncDiagnosisService(**async_kwargs)
+    server = DiagnosisHTTPServer(service, host=host, port=port)
+    await server.start()
+    return server

@@ -1,25 +1,33 @@
 """Serving facade: warmed diagnosis engines behind one submit() seam.
 
-:class:`DiagnosisService` is the shape a future HTTP layer plugs into:
-it owns an LRU cache of warmed per-circuit engines (an ATPG run plus
-its batch diagnoser), loads artifacts through an optional
-:class:`~repro.runtime.store.ArtifactStore` so cold starts skip
-simulation, and answers ``submit(circuit_name, responses)`` requests
-with batched classification while keeping simple request/latency
-counters.
+:class:`DiagnosisService` is the shape the async/HTTP layer
+(:mod:`repro.runtime.server`) plugs into: it owns an LRU cache of warmed
+per-circuit engines (an ATPG run plus its batch diagnoser), loads
+artifacts through an optional :class:`~repro.runtime.store.ArtifactStore`
+so cold starts skip simulation, and answers
+``submit(circuit_name, responses)`` requests with batched classification
+while keeping request/latency counters.
 
-Thread-safety: engine-cache mutation and counter updates hold one lock;
-classification itself runs outside it (the batch diagnoser is
-read-only after construction).
+Thread-safety contract:
+
+* engine-cache mutation holds the service lock; warm-up builds run
+  outside it behind a *per-circuit* build lock, so a cold circuit is
+  built exactly once no matter how many threads race on it, and other
+  circuits' requests never stall behind the build;
+* every :class:`ServiceStats` mutation goes through ``record_*`` methods
+  that hold the stats object's own lock, so counters stay exact under
+  concurrent ``submit`` from any number of threads;
+* classification itself runs with no lock held (the batch diagnoser is
+  read-only after construction).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.library import BENCHMARK_CIRCUITS, CircuitInfo, \
     get_benchmark
@@ -31,6 +39,17 @@ from .batch import BatchDiagnoser, ResponseBatch
 from .store import ArtifactStore
 
 __all__ = ["DiagnosisService", "CircuitStats", "ServiceStats"]
+
+#: How many recent request latencies the percentile reservoir keeps.
+LATENCY_WINDOW = 4096
+
+
+def _batch_bucket(n_rows: int) -> int:
+    """Histogram bucket for a coalesced batch: rows rounded up to the
+    next power of two (1, 2, 4, 8, ...)."""
+    if n_rows <= 1:
+        return 1
+    return 1 << (n_rows - 1).bit_length()
 
 
 @dataclass
@@ -48,19 +67,156 @@ class CircuitStats:
             return 0.0
         return self.total_latency_seconds / self.requests
 
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "responses_diagnosed": self.responses_diagnosed,
+            "total_latency_seconds": self.total_latency_seconds,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "warm_loads": self.warm_loads,
+        }
+
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters plus the per-circuit breakdown."""
+    """Aggregate counters plus the per-circuit breakdown.
+
+    All mutation goes through the ``record_*`` / ``observe_*`` methods,
+    which hold an internal lock -- callers may hammer one stats object
+    from any number of threads and every counter stays exact. Plain
+    attribute reads are lock-free (ints/floats are torn-write safe under
+    the GIL); use :meth:`snapshot` for a consistent multi-field view.
+    """
 
     requests: int = 0
     responses_diagnosed: int = 0
     total_latency_seconds: float = 0.0
     evictions: int = 0
+    #: Number of coalesced classify calls the async front issued.
+    coalesced_batches: int = 0
+    #: Client requests that were answered from a coalesced batch.
+    coalesced_requests: int = 0
+    #: Requests refused by backpressure (``overflow="reject"``).
+    rejections: int = 0
+    #: Highest queued-request count the async front ever observed.
+    peak_queue_depth: int = 0
+    #: Coalesced batch sizes (rows), bucketed to powers of two.
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
     per_circuit: Dict[str, CircuitStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+    _latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW),
+        repr=False, compare=False)
 
     def for_circuit(self, name: str) -> CircuitStats:
         return self.per_circuit.setdefault(name, CircuitStats())
+
+    # ------------------------------------------------------------------
+    # Recording (thread-safe)
+    # ------------------------------------------------------------------
+    def _record_one(self, circuit_name: str, n_responses: int,
+                    latency_seconds: float) -> None:
+        per = self.for_circuit(circuit_name)
+        for scope in (self, per):
+            scope.requests += 1
+            scope.responses_diagnosed += n_responses
+            scope.total_latency_seconds += latency_seconds
+        self._latencies.append(latency_seconds)
+
+    def record_request(self, circuit_name: str, n_responses: int,
+                       latency_seconds: float) -> None:
+        """Record one completed ``submit`` request."""
+        with self._lock:
+            self._record_one(circuit_name, n_responses, latency_seconds)
+
+    def record_coalesced(self, circuit_name: str,
+                         request_latencies: Sequence[Tuple[int, float]],
+                         n_rows: int) -> None:
+        """Record one coalesced flush answering several requests.
+
+        ``request_latencies`` holds ``(n_responses, latency_seconds)``
+        per client request; ``n_rows`` is the size of the single
+        classify call that answered them all.
+        """
+        with self._lock:
+            self.coalesced_batches += 1
+            self.coalesced_requests += len(request_latencies)
+            bucket = _batch_bucket(n_rows)
+            self.batch_size_histogram[bucket] = \
+                self.batch_size_histogram.get(bucket, 0) + 1
+            for n_responses, latency in request_latencies:
+                self._record_one(circuit_name, n_responses, latency)
+
+    def record_warm_load(self, circuit_name: str) -> None:
+        with self._lock:
+            self.for_circuit(circuit_name).warm_loads += 1
+
+    def record_eviction(self, count: int = 1) -> None:
+        with self._lock:
+            self.evictions += count
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejections += 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def latency_percentile(self, quantile: float) -> float:
+        """Latency percentile (seconds) over the recent-request
+        reservoir (last ``LATENCY_WINDOW`` requests); 0.0 when empty."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ServiceError("quantile must be within [0, 1]")
+        with self._lock:
+            window = sorted(self._latencies)
+        if not window:
+            return 0.0
+        index = min(len(window) - 1,
+                    max(0, round(quantile * (len(window) - 1))))
+        return window[index]
+
+    @property
+    def latency_p50_seconds(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def latency_p95_seconds(self) -> float:
+        return self.latency_percentile(0.95)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent, JSON-ready view of every counter."""
+        with self._lock:
+            window = sorted(self._latencies)
+            snap: Dict[str, object] = {
+                "requests": self.requests,
+                "responses_diagnosed": self.responses_diagnosed,
+                "total_latency_seconds": self.total_latency_seconds,
+                "evictions": self.evictions,
+                "coalesced_batches": self.coalesced_batches,
+                "coalesced_requests": self.coalesced_requests,
+                "rejections": self.rejections,
+                "peak_queue_depth": self.peak_queue_depth,
+                "batch_size_histogram": dict(sorted(
+                    self.batch_size_histogram.items())),
+                "per_circuit": {name: stats.as_dict()
+                                for name, stats
+                                in self.per_circuit.items()},
+            }
+        for label, quantile in (("latency_p50_seconds", 0.50),
+                                ("latency_p95_seconds", 0.95)):
+            if window:
+                index = min(len(window) - 1,
+                            max(0, round(quantile * (len(window) - 1))))
+                snap[label] = window[index]
+            else:
+                snap[label] = 0.0
+        return snap
 
 
 @dataclass
@@ -102,6 +258,10 @@ class DiagnosisService:
         self._circuits: Dict[str, CircuitInfo] = {}
         self._engines: "OrderedDict[str, _Engine]" = OrderedDict()
         self._lock = threading.Lock()
+        # Per-circuit warm-up locks: a cold circuit is built by exactly
+        # one thread while racing threads wait on its lock instead of
+        # duplicating the (expensive) pipeline run.
+        self._build_locks: Dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # Circuit registry
@@ -126,6 +286,25 @@ class DiagnosisService:
             f"unknown circuit {name!r}; register() it or use one of "
             f"{sorted(BENCHMARK_CIRCUITS)}")
 
+    def has_circuit(self, name: str) -> bool:
+        """Whether ``name`` would resolve, without building anything.
+
+        The cheap pre-validation the serving front runs before it
+        allocates any per-circuit queue state for a request.
+        """
+        with self._lock:
+            if name in self._circuits:
+                return True
+        return name in BENCHMARK_CIRCUITS
+
+    def known_circuits(self) -> Dict[str, Tuple[str, ...]]:
+        """Circuit names the service can answer for, by origin."""
+        with self._lock:
+            registered = tuple(sorted(self._circuits))
+        return {"registered": registered,
+                "benchmarks": tuple(sorted(BENCHMARK_CIRCUITS)),
+                "warmed": self.warmed_circuits}
+
     @property
     def warmed_circuits(self) -> Tuple[str, ...]:
         """Currently warmed circuit names, least recently used first."""
@@ -141,29 +320,45 @@ class DiagnosisService:
         store is configured) on a cold miss."""
         return self._engine(circuit_name).result
 
-    def _engine(self, circuit_name: str) -> _Engine:
+    def _engine_if_warm(self, circuit_name: str) -> Optional[_Engine]:
+        """The warmed engine, or None on a cold miss (never builds)."""
         with self._lock:
             engine = self._engines.get(circuit_name)
             if engine is not None:
                 self._engines.move_to_end(circuit_name)
-                return engine
-        # Build outside the lock: warming is slow and other circuits'
-        # requests must not stall behind it.
+            return engine
+
+    def _engine(self, circuit_name: str) -> _Engine:
+        engine = self._engine_if_warm(circuit_name)
+        if engine is not None:
+            return engine
+        # Resolve before allocating the build lock so unknown names
+        # raise without leaving a permanent _build_locks entry behind.
         info = self._resolve(circuit_name)
-        result = FaultTrajectoryATPG(info, self.config).run(
-            seed=self.seed, store=self.store)
-        engine = _Engine(result=result,
-                         diagnoser=result.batch_diagnoser())
         with self._lock:
-            raced = self._engines.get(circuit_name)
-            if raced is not None:        # concurrent warm-up won
-                self._engines.move_to_end(circuit_name)
-                return raced
-            self._engines[circuit_name] = engine
-            self.stats.for_circuit(circuit_name).warm_loads += 1
-            while len(self._engines) > self.max_engines:
-                self._engines.popitem(last=False)
-                self.stats.evictions += 1
+            build_lock = self._build_locks.setdefault(
+                circuit_name, threading.Lock())
+        # Build outside the service lock: warming is slow and other
+        # circuits' requests must not stall behind it. The per-circuit
+        # lock serialises racing warm-ups of the *same* circuit so the
+        # pipeline runs exactly once.
+        with build_lock:
+            engine = self._engine_if_warm(circuit_name)
+            if engine is not None:        # built while we waited
+                return engine
+            result = FaultTrajectoryATPG(info, self.config).run(
+                seed=self.seed, store=self.store)
+            engine = _Engine(result=result,
+                             diagnoser=result.batch_diagnoser())
+            with self._lock:
+                self._engines[circuit_name] = engine
+                evicted = 0
+                while len(self._engines) > self.max_engines:
+                    self._engines.popitem(last=False)
+                    evicted += 1
+            self.stats.record_warm_load(circuit_name)
+            if evicted:
+                self.stats.record_eviction(evicted)
         return engine
 
     # ------------------------------------------------------------------
@@ -182,12 +377,7 @@ class DiagnosisService:
         engine = self._engine(circuit_name)
         diagnoses = engine.diagnoser.classify_responses(responses)
         elapsed = time.perf_counter() - started
-        with self._lock:
-            for scope in (self.stats,
-                          self.stats.for_circuit(circuit_name)):
-                scope.requests += 1
-                scope.responses_diagnosed += len(diagnoses)
-                scope.total_latency_seconds += elapsed
+        self.stats.record_request(circuit_name, len(diagnoses), elapsed)
         return diagnoses
 
     def test_vector_hz(self, circuit_name: str) -> Tuple[float, ...]:

@@ -1,0 +1,78 @@
+"""Golden-file regression: fixed-seed diagnosis outputs stay put.
+
+Aggregate metrics can hide compensating drift (one circuit improves,
+another regresses). These tests replay the exact fixed-seed pipeline
+runs recorded under ``tests/golden/`` and compare *per-case*: the
+GA-selected test vector, every predicted component, every estimated
+deviation/distance/margin. Any structural change in diagnosis behaviour
+fails with the precise circuit/component/deviation that moved.
+
+Intentional changes: regenerate with
+``PYTHONPATH=src python tests/golden/update_golden.py`` and review the
+diff.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_updater", GOLDEN_DIR / "update_golden.py")
+golden_updater = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden_updater)
+
+#: Relative tolerance for float comparison. JSON round-trips floats
+#: exactly (repr form), so this only absorbs last-ulp library noise.
+RTOL = 1e-9
+
+
+def _approx(value):
+    return pytest.approx(value, rel=RTOL, abs=1e-12)
+
+
+def test_golden_files_cover_every_circuit():
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(golden_updater.CIRCUITS), (
+        "tests/golden/ out of sync with update_golden.CIRCUITS -- "
+        "run tests/golden/update_golden.py and commit the result")
+
+
+@pytest.mark.parametrize("circuit_name", golden_updater.CIRCUITS)
+def test_diagnosis_outputs_match_golden(circuit_name):
+    golden = json.loads(
+        (GOLDEN_DIR / f"{circuit_name}.json").read_text())
+    current = golden_updater.generate_golden(circuit_name)
+
+    assert current["circuit"] == golden["circuit"]
+    assert current["seed"] == golden["seed"]
+    assert current["fault_deviations"] == golden["fault_deviations"]
+    assert current["test_vector_hz"] == _approx(
+        golden["test_vector_hz"]), \
+        f"{circuit_name}: GA-selected test vector drifted"
+
+    assert len(current["cases"]) == len(golden["cases"])
+    for case, expected in zip(current["cases"], golden["cases"]):
+        label = (f"{circuit_name} fault "
+                 f"{expected['injected_component']}"
+                 f"{expected['injected_deviation']:+.0%}")
+        assert case["injected_component"] == \
+            expected["injected_component"]
+        assert case["injected_deviation"] == \
+            expected["injected_deviation"]
+        assert case["predicted_component"] == \
+            expected["predicted_component"], \
+            f"{label}: predicted component changed"
+        assert case["perpendicular"] == expected["perpendicular"], \
+            f"{label}: perpendicular flag changed"
+        for field in ("estimated_deviation", "distance", "margin"):
+            if expected[field] is None:
+                assert case[field] is None, f"{label}: {field} changed"
+            else:
+                assert case[field] == _approx(expected[field]), \
+                    f"{label}: {field} drifted"

@@ -1,12 +1,24 @@
-"""DiagnosisService: warm-up, batched submits, LRU and counters."""
+"""DiagnosisService: warm-up, batched submits, LRU and counters.
+
+The concurrency classes at the bottom are the stress tier: they hammer
+``submit``/``warm`` from many threads and pin down the service's
+thread-safety contract -- one pipeline build per circuit no matter how
+many threads race, exact counters, and LRU eviction invariants that
+hold under churn.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
 from repro import ArtifactStore, DiagnosisService, PipelineConfig, \
     rc_lowpass
+from repro.core.atpg import FaultTrajectoryATPG
 from repro.errors import ServiceError
 from repro.ga import GAConfig
+from repro.runtime.service import ServiceStats
 from repro.sim import ACAnalysis
 
 QUICK = PipelineConfig(dictionary_points=32, deviations=(-0.2, 0.2),
@@ -100,3 +112,157 @@ class TestServiceLru:
     def test_max_engines_validated(self):
         with pytest.raises(ServiceError):
             DiagnosisService(max_engines=0)
+
+
+CIRCUITS = ("rc_lowpass", "voltage_divider", "sallen_key_lowpass")
+
+
+def _count_pipeline_runs(monkeypatch):
+    """Monkeypatch the pipeline so every real build is counted."""
+    counts = {}
+    lock = threading.Lock()
+    real_run = FaultTrajectoryATPG.run
+
+    def counting_run(self, *args, **kwargs):
+        with lock:
+            name = self.info.circuit.name
+            counts[name] = counts.get(name, 0) + 1
+        return real_run(self, *args, **kwargs)
+
+    monkeypatch.setattr(FaultTrajectoryATPG, "run", counting_run)
+    return counts
+
+
+class TestStatsThreadSafety:
+    """ServiceStats mutation is internally locked: counters stay exact
+    no matter how many threads record into one object."""
+
+    def test_record_request_is_exact_under_contention(self):
+        stats = ServiceStats()
+        threads, per_thread = 8, 500
+
+        def hammer(thread_index):
+            for _ in range(per_thread):
+                stats.record_request(f"c{thread_index % 2}", 3, 0.001)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(hammer, range(threads)))
+
+        total = threads * per_thread
+        assert stats.requests == total
+        assert stats.responses_diagnosed == 3 * total
+        assert stats.total_latency_seconds == pytest.approx(0.001 * total)
+        assert sum(per.requests
+                   for per in stats.per_circuit.values()) == total
+
+    def test_mixed_recording_is_exact_under_contention(self):
+        stats = ServiceStats()
+        rounds = 300
+
+        def submits():
+            for _ in range(rounds):
+                stats.record_request("a", 1, 0.002)
+
+        def coalesced():
+            for _ in range(rounds):
+                stats.record_coalesced("a", [(1, 0.001), (2, 0.001)],
+                                       n_rows=3)
+
+        def churn():
+            for _ in range(rounds):
+                stats.record_warm_load("a")
+                stats.record_eviction()
+                stats.record_rejection()
+                stats.observe_queue_depth(5)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for future in [pool.submit(f) for f in
+                           (submits, submits, coalesced, coalesced,
+                            churn, churn)]:
+                future.result()
+
+        assert stats.requests == 2 * rounds + 2 * 2 * rounds
+        assert stats.responses_diagnosed == 2 * rounds + 2 * 3 * rounds
+        assert stats.coalesced_batches == 2 * rounds
+        assert stats.coalesced_requests == 2 * 2 * rounds
+        assert stats.evictions == 2 * rounds
+        assert stats.rejections == 2 * rounds
+        assert stats.per_circuit["a"].warm_loads == 2 * rounds
+        assert stats.peak_queue_depth == 5
+        assert sum(stats.batch_size_histogram.values()) == 2 * rounds
+        assert stats.latency_p95_seconds >= stats.latency_p50_seconds
+
+
+@pytest.mark.slow
+class TestServiceConcurrency:
+    """Hammer the engine LRU from many threads."""
+
+    def test_no_duplicate_warm_builds(self, monkeypatch):
+        """Racing warms of the same circuit build the pipeline once."""
+        counts = _count_pipeline_runs(monkeypatch)
+        service = DiagnosisService(config=QUICK, max_engines=8, seed=3)
+
+        def warm_all(_):
+            for name in CIRCUITS:
+                service.warm(name)
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            list(pool.map(warm_all, range(12)))
+
+        assert counts == {name: 1 for name in CIRCUITS}
+        for name in CIRCUITS:
+            assert service.stats.per_circuit[name].warm_loads == 1
+        assert service.stats.evictions == 0
+        assert sorted(service.warmed_circuits) == sorted(CIRCUITS)
+
+    def test_counters_exact_under_concurrent_submit(self):
+        service = DiagnosisService(config=QUICK, max_engines=8, seed=3)
+        rows = {}
+        for name in CIRCUITS:
+            result = service.warm(name)
+            freqs = np.array(sorted(result.test_vector_hz))
+            rng = np.random.default_rng(hash(name) % (2 ** 32))
+            rows[name] = rng.normal(0.0, 3.0, size=(3, freqs.size))
+        threads, per_thread = 8, 40
+
+        def hammer(thread_index):
+            name = CIRCUITS[thread_index % len(CIRCUITS)]
+            for _ in range(per_thread):
+                assert len(service.submit(name, rows[name])) == 3
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(hammer, range(threads)))
+
+        total = threads * per_thread
+        assert service.stats.requests == total
+        assert service.stats.responses_diagnosed == 3 * total
+        assert sum(per.requests for per
+                   in service.stats.per_circuit.values()) == total
+
+    def test_eviction_invariants_under_churn(self, tmp_path,
+                                             monkeypatch):
+        """max_engines=2 with 3 circuits: capacity and accounting hold
+        while threads force constant eviction/re-warm churn."""
+        counts = _count_pipeline_runs(monkeypatch)
+        service = DiagnosisService(
+            config=QUICK, max_engines=2, seed=3,
+            store=ArtifactStore(tmp_path / "store"))
+
+        def churn(thread_index):
+            for round_index in range(6):
+                name = CIRCUITS[(thread_index + round_index)
+                                % len(CIRCUITS)]
+                result = service.warm(name)
+                assert result.info.circuit.name == name
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(churn, range(6)))
+
+        warmed = service.warmed_circuits
+        assert len(warmed) <= 2
+        assert set(warmed) <= set(CIRCUITS)
+        total_builds = sum(
+            per.warm_loads for per in service.stats.per_circuit.values())
+        # Every build either still occupies an LRU slot or was evicted.
+        assert total_builds == sum(counts.values())
+        assert total_builds - service.stats.evictions == len(warmed)

@@ -1,0 +1,471 @@
+"""Serving layer: coalescer equivalence, backpressure, codec, HTTP.
+
+The heart of this suite is the Hypothesis property: for random circuit
+mixes, batch sizes, knob settings and arrival interleavings, the
+coalescing :class:`AsyncDiagnosisService` answers every request
+**bitwise-identically** to a sequential
+:meth:`DiagnosisService.submit` -- which is the whole correctness
+contract of micro-batching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    AsyncDiagnosisService,
+    DiagnosisService,
+    PipelineConfig,
+    serve,
+)
+from repro.diagnosis import Diagnosis
+from repro.errors import (CodecError, DiagnosisError, ServiceError,
+                          ServiceOverloadedError)
+from repro.ga import GAConfig
+from repro.runtime import codec
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+pytestmark = pytest.mark.serving
+
+QUICK = PipelineConfig(dictionary_points=32, deviations=(-0.2, 0.2),
+                       ga=GAConfig(population_size=8, generations=2))
+
+#: The >= 3 library circuits the equivalence property ranges over.
+CIRCUITS = ("rc_lowpass", "voltage_divider", "sallen_key_lowpass")
+
+
+@pytest.fixture(scope="module")
+def warm_service():
+    """One warmed multi-circuit service shared by the whole module.
+
+    Engines are deterministic pure functions of (config, seed), and the
+    diagnosers are read-only after warm-up, so sharing trades no
+    isolation for a large speed-up.
+    """
+    service = DiagnosisService(config=QUICK, max_engines=8, seed=3)
+    for name in CIRCUITS:
+        service.warm(name)
+    return service
+
+
+def measured_rows(service, circuit, n_rows, seed):
+    """Plausible measured dB rows: golden magnitudes +- a few dB."""
+    diagnoser = service._engine(circuit).diagnoser
+    golden_db = diagnoser._golden_sample_db()
+    rng = np.random.default_rng(seed)
+    return golden_db[None, :] + rng.normal(
+        0.0, 3.0, size=(n_rows, golden_db.shape[0]))
+
+
+# ----------------------------------------------------------------------
+# Property: coalesced == sequential, bitwise
+# ----------------------------------------------------------------------
+request_lists = st.lists(
+    st.tuples(st.integers(0, len(CIRCUITS) - 1),   # circuit
+              st.integers(1, 4),                   # rows in the request
+              st.integers(0, 2 ** 31)),            # measurement seed
+    min_size=1, max_size=12)
+
+
+class TestCoalescerEquivalence:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(requests=request_lists,
+           max_batch=st.integers(1, 32),
+           window_ms=st.sampled_from([0.0, 0.5, 2.0]),
+           eager=st.booleans(),
+           stagger=st.lists(st.integers(0, 2), min_size=12,
+                            max_size=12))
+    def test_results_bitwise_equal_sequential(
+            self, warm_service, requests, max_batch, window_ms, eager,
+            stagger):
+        """N interleaved async submits == N sequential submits."""
+        batches = [(CIRCUITS[index], measured_rows(
+            warm_service, CIRCUITS[index], rows, seed))
+            for index, rows, seed in requests]
+        expected = [warm_service.submit(circuit, rows)
+                    for circuit, rows in batches]
+
+        async def coalesced():
+            front = AsyncDiagnosisService(
+                warm_service, window_seconds=window_ms / 1e3,
+                max_batch=max_batch, eager_flush=eager)
+
+            async def one(position, circuit, rows):
+                # Random arrival interleaving: yield to the loop 0-2
+                # times before submitting.
+                for _ in range(stagger[position % len(stagger)]):
+                    await asyncio.sleep(0)
+                return await front.submit(circuit, rows)
+
+            results = await asyncio.gather(
+                *(one(position, circuit, rows)
+                  for position, (circuit, rows) in enumerate(batches)))
+            await front.aclose()
+            return results
+
+        results = asyncio.run(coalesced())
+        # Diagnosis is a frozen dataclass: == compares every float
+        # exactly, so this is the bitwise claim.
+        assert results == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_rows=st.integers(1, 8), seed=st.integers(0, 2 ** 31))
+    def test_wire_round_trip_preserves_diagnoses(self, warm_service,
+                                                 n_rows, seed):
+        """encode -> decode over the JSON codec is lossless."""
+        rows = measured_rows(warm_service, "rc_lowpass", n_rows, seed)
+        diagnoses = warm_service.submit("rc_lowpass", rows)
+        payload = codec.encode_response(diagnoses)
+        assert codec.decode_response(payload) == diagnoses
+        request = codec.decode_request(
+            codec.encode_request("rc_lowpass", rows))
+        assert request.circuit == "rc_lowpass"
+        assert np.array_equal(request.magnitudes_db, rows)
+
+
+# ----------------------------------------------------------------------
+# Coalescing behaviour
+# ----------------------------------------------------------------------
+class TestCoalescingBehaviour:
+    def test_concurrent_submits_share_one_classify(self, warm_service):
+        """max_batch reached -> exactly one coalesced flush."""
+        rows = [measured_rows(warm_service, "rc_lowpass", 1, seed)
+                for seed in range(4)]
+        before = warm_service.stats.snapshot()
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service, max_batch=4,
+                                          window_seconds=5.0,
+                                          eager_flush=False)
+            results = await asyncio.gather(
+                *(front.submit("rc_lowpass", r) for r in rows))
+            await front.aclose()
+            return results
+
+        results = asyncio.run(run())
+        after = warm_service.stats.snapshot()
+        assert len(results) == 4
+        assert after["coalesced_batches"] - \
+            before["coalesced_batches"] == 1
+        assert after["coalesced_requests"] - \
+            before["coalesced_requests"] == 4
+        assert after["requests"] - before["requests"] == 4
+
+    def test_window_flush_without_max_batch(self, warm_service):
+        """A lone request is answered after the window, not stuck."""
+        rows = measured_rows(warm_service, "rc_lowpass", 2, seed=7)
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service, max_batch=1024,
+                                          window_seconds=0.005)
+            result = await front.submit("rc_lowpass", rows)
+            await front.aclose()
+            return result
+
+        assert len(asyncio.run(run())) == 2
+
+    def test_bad_request_fails_alone(self, warm_service):
+        """A malformed request must not poison its batch peers."""
+        good = measured_rows(warm_service, "rc_lowpass", 1, seed=1)
+        bad = np.zeros((1, 7))             # wrong signature width
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service, max_batch=16,
+                                          window_seconds=0.005)
+            results = await asyncio.gather(
+                front.submit("rc_lowpass", good),
+                front.submit("rc_lowpass", bad),
+                front.submit("rc_lowpass", good),
+                return_exceptions=True)
+            await front.aclose()
+            return results
+
+        first, second, third = asyncio.run(run())
+        assert isinstance(second, DiagnosisError)
+        for result in (first, third):
+            assert isinstance(result, list) and len(result) == 1
+
+    def test_unknown_circuit_raises(self, warm_service):
+        async def run():
+            front = AsyncDiagnosisService(warm_service,
+                                          window_seconds=0.001)
+            try:
+                with pytest.raises(ServiceError, match="unknown"):
+                    await front.submit("no_such_circuit",
+                                       np.zeros((1, 2)))
+                # Rejected before any per-circuit state is allocated:
+                # bogus names must not grow the queue map (or the
+                # service's build-lock map) unboundedly.
+                assert "no_such_circuit" not in front._queues
+                assert "no_such_circuit" not in \
+                    warm_service._build_locks
+            finally:
+                await front.aclose()
+
+        asyncio.run(run())
+
+    def test_closed_service_rejects_submits(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=2)
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service)
+            await front.aclose()
+            with pytest.raises(ServiceError, match="closed"):
+                await front.submit("rc_lowpass", rows)
+
+        asyncio.run(run())
+
+    def test_invalid_knobs_rejected(self, warm_service):
+        for kwargs in ({"max_batch": 0}, {"max_pending": 0},
+                       {"window_seconds": -1.0},
+                       {"overflow": "drop"}):
+            with pytest.raises(ServiceError):
+                AsyncDiagnosisService(warm_service, **kwargs)
+        with pytest.raises(ServiceError, match="not both"):
+            AsyncDiagnosisService(warm_service, config=QUICK)
+
+
+class TestBackpressure:
+    def test_reject_overflow(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=3)
+        rejections_before = warm_service.stats.rejections
+
+        async def run():
+            front = AsyncDiagnosisService(
+                warm_service, max_pending=2, overflow="reject",
+                max_batch=1024, window_seconds=5.0, eager_flush=False)
+            first = asyncio.ensure_future(
+                front.submit("rc_lowpass", rows))
+            second = asyncio.ensure_future(
+                front.submit("rc_lowpass", rows))
+            await asyncio.sleep(0)         # both queued
+            with pytest.raises(ServiceOverloadedError):
+                await front.submit("rc_lowpass", rows)
+            front.flush()
+            results = await asyncio.gather(first, second)
+            await front.aclose()
+            return results
+
+        results = asyncio.run(run())
+        assert all(len(r) == 1 for r in results)
+        assert warm_service.stats.rejections == rejections_before + 1
+
+    def test_wait_overflow_completes_everything(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=4)
+
+        async def run():
+            front = AsyncDiagnosisService(
+                warm_service, max_pending=2, overflow="wait",
+                max_batch=2, window_seconds=0.005)
+            results = await asyncio.gather(
+                *(front.submit("rc_lowpass", rows) for _ in range(7)))
+            await front.aclose()
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 7
+        assert all(len(r) == 1 for r in results)
+
+    def test_drain_waits_for_parked_submits(self, warm_service):
+        """drain() must cover submits parked on backpressure too."""
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=6)
+
+        async def run():
+            front = AsyncDiagnosisService(
+                warm_service, max_pending=1, overflow="wait",
+                max_batch=1, window_seconds=0.005)
+            submits = [asyncio.ensure_future(
+                front.submit("rc_lowpass", rows)) for _ in range(4)]
+            await asyncio.sleep(0)         # 1 admitted, 3 parked
+            await front.drain()
+            assert all(task.done() for task in submits), \
+                "drain returned with parked submits still unserved"
+            return await asyncio.gather(*submits)
+
+        results = asyncio.run(run())
+        assert all(len(r) == 1 for r in results)
+
+    def test_queue_depth_and_latency_stats(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=5)
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service, max_batch=8,
+                                          window_seconds=0.005)
+            await asyncio.gather(
+                *(front.submit("rc_lowpass", rows) for _ in range(8)))
+            await front.aclose()
+
+        asyncio.run(run())
+        stats = warm_service.stats
+        assert stats.peak_queue_depth >= 1
+        assert stats.latency_p95_seconds >= \
+            stats.latency_p50_seconds > 0.0
+        assert sum(stats.batch_size_histogram.values()) >= 1
+        snapshot = stats.snapshot()
+        assert snapshot["latency_p50_seconds"] > 0.0
+        assert snapshot["peak_queue_depth"] == stats.peak_queue_depth
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_request_round_trip(self):
+        matrix = np.array([[1.5, -2.25], [0.125, 3.0]])
+        request = codec.decode_request(
+            codec.encode_request("dut", matrix))
+        assert request.circuit == "dut"
+        assert request.n_rows == 2
+        assert np.array_equal(request.magnitudes_db, matrix)
+
+    def test_infinite_margin_round_trips(self):
+        diagnosis = Diagnosis(component="R1", estimated_deviation=0.1,
+                              distance=0.5, perpendicular=True,
+                              margin=math.inf, point=(1.0, 2.0),
+                              ranking=(("R1", 0.5),))
+        decoded = codec.decode_response(
+            codec.encode_response([diagnosis]))
+        assert decoded == [diagnosis]
+
+    @pytest.mark.parametrize("payload", [
+        b"not json",
+        b"[]",
+        b'{"circuit": "", "magnitudes_db": [[1.0]]}',
+        b'{"circuit": "x"}',
+        b'{"circuit": "x", "magnitudes_db": []}',
+        b'{"circuit": "x", "magnitudes_db": [[1.0], [1.0, 2.0]]}',
+        b'{"circuit": "x", "magnitudes_db": [["a"]]}',
+        b'{"circuit": "x", "magnitudes_db": [[NaN]]}',
+        b'{"circuit": "x", "magnitudes_db": [1.0, 2.0]}',
+    ])
+    def test_malformed_requests_rejected(self, payload):
+        with pytest.raises(CodecError):
+            codec.decode_request(payload)
+
+    def test_malformed_responses_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_response(b'{"diagnoses": [{"component": "R1"}]}')
+        with pytest.raises(CodecError):
+            codec.decode_response(b'{"nope": 1}')
+
+    def test_error_payload_shape(self):
+        import json
+        payload = json.loads(codec.encode_error("boom", kind="TestKind"))
+        assert payload == {"error": {"kind": "TestKind",
+                                     "message": "boom"}}
+
+
+# ----------------------------------------------------------------------
+# HTTP front
+# ----------------------------------------------------------------------
+async def _http(host, port, method, path, body=b""):
+    reader, writer = await asyncio.open_connection(host, port)
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin1")
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    return status, payload
+
+
+class TestHTTPServer:
+    def test_diagnose_and_introspection_routes(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 3, seed=11)
+        expected = warm_service.submit("rc_lowpass", rows)
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                status, payload = await _http(
+                    host, port, "POST", "/v1/diagnose",
+                    codec.encode_request("rc_lowpass", rows))
+                assert status == 200
+                assert codec.decode_response(payload) == expected
+
+                status, payload = await _http(host, port, "GET",
+                                              "/v1/healthz")
+                assert status == 200
+                assert b'"status":"ok"' in payload
+
+                status, payload = await _http(host, port, "GET",
+                                              "/v1/stats")
+                assert status == 200
+                assert b"batch_size_histogram" in payload
+
+                status, payload = await _http(host, port, "GET",
+                                              "/v1/circuits")
+                assert status == 200
+                assert b"rc_lowpass" in payload
+
+                status, payload = await _http(
+                    host, port, "GET", "/v1/test-vector/rc_lowpass")
+                assert status == 200
+                assert b"test_vector_hz" in payload
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_http_error_statuses(self, warm_service):
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                status, payload = await _http(host, port, "POST",
+                                              "/v1/diagnose",
+                                              b"not json")
+                assert status == 400 and b"CodecError" in payload
+
+                status, payload = await _http(
+                    host, port, "POST", "/v1/diagnose",
+                    codec.encode_request("ghost", [[0.0, 0.0]]))
+                assert status == 404 and b"unknown circuit" in payload
+
+                status, _ = await _http(host, port, "GET",
+                                        "/v1/diagnose")
+                assert status == 405
+
+                status, _ = await _http(host, port, "GET",
+                                        "/v1/nowhere")
+                assert status == 404
+
+                # Oversized request line: a clean 400, not a dropped
+                # connection (StreamReader's limit raises ValueError).
+                status, _ = await _http(host, port, "GET",
+                                        "/v1/" + "x" * 100_000)
+                assert status == 400
+
+                # Declared body beyond the cap is refused up front.
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(b"POST /v1/diagnose HTTP/1.1\r\n"
+                             b"Content-Length: 999999999999\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                assert int(raw.split(b" ", 2)[1]) == 413
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
