@@ -206,6 +206,14 @@ def project_point_onto_segments(point: np.ndarray, starts: np.ndarray,
     safe = np.where(length_sq > _EPS, length_sq, 1.0)
     t_raw = np.sum((point[None, :] - starts) * direction, axis=1) / safe
     t_raw = np.where(length_sq > _EPS, t_raw, 0.0)
+    degenerate = length_sq <= _EPS
+    if np.any(degenerate):
+        # A (near-)zero-length segment still has two distinct float
+        # endpoints: snap to whichever is closer, so the projection
+        # distance never exceeds the distance to either endpoint.
+        nearer_end = (np.linalg.norm(point[None, :] - ends, axis=1) <
+                      np.linalg.norm(point[None, :] - starts, axis=1))
+        t_raw = np.where(degenerate & nearer_end, 1.0, t_raw)
     interior = (t_raw > 0.0) & (t_raw < 1.0) & (length_sq > _EPS)
     t_clamped = np.clip(t_raw, 0.0, 1.0)
     closest = starts + t_clamped[:, None] * direction
