@@ -30,6 +30,12 @@ def write_report(out_dir: Path, name: str, text: str) -> None:
     print(text)
 
 
+# Re-exported so every bench keeps one import root for its helpers;
+# the single implementation lives in the package (the test suites use
+# the same one).
+from repro.runtime.testing import noisy_golden_rows  # noqa: E402,F401
+
+
 def build_exact_classifier(info: CircuitInfo, universe: FaultUniverse,
                            freqs: Tuple[float, ...],
                            ambiguity_threshold: float = 0.01,

@@ -36,8 +36,6 @@ import sys
 import time
 from pathlib import Path
 
-import numpy as np
-
 from repro import (
     AsyncDiagnosisService,
     DiagnosisService,
@@ -45,6 +43,8 @@ from repro import (
     ServiceStats,
 )
 from repro.ga import GAConfig
+
+from _helpers import noisy_golden_rows as request_rows
 
 SEED = 2005
 CONCURRENCY = 16
@@ -70,16 +70,6 @@ def build_service() -> DiagnosisService:
     for name in CIRCUITS:
         service.warm(name)
     return service
-
-
-def request_rows(service: DiagnosisService, circuit: str,
-                 count: int, seed: int) -> np.ndarray:
-    """Measured-looking single rows: golden magnitudes +- a few dB."""
-    diagnoser = service._engine(circuit).diagnoser
-    golden_db = diagnoser._golden_sample_db()
-    rng = np.random.default_rng(seed)
-    return golden_db[None, :] + rng.normal(
-        0.0, 3.0, size=(count, golden_db.shape[0]))
 
 
 def assert_equivalence(service: DiagnosisService) -> None:

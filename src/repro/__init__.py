@@ -80,9 +80,15 @@ from .runtime import (
     ArtifactStore,
     AsyncDiagnosisService,
     BatchDiagnoser,
+    CircuitRouter,
+    ClusterService,
     DiagnosisHTTPServer,
     DiagnosisService,
+    InMemoryBackend,
+    LocalDirBackend,
     ServiceStats,
+    ShardedBackend,
+    StorageBackend,
     build_dictionary_parallel,
     serve,
 )
@@ -117,7 +123,7 @@ from .trajectory import (
 )
 from .units import db, format_frequency, log_frequency_grid, parse_value
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -187,11 +193,17 @@ __all__ = [
     # runtime
     "BatchDiagnoser",
     "ArtifactStore",
+    "StorageBackend",
+    "LocalDirBackend",
+    "InMemoryBackend",
+    "ShardedBackend",
     "DiagnosisService",
     "ServiceStats",
     "AsyncDiagnosisService",
     "DiagnosisHTTPServer",
     "serve",
+    "CircuitRouter",
+    "ClusterService",
     "build_dictionary_parallel",
     # misc
     "ReproError",

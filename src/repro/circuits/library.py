@@ -436,6 +436,7 @@ BENCHMARK_CIRCUITS: Dict[str, Callable[[], CircuitInfo]] = {
     "mfb_bandpass": mfb_bandpass,
     "twin_t_notch": twin_t_notch,
     "lc_ladder_lowpass5": lc_ladder_lowpass5,
+    "rc_ladder": rc_ladder,
     "rc_lowpass": rc_lowpass,
     "voltage_divider": voltage_divider,
 }

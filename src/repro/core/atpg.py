@@ -246,13 +246,17 @@ class FaultTrajectoryATPG:
             store: Optional["ArtifactStore"] = None) -> ATPGResult:
         """Execute the full pipeline.
 
-        With ``store=`` (a :class:`repro.runtime.store.ArtifactStore`)
-        every expensive artifact -- the dense dictionary, the per-seed
-        GA result and the exact test-vector dictionary -- is looked up
-        by content key first and persisted after computation, so a
-        repeat run of the same problem skips fault simulation and the
-        GA search entirely.
+        With ``store=`` (an :class:`repro.runtime.store.ArtifactStore`,
+        a bare :class:`repro.runtime.backends.StorageBackend` or a
+        local store-root path) every expensive artifact -- the dense
+        dictionary, the per-seed GA result and the exact test-vector
+        dictionary -- is looked up by content key first and persisted
+        after computation, so a repeat run of the same problem skips
+        fault simulation and the GA search entirely.
         """
+        if store is not None:
+            from ..runtime.store import as_store
+            store = as_store(store)
         started = time.perf_counter()
         universe, grid = self._stage_inputs()
         cache_hits: List[str] = []

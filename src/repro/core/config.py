@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Tuple
 
 from ..errors import ReproError
 from ..faults.models import paper_deviation_grid
@@ -113,3 +114,26 @@ class PipelineConfig:
     def quick(cls) -> "PipelineConfig":
         """Reduced budget for tests and examples."""
         return cls(dictionary_points=201, ga=GAConfig.quick())
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (spawned cluster workers receive their config
+    # over the command line; see repro.runtime.cli / cluster).
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict that :meth:`from_json_dict` restores
+        exactly (tuples ride as lists)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "PipelineConfig":
+        """Rebuild a config from :meth:`to_json_dict` output (or any
+        subset of its keys -- omitted fields keep their defaults)."""
+        payload = dict(data)
+        try:
+            if isinstance(payload.get("ga"), dict):
+                payload["ga"] = GAConfig(**payload["ga"])
+            if "deviations" in payload:
+                payload["deviations"] = tuple(payload["deviations"])
+            return cls(**payload)
+        except TypeError as exc:
+            raise ReproError(f"bad pipeline-config dict: {exc}") from exc

@@ -88,3 +88,26 @@ class ServiceOverloadedError(ServiceError):
 class CodecError(ServiceError):
     """A serving-layer request/response payload could not be
     encoded or decoded."""
+
+
+class ClusterError(ServiceError):
+    """The diagnosis cluster could not route or serve a request."""
+
+
+class ReplicaUnavailableError(ClusterError):
+    """A cluster replica is unreachable or failed mid-request.
+
+    The cluster catches this internally to re-route the request onto
+    the next replica of the hash ring; it only reaches the caller when
+    every replica that could own the circuit is down.
+    """
+
+
+class ReplicaTimeoutError(ReplicaUnavailableError):
+    """A replica did not answer within the request timeout.
+
+    The replica may simply be saturated, not dead: the cluster
+    re-routes the affected request to the next ring replica but does
+    NOT mark the slow replica down -- only failed transport or a
+    failed health probe does that.
+    """

@@ -7,23 +7,39 @@ Turns the paper reproduction into an engine fit for heavy traffic:
   scalar :class:`~repro.diagnosis.classifier.TrajectoryClassifier`);
 * :mod:`repro.runtime.parallel` -- fault-dictionary builds fanned out
   over a ``concurrent.futures`` pool, deterministic entry order;
-* :mod:`repro.runtime.store` -- :class:`ArtifactStore`, a
-  content-addressed on-disk cache of dictionaries, GA results and
-  trajectory sets keyed by the canonical problem statement;
+* :mod:`repro.runtime.backends` -- pluggable artifact storage:
+  :class:`LocalDirBackend` (on-disk, byte-compatible with pre-backend
+  store roots), :class:`InMemoryBackend`, and :class:`ShardedBackend`
+  (consistent-hash fan-out over child backends via :class:`HashRing`),
+  all with ``disk_usage`` accounting and LRU ``prune``;
+* :mod:`repro.runtime.store` -- :class:`ArtifactStore`, the
+  content-addressed cache of dictionaries, GA results and trajectory
+  sets keyed by the canonical problem statement, over any backend;
 * :mod:`repro.runtime.service` -- :class:`DiagnosisService`, the warm
-  multi-circuit ``submit()`` facade with an engine LRU and counters;
+  multi-circuit ``submit()``/``submit_many()`` facade with an engine
+  LRU and counters;
 * :mod:`repro.runtime.server` -- :class:`AsyncDiagnosisService`, the
   awaitable coalescing front (micro-batching window, backpressure),
-  plus a stdlib JSON-over-HTTP server (:func:`serve`);
+  plus a stdlib JSON-over-HTTP server (:func:`serve`) with persistent
+  connections;
+* :mod:`repro.runtime.cluster` -- :class:`ClusterService`, the
+  consistent-hash circuit->replica router over in-process or spawned
+  worker replicas (health checks, re-route-on-death failover);
 * :mod:`repro.runtime.codec` -- the transport-agnostic JSON wire
-  format those requests and responses ride on.
+  format those requests and responses ride on;
+* :mod:`repro.runtime.cli` -- the ``repro-serve`` launcher (single
+  process or spawned cluster).
 """
 
+from .backends import (ArtifactRecord, HashRing, InMemoryBackend,
+                       LocalDirBackend, ShardedBackend, StorageBackend)
 from .batch import BatchDiagnoser
+from .cluster import (CircuitRouter, ClusterService, HTTPReplica,
+                      InProcessReplica, Replica, SpawnedReplica)
 from .parallel import build_dictionary_parallel
 from .server import AsyncDiagnosisService, DiagnosisHTTPServer, serve
 from .service import CircuitStats, DiagnosisService, ServiceStats
-from .store import (ArtifactStore, StoreStats, derive_key,
+from .store import (ArtifactStore, StoreStats, as_store, derive_key,
                     ga_search_key, problem_key, trajectory_key)
 
 __all__ = [
@@ -31,14 +47,27 @@ __all__ = [
     "build_dictionary_parallel",
     "ArtifactStore",
     "StoreStats",
+    "as_store",
     "problem_key",
     "derive_key",
     "ga_search_key",
     "trajectory_key",
+    "ArtifactRecord",
+    "StorageBackend",
+    "LocalDirBackend",
+    "InMemoryBackend",
+    "ShardedBackend",
+    "HashRing",
     "DiagnosisService",
     "CircuitStats",
     "ServiceStats",
     "AsyncDiagnosisService",
     "DiagnosisHTTPServer",
     "serve",
+    "CircuitRouter",
+    "ClusterService",
+    "Replica",
+    "InProcessReplica",
+    "HTTPReplica",
+    "SpawnedReplica",
 ]

@@ -1,0 +1,507 @@
+"""Pluggable storage backends for the artifact store.
+
+:class:`~repro.runtime.store.ArtifactStore` used to *be* a local
+directory tree; production-scale serving needs the same content-addressed
+artifact space to live in memory (tests, ephemeral replicas) or spread
+across several roots/hosts. This module extracts that seam:
+
+* :class:`StorageBackend` -- the protocol every backend implements:
+  artifacts are immutable directories of files, addressed by
+  ``(kind, key)`` where ``key`` is a SHA-256 content hash;
+* :class:`LocalDirBackend` -- the original on-disk layout
+  (``<root>/<kind>/<key[:2]>/<key>/``, rename-into-place publication),
+  byte-compatible with every store root written before the refactor;
+* :class:`InMemoryBackend` -- artifacts held as byte blobs in process
+  memory (reads materialise through a scratch directory so the loaders'
+  file-based code paths stay untouched);
+* :class:`ShardedBackend` -- consistent-hash fan-out of artifact keys
+  across N child backends with a rebalance-aware lookup: a miss on the
+  owning shard falls back to the full ring, so growing or shrinking the
+  shard set never loses access to already-written artifacts.
+
+Every backend also carries the maintenance surface the serving fleet
+needs: :meth:`~StorageBackend.disk_usage` accounting and
+:meth:`~StorageBackend.prune` LRU-by-mtime eviction (reads touch the
+artifact mtime, so recently used artifacts survive a prune).
+
+:class:`HashRing` -- the consistent-hash primitive shared by
+:class:`ShardedBackend` and the request router in
+:mod:`repro.runtime.cluster` -- lives here too: placing *artifacts on
+shards* and *circuits on replicas* is the same problem.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import hashlib
+import os
+import re
+import shutil
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Callable, Dict, FrozenSet, Iterator, List,
+                    Optional, Sequence, Tuple)
+
+from ..errors import StoreError
+
+__all__ = ["ArtifactRecord", "StorageBackend", "LocalDirBackend",
+           "InMemoryBackend", "ShardedBackend", "HashRing"]
+
+_KEY_PATTERN = re.compile(r"[0-9a-f]{64}")
+_KIND_PATTERN = re.compile(r"[a-z][a-z0-9_-]*")
+
+
+def check_slot(kind: str, key: str) -> None:
+    """Reject anything that is not a plain kind + SHA-256 hex key.
+
+    Keys address directories, so an unvalidated ``'../escape'`` could
+    walk out of a backend's root.
+    """
+    if not _KEY_PATTERN.fullmatch(key or ""):
+        raise StoreError(f"invalid artifact key {key!r}")
+    if not _KIND_PATTERN.fullmatch(kind or ""):
+        raise StoreError(f"invalid artifact kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+class HashRing:
+    """Consistent-hash ring mapping string keys onto named nodes.
+
+    Each node is placed at ``vnodes`` pseudo-random points on a 64-bit
+    ring (SHA-256 of ``"<node>#<i>"``); a key routes to the first node
+    clockwise of its own hash. Adding or removing one node therefore
+    only remaps the keys that hashed to that node -- the property both
+    artifact sharding and circuit->replica routing rely on.
+    """
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 64) -> None:
+        if not nodes:
+            raise StoreError("hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise StoreError(f"duplicate ring nodes in {list(nodes)}")
+        if vnodes < 1:
+            raise StoreError("vnodes must be >= 1")
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for index in range(vnodes):
+                points.append((self._point(f"{node}#{index}"), node))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    @staticmethod
+    def _point(text: str) -> int:
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def node_for(self, key: str,
+                 exclude: FrozenSet[str] = frozenset()) -> str:
+        """The node owning ``key``, skipping any excluded nodes."""
+        for node in self.nodes_for(key):
+            if node not in exclude:
+                return node
+        raise StoreError(
+            f"hash ring has no live node for {key!r} "
+            f"(excluded: {sorted(exclude)})")
+
+    def nodes_for(self, key: str) -> Iterator[str]:
+        """Every distinct node in ring-walk order from ``key``.
+
+        The first yielded node is the owner; the rest are the
+        fallback/failover order (deterministic per key).
+        """
+        start = bisect.bisect_right(self._hashes, self._point(key))
+        seen = set()
+        for offset in range(len(self._points)):
+            _, node = self._points[(start + offset) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+
+# ----------------------------------------------------------------------
+# The backend protocol
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One stored artifact, as seen by maintenance operations."""
+
+    kind: str
+    key: str
+    n_bytes: int
+    mtime: float
+
+
+class StorageBackend(abc.ABC):
+    """Where content-addressed artifacts physically live.
+
+    An artifact is an immutable directory of files under ``(kind,
+    key)``. The public methods validate the address then dispatch to
+    the backend's ``_``-prefixed implementation, so every backend gets
+    path-traversal protection for free.
+
+    Contract:
+
+    * :meth:`publish` is atomic -- readers never observe a partial
+      artifact -- and first-writer-wins: both writers of one key
+      produced identical bytes by construction, so the loser is simply
+      discarded;
+    * :meth:`open` returns a real directory path (loaders are
+      file-based); backends without native directories materialise one;
+    * reads touch the artifact's mtime, making :meth:`prune` a true
+      LRU eviction.
+    """
+
+    @abc.abstractmethod
+    def _open(self, kind: str, key: str) -> Optional[Path]: ...
+
+    @abc.abstractmethod
+    def _publish(self, kind: str, key: str,
+                 populate: Callable[[Path], None]) -> bool: ...
+
+    @abc.abstractmethod
+    def _has(self, kind: str, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def _delete(self, kind: str, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def records(self) -> Iterator[ArtifactRecord]:
+        """Every stored artifact (order unspecified)."""
+
+    # -- validated public surface --------------------------------------
+    def open(self, kind: str, key: str) -> Optional[Path]:
+        """Directory of the artifact, or ``None`` on a miss."""
+        check_slot(kind, key)
+        return self._open(kind, key)
+
+    def publish(self, kind: str, key: str,
+                populate: Callable[[Path], None]) -> bool:
+        """Write an artifact atomically via ``populate(scratch_dir)``.
+
+        Returns ``True`` when this call created the artifact, ``False``
+        when another writer already had (the scratch copy is dropped).
+        """
+        check_slot(kind, key)
+        return self._publish(kind, key, populate)
+
+    def has(self, kind: str, key: str) -> bool:
+        check_slot(kind, key)
+        return self._has(kind, key)
+
+    def delete(self, kind: str, key: str) -> bool:
+        """Remove one artifact; ``True`` if something was deleted."""
+        check_slot(kind, key)
+        return self._delete(kind, key)
+
+    # -- maintenance ---------------------------------------------------
+    def disk_usage(self) -> int:
+        """Total bytes of artifact payload held by this backend."""
+        return sum(record.n_bytes for record in self.records())
+
+    def prune(self, max_bytes: int) -> Tuple[ArtifactRecord, ...]:
+        """Evict least-recently-used artifacts until the backend holds
+        at most ``max_bytes``; returns the evicted records.
+
+        Duplicate physical copies of one ``(kind, key)`` (a sharded
+        backend can hold them after a ring resize) are folded into one
+        logical record -- ``delete`` removes every copy, so the fold
+        keeps the byte accounting honest and stops the prune from
+        over-evicting hot artifacts.
+        """
+        if max_bytes < 0:
+            raise StoreError("max_bytes must be >= 0")
+        logical: Dict[Tuple[str, str], ArtifactRecord] = {}
+        for record in self.records():
+            prior = logical.get((record.kind, record.key))
+            if prior is not None:
+                record = ArtifactRecord(
+                    kind=record.kind, key=record.key,
+                    n_bytes=prior.n_bytes + record.n_bytes,
+                    mtime=max(prior.mtime, record.mtime))
+            logical[(record.kind, record.key)] = record
+        records = sorted(logical.values(),
+                         key=lambda r: (r.mtime, r.kind, r.key))
+        total = sum(record.n_bytes for record in records)
+        evicted: List[ArtifactRecord] = []
+        for record in records:
+            if total <= max_bytes:
+                break
+            if self.delete(record.kind, record.key):
+                total -= record.n_bytes
+                evicted.append(record)
+        return tuple(evicted)
+
+
+# ----------------------------------------------------------------------
+# Local directory backend (the original ArtifactStore layout)
+# ----------------------------------------------------------------------
+class LocalDirBackend(StorageBackend):
+    """On-disk artifacts under ``<root>/<kind>/<key[:2]>/<key>/``.
+
+    Byte-compatible with store roots written before the backend
+    refactor: same layout, same rename-into-place atomic publication
+    (a lost rename race discards the duplicate; concurrent readers only
+    ever observe complete artifacts).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"LocalDirBackend({str(self.root)!r})"
+
+    def _slot(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / key
+
+    def _open(self, kind: str, key: str) -> Optional[Path]:
+        slot = self._slot(kind, key)
+        if not slot.is_dir():
+            return None
+        try:                     # LRU bookkeeping; never worth failing a read
+            os.utime(slot)
+        except OSError:
+            pass
+        return slot
+
+    def _publish(self, kind: str, key: str,
+                 populate: Callable[[Path], None]) -> bool:
+        slot = self._slot(kind, key)
+        slot.parent.mkdir(parents=True, exist_ok=True)
+        scratch = slot.parent / f".tmp-{key[:8]}-{uuid.uuid4().hex}"
+        scratch.mkdir()
+        try:
+            populate(scratch)
+            try:
+                os.rename(scratch, slot)
+                return True
+            except OSError:
+                if not slot.is_dir():
+                    raise
+                shutil.rmtree(scratch, ignore_errors=True)
+                return False
+        except BaseException:
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise
+
+    def _has(self, kind: str, key: str) -> bool:
+        return self._slot(kind, key).is_dir()
+
+    def _delete(self, kind: str, key: str) -> bool:
+        slot = self._slot(kind, key)
+        if not slot.is_dir():
+            return False
+        try:
+            shutil.rmtree(slot)
+        except FileNotFoundError:
+            return False         # concurrent prune on a shared root won
+        # The empty fan-out dir is left behind deliberately: removing
+        # it would race a concurrent _publish that already mkdir'd it
+        # but not yet created its scratch dir (shared-root fleets).
+        # At most 256 empty prefix dirs per kind -- harmless.
+        return True
+
+    def records(self) -> Iterator[ArtifactRecord]:
+        if not self.root.is_dir():
+            return
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir() or \
+                    not _KIND_PATTERN.fullmatch(kind_dir.name):
+                continue
+            for slot in sorted(kind_dir.glob("??/*")):
+                if not slot.is_dir() or \
+                        not _KEY_PATTERN.fullmatch(slot.name):
+                    continue
+                try:
+                    n_bytes = sum(path.stat().st_size
+                                  for path in slot.rglob("*")
+                                  if path.is_file())
+                    mtime = slot.stat().st_mtime
+                except FileNotFoundError:
+                    # A concurrent prune (another worker sharing this
+                    # root) deleted the slot mid-scan: skip it.
+                    continue
+                yield ArtifactRecord(kind=kind_dir.name, key=slot.name,
+                                     n_bytes=n_bytes, mtime=mtime)
+
+
+# ----------------------------------------------------------------------
+# In-memory backend
+# ----------------------------------------------------------------------
+class _MemoryArtifact:
+    __slots__ = ("files", "mtime", "version")
+
+    def __init__(self, files: Dict[str, bytes], version: int) -> None:
+        self.files = files
+        self.mtime = time.time()
+        self.version = version
+
+
+class InMemoryBackend(StorageBackend):
+    """Artifacts held as byte blobs in process memory.
+
+    Publication slurps the populated scratch directory into a
+    ``{relative_path: bytes}`` map; reads materialise that map back
+    into a lazily created scratch directory (cached per artifact), so
+    the file-based loaders in :mod:`repro.runtime.store` work
+    unchanged. Thread-safe; intended for tests and ephemeral replicas.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], _MemoryArtifact] = {}
+        self._materialised: Dict[Tuple[str, str], Tuple[int, Path]] = {}
+        # Created eagerly: lazy creation would race concurrent
+        # publishers, and the losing TemporaryDirectory's finalizer
+        # would delete a scratch tree mid-populate.
+        self._scratch = tempfile.TemporaryDirectory(
+            prefix="repro-membackend-")
+        self._version = 0
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"InMemoryBackend(<{len(self._entries)} artifacts>)"
+
+    def _scratch_dir(self) -> Path:
+        return Path(self._scratch.name)
+
+    def _open(self, kind: str, key: str) -> Optional[Path]:
+        with self._lock:
+            entry = self._entries.get((kind, key))
+            if entry is None:
+                return None
+            entry.mtime = time.time()
+            cached = self._materialised.get((kind, key))
+            if cached is not None and cached[0] == entry.version:
+                return cached[1]
+            slot = self._scratch_dir() / kind / f"{key}-{entry.version}"
+            for name, payload in entry.files.items():
+                path = slot / name
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(payload)
+            self._materialised[(kind, key)] = (entry.version, slot)
+            return slot
+
+    def _publish(self, kind: str, key: str,
+                 populate: Callable[[Path], None]) -> bool:
+        scratch = Path(tempfile.mkdtemp(prefix="pub-",
+                                        dir=self._scratch_dir()))
+        try:
+            populate(scratch)
+            files = {
+                str(path.relative_to(scratch)): path.read_bytes()
+                for path in sorted(scratch.rglob("*")) if path.is_file()
+            }
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        with self._lock:
+            if (kind, key) in self._entries:     # first writer wins
+                return False
+            self._version += 1
+            self._entries[(kind, key)] = _MemoryArtifact(files,
+                                                         self._version)
+            return True
+
+    def _has(self, kind: str, key: str) -> bool:
+        with self._lock:
+            return (kind, key) in self._entries
+
+    def _delete(self, kind: str, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.pop((kind, key), None)
+            cached = self._materialised.pop((kind, key), None)
+        if cached is not None:
+            shutil.rmtree(cached[1], ignore_errors=True)
+        return entry is not None
+
+    def records(self) -> Iterator[ArtifactRecord]:
+        with self._lock:
+            snapshot = [(kind, key, entry) for (kind, key), entry
+                        in self._entries.items()]
+        for kind, key, entry in snapshot:
+            yield ArtifactRecord(
+                kind=kind, key=key,
+                n_bytes=sum(len(blob) for blob in entry.files.values()),
+                mtime=entry.mtime)
+
+
+# ----------------------------------------------------------------------
+# Sharded backend
+# ----------------------------------------------------------------------
+class ShardedBackend(StorageBackend):
+    """Consistent-hash fan-out of artifact keys over child backends.
+
+    Each ``(kind, key)`` is owned by one child shard (via
+    :class:`HashRing`); publication always lands on the owner. Lookup
+    is *rebalance-aware*: a miss on the owner falls back to every other
+    shard in ring-walk order, so artifacts written before a shard was
+    added (or placed by a differently sized ring) remain reachable --
+    only the small remapped fraction pays the extra probes, and only
+    until it is re-published or pruned.
+    """
+
+    def __init__(self, shards: Sequence[StorageBackend],
+                 vnodes: int = 64) -> None:
+        if not shards:
+            raise StoreError("ShardedBackend needs at least one shard")
+        self.shards: Tuple[StorageBackend, ...] = tuple(shards)
+        self._names = tuple(f"shard-{i}" for i in range(len(self.shards)))
+        self._by_name = dict(zip(self._names, self.shards))
+        self.ring = HashRing(self._names, vnodes=vnodes)
+
+    def __repr__(self) -> str:
+        return f"ShardedBackend({list(self.shards)!r})"
+
+    def shard_for(self, kind: str, key: str) -> StorageBackend:
+        """The child backend owning ``(kind, key)``."""
+        check_slot(kind, key)
+        return self._by_name[self.ring.node_for(f"{kind}/{key}")]
+
+    def _walk(self, kind: str, key: str) -> Iterator[StorageBackend]:
+        for name in self.ring.nodes_for(f"{kind}/{key}"):
+            yield self._by_name[name]
+
+    def _open(self, kind: str, key: str) -> Optional[Path]:
+        for shard in self._walk(kind, key):
+            slot = shard.open(kind, key)
+            if slot is not None:
+                return slot
+        return None
+
+    def _publish(self, kind: str, key: str,
+                 populate: Callable[[Path], None]) -> bool:
+        return self.shard_for(kind, key).publish(kind, key, populate)
+
+    def _has(self, kind: str, key: str) -> bool:
+        return any(shard.has(kind, key)
+                   for shard in self._walk(kind, key))
+
+    def _delete(self, kind: str, key: str) -> bool:
+        # Rebalancing can leave stale copies on former owners; delete
+        # everywhere so a prune really frees the space.
+        return any([shard.delete(kind, key) for shard in self.shards])
+
+    def records(self) -> Iterator[ArtifactRecord]:
+        for shard in self.shards:
+            yield from shard.records()
+
+
+def coerce_backend(source: "str | Path | StorageBackend"
+                   ) -> StorageBackend:
+    """A backend from a path (local store root) or a backend as-is."""
+    if isinstance(source, StorageBackend):
+        return source
+    if isinstance(source, (str, Path)):
+        return LocalDirBackend(source)
+    raise StoreError(
+        f"expected a store root path or a StorageBackend, "
+        f"got {type(source).__name__}")

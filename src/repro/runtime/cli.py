@@ -1,0 +1,195 @@
+"""``repro-serve``: command-line launcher for the diagnosis server.
+
+Single process::
+
+    repro-serve --port 8080 --store-root /var/cache/repro \
+                --warm rc_lowpass --warm sallen_key_lowpass
+
+Consistent-hash cluster (spawns N worker processes, fronts them with a
+:class:`~repro.runtime.cluster.ClusterService` router on the public
+port)::
+
+    repro-serve --port 8080 --replicas 3 --store-root /var/cache/repro
+
+The storage backend behind the artifact store is selectable:
+``--backend local`` (default; ``--store-root`` directory),
+``--backend sharded`` (``--shards`` local shards under the root, keys
+consistent-hashed across them) or ``--backend memory`` (ephemeral).
+Workers announce their bound address on stdout as
+``REPRO-SERVE LISTENING <host> <port>`` -- with ``--port 0`` that is
+how a parent (or a script) discovers the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..core.config import PipelineConfig
+from .backends import InMemoryBackend, LocalDirBackend, ShardedBackend
+from .cluster import LISTENING_PREFIX, WORKER_DEFAULTS, ClusterService
+from .server import AsyncDiagnosisService, DiagnosisHTTPServer
+from .service import DiagnosisService
+from .store import ArtifactStore
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve fault-trajectory diagnosis over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default: %(default)s)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="1 serves in-process; N>1 spawns N worker "
+                             "processes behind a consistent-hash "
+                             "router (default: %(default)s)")
+    parser.add_argument("--store-root", type=Path, default=None,
+                        help="artifact-store root directory (omit to "
+                             "serve without a store)")
+    parser.add_argument("--backend",
+                        choices=("local", "memory", "sharded"),
+                        default="local",
+                        help="artifact storage backend "
+                             "(default: %(default)s)")
+    parser.add_argument("--shards", type=int,
+                        default=WORKER_DEFAULTS["shards"],
+                        help="shard count for --backend sharded "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-engines", type=int,
+                        default=WORKER_DEFAULTS["max_engines"],
+                        help="per-process warmed-engine LRU capacity "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="GA seed for engine warm-ups; every "
+                             "replica must share it (default: "
+                             "%(default)s)")
+    parser.add_argument("--config", choices=("paper", "quick"),
+                        default="paper",
+                        help="pipeline configuration preset "
+                             "(default: %(default)s)")
+    parser.add_argument("--config-json", default=None, metavar="JSON",
+                        help="PipelineConfig as inline JSON or "
+                             "@path/to/file.json (overrides --config)")
+    parser.add_argument("--window-ms", type=float,
+                        default=WORKER_DEFAULTS["window_ms"],
+                        help="coalescing window in milliseconds "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-batch", type=int,
+                        default=WORKER_DEFAULTS["max_batch"],
+                        help="row budget per coalesced batch "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-pending", type=int,
+                        default=WORKER_DEFAULTS["max_pending"],
+                        help="backpressure bound on queued requests "
+                             "(default: %(default)s)")
+    parser.add_argument("--overflow", choices=("wait", "reject"),
+                        default=WORKER_DEFAULTS["overflow"],
+                        help="behaviour past --max-pending "
+                             "(default: %(default)s)")
+    parser.add_argument("--warm", action="append", default=[],
+                        metavar="CIRCUIT",
+                        help="circuit to warm at startup (repeatable)")
+    parser.add_argument("--health-interval", type=float, default=5.0,
+                        help="cluster replica health-probe period in "
+                             "seconds (default: %(default)s)")
+    return parser
+
+
+def load_config(args: argparse.Namespace) -> PipelineConfig:
+    if args.config_json:
+        text = args.config_json
+        if text.startswith("@"):
+            text = Path(text[1:]).read_text()
+        return PipelineConfig.from_json_dict(json.loads(text))
+    return PipelineConfig.paper() if args.config == "paper" \
+        else PipelineConfig.quick()
+
+
+def make_store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    if args.backend == "memory":
+        return ArtifactStore(backend=InMemoryBackend())
+    if args.store_root is None:
+        if args.backend == "sharded":
+            # Never silently drop an explicitly requested disk-backed
+            # backend: serving without a store re-simulates every cold
+            # circuit.
+            raise SystemExit("--backend sharded requires --store-root")
+        return None
+    if args.backend == "sharded":
+        return ArtifactStore(backend=ShardedBackend(
+            [LocalDirBackend(args.store_root / f"shard-{index}")
+             for index in range(args.shards)]))
+    return ArtifactStore(args.store_root)
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    health_task: Optional[asyncio.Task] = None
+    if args.replicas == 1:
+        service = DiagnosisService(config=load_config(args),
+                                   store=make_store(args),
+                                   max_engines=args.max_engines,
+                                   seed=args.seed)
+        front = AsyncDiagnosisService(
+            service, window_seconds=args.window_ms / 1e3,
+            max_batch=args.max_batch, max_pending=args.max_pending,
+            overflow=args.overflow)
+    else:
+        # Validate the storage flags here too: a misconfiguration must
+        # fail with the clear message, not as N opaque worker-spawn
+        # failures.
+        make_store(args)
+        front = await ClusterService.spawn(
+            args.replicas,
+            store_root=args.store_root, backend=args.backend,
+            shards=args.shards, config=load_config(args),
+            seed=args.seed, max_engines=args.max_engines,
+            window_ms=args.window_ms, max_batch=args.max_batch,
+            max_pending=args.max_pending, overflow=args.overflow)
+        if args.health_interval > 0:
+            health_task = asyncio.ensure_future(
+                front.run_health_loop(args.health_interval))
+    server = DiagnosisHTTPServer(front, host=args.host, port=args.port)
+    # Everything after the spawn runs under the finally: a startup
+    # failure (port already bound, bad --warm name) must tear the
+    # worker processes down with it, not orphan them.
+    try:
+        await server.start()
+        host, port = server.address
+        # The machine-readable announcement parents parse (see
+        # SpawnedReplica.spawn); humans get the mode detail after it.
+        print(f"{LISTENING_PREFIX} {host} {port}", flush=True)
+        mode = "single process" if args.replicas == 1 else \
+            f"{args.replicas}-replica cluster"
+        print(f"repro-serve: {mode} on http://{host}:{port}",
+              flush=True)
+        for circuit_name in args.warm:
+            await front.warm(circuit_name)
+        await server.serve_forever()
+    finally:
+        if health_task is not None:
+            health_task.cancel()
+        await server.aclose()
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,12 @@ __all__ = [
     "DiagnoseRequest",
     "decode_request",
     "encode_request",
+    "decode_request_many",
+    "encode_request_many",
     "decode_response",
     "encode_response",
+    "decode_response_many",
+    "encode_response_many",
     "diagnosis_to_dict",
     "diagnosis_from_dict",
     "encode_error",
@@ -70,15 +74,34 @@ class DiagnoseRequest:
         return int(self.magnitudes_db.shape[0])
 
 
-def encode_request(circuit: str,
-                   magnitudes_db: Union[np.ndarray, Sequence[Sequence[float]]]
-                   ) -> bytes:
-    """Serialise a diagnosis request to its JSON wire form."""
-    matrix = np.asarray(magnitudes_db, dtype=float)
+def _as_wire_matrix(magnitudes_db) -> np.ndarray:
+    """Validate an outgoing (N, F) magnitude matrix.
+
+    Only numeric matrices ride the wire: ``FrequencyResponse`` objects
+    (accepted by the in-process submit paths) must be sampled to dB
+    rows first -- a clear :class:`CodecError` beats a ``TypeError``
+    from deep inside NumPy.
+    """
+    try:
+        matrix = np.asarray(magnitudes_db, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(
+            "magnitudes_db must be a numeric (N, F) matrix of dB "
+            "magnitudes; FrequencyResponse objects cannot ride the "
+            "wire -- sample them at the circuit's test vector first"
+        ) from exc
     if matrix.ndim != 2:
         raise CodecError(
             f"magnitudes_db must be a 2-D (N, F) matrix, got shape "
             f"{matrix.shape}")
+    return matrix
+
+
+def encode_request(circuit: str,
+                   magnitudes_db: Union[np.ndarray, Sequence[Sequence[float]]]
+                   ) -> bytes:
+    """Serialise a diagnosis request to its JSON wire form."""
+    matrix = _as_wire_matrix(magnitudes_db)
     return _dumps({"circuit": circuit,
                    "magnitudes_db": matrix.tolist()})
 
@@ -86,6 +109,10 @@ def encode_request(circuit: str,
 def decode_request(payload: Payload) -> DiagnoseRequest:
     """Parse and validate a diagnosis request payload."""
     obj = _loads(payload)
+    return _request_from_obj(obj)
+
+
+def _request_from_obj(obj: object) -> DiagnoseRequest:
     if not isinstance(obj, dict):
         raise CodecError("request must be a JSON object")
     circuit = obj.get("circuit")
@@ -107,6 +134,31 @@ def decode_request(payload: Payload) -> DiagnoseRequest:
     if not np.all(np.isfinite(matrix)):
         raise CodecError("magnitudes_db contains non-finite values")
     return DiagnoseRequest(circuit=circuit, magnitudes_db=matrix)
+
+
+def encode_request_many(
+        requests: Sequence[tuple]) -> bytes:
+    """Serialise a mixed-circuit burst of ``(circuit, magnitudes_db)``
+    pairs to its JSON wire form (``POST /v1/diagnose-many``)."""
+    items = []
+    for circuit, magnitudes_db in requests:
+        items.append({"circuit": circuit,
+                      "magnitudes_db":
+                          _as_wire_matrix(magnitudes_db).tolist()})
+    if not items:
+        raise CodecError("burst must hold at least one request")
+    return _dumps({"requests": items})
+
+
+def decode_request_many(payload: Payload) -> List[DiagnoseRequest]:
+    """Parse and validate a mixed-circuit burst payload."""
+    obj = _loads(payload)
+    if not isinstance(obj, dict):
+        raise CodecError("burst must be a JSON object")
+    items = obj.get("requests")
+    if not isinstance(items, list) or not items:
+        raise CodecError("burst needs a non-empty 'requests' list")
+    return [_request_from_obj(item) for item in items]
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +214,26 @@ def decode_response(payload: Payload) -> List[Diagnosis]:
     if not isinstance(items, list):
         raise CodecError("'diagnoses' must be a list")
     return [diagnosis_from_dict(item) for item in items]
+
+
+def encode_response_many(
+        batches: Sequence[Sequence[Diagnosis]]) -> bytes:
+    """Serialise one diagnosis list per burst request."""
+    return _dumps({"batches": [[diagnosis_to_dict(d) for d in batch]
+                               for batch in batches]})
+
+
+def decode_response_many(payload: Payload) -> List[List[Diagnosis]]:
+    """Parse a burst response back into per-request diagnosis lists."""
+    obj = _loads(payload)
+    if not isinstance(obj, dict) or "batches" not in obj:
+        raise CodecError("response must be an object with 'batches'")
+    batches = obj["batches"]
+    if not isinstance(batches, list) or \
+            not all(isinstance(batch, list) for batch in batches):
+        raise CodecError("'batches' must be a list of lists")
+    return [[diagnosis_from_dict(item) for item in batch]
+            for batch in batches]
 
 
 # ----------------------------------------------------------------------

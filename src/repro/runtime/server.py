@@ -47,7 +47,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..diagnosis.classifier import Diagnosis
-from ..errors import (CodecError, ServiceError, ServiceOverloadedError)
+from ..errors import (ClusterError, CodecError, ServiceError,
+                      ServiceOverloadedError)
 from . import codec
 from .batch import ResponseBatch
 from .service import DiagnosisService
@@ -186,6 +187,19 @@ class AsyncDiagnosisService:
     def register(self, name: str, info) -> None:
         self.service.register(name, info)
 
+    # The serving-front surface the HTTP layer programs against --
+    # identical on :class:`~repro.runtime.cluster.ClusterService`, so
+    # one :class:`DiagnosisHTTPServer` can front either. (Async where
+    # a cluster must gather from remote replicas.)
+    async def stats_snapshot(self) -> Dict[str, object]:
+        return self.service.stats.snapshot()
+
+    def known_circuits(self) -> Dict[str, Tuple[str, ...]]:
+        return self.service.known_circuits()
+
+    def warmed_circuits(self) -> Tuple[str, ...]:
+        return self.service.warmed_circuits
+
     async def warm(self, circuit_name: str):
         """Warm a circuit without blocking the event loop."""
         loop = asyncio.get_running_loop()
@@ -234,6 +248,29 @@ class AsyncDiagnosisService:
             queue.timer = loop.create_task(
                 self._window_timer(circuit_name))
         return await item.future
+
+    async def submit_many(self, requests: Sequence[Tuple[str,
+                                                         ResponseBatch]]
+                          ) -> List[List[Diagnosis]]:
+        """Submit a mixed-circuit burst; one diagnosis list per request.
+
+        Every ``(circuit_name, responses)`` pair is enqueued in the
+        same event-loop pass, so the coalescer groups the burst into
+        (at most) one classify call per distinct circuit -- the async
+        face of :meth:`DiagnosisService.submit_many`. Failures stay
+        per-request internally (a bad entry never poisons its peers'
+        classifications); the call then re-raises the first failure,
+        after every request has settled so no result future is left
+        unretrieved.
+        """
+        outcomes = await asyncio.gather(
+            *(self.submit(circuit_name, responses)
+              for circuit_name, responses in requests),
+            return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(outcomes)
 
     async def _admit(self) -> None:
         if self._pending < self.max_pending:
@@ -435,6 +472,7 @@ class AsyncDiagnosisService:
 # ----------------------------------------------------------------------
 _HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
                  405: "Method Not Allowed", 413: "Payload Too Large",
+                 431: "Request Header Fields Too Large",
                  500: "Internal Server Error",
                  503: "Service Unavailable"}
 
@@ -442,16 +480,40 @@ _HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 #: KiB of JSON; anything near this is abuse, not traffic).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: Upper bound on the total bytes of one request's header block: real
+#: requests carry a handful of short headers, so anything near this is
+#: abuse -- without the cap a client could stream header lines at
+#: network speed for the whole idle window.
+MAX_HEAD_BYTES = 64 * 1024
+
+
+class _BadRequest(Exception):
+    """A request that cannot be served while keeping the connection's
+    byte stream synchronised; carries the ready error response."""
+
+    def __init__(self, status: int, payload: bytes) -> None:
+        super().__init__(status)
+        self.status = status
+        self.payload = payload
+
 
 class DiagnosisHTTPServer:
-    """JSON-over-HTTP front for an :class:`AsyncDiagnosisService`.
+    """JSON-over-HTTP front for an :class:`AsyncDiagnosisService` (or
+    anything exposing the same serving-front surface, e.g.
+    :class:`~repro.runtime.cluster.ClusterService`).
 
-    Pure stdlib (asyncio streams): one short-lived HTTP/1.0-style
-    exchange per connection. Routes:
+    Pure stdlib (asyncio streams) with HTTP/1.1 persistent
+    connections: requests are served back-to-back (pipelining
+    included) on one connection until the client sends
+    ``Connection: close``, the peer disconnects, or a parse error
+    leaves the stream unsynchronised. Routes:
 
     * ``POST /v1/diagnose`` -- body is the codec request
       (``{"circuit": ..., "magnitudes_db": [[...], ...]}``); answers
       the codec response with one diagnosis per row.
+    * ``POST /v1/diagnose-many`` -- a mixed-circuit burst
+      (``{"requests": [...]}``); answers one diagnosis list per
+      request (coalesced per circuit).
     * ``GET /v1/stats`` -- :meth:`ServiceStats.snapshot`.
     * ``GET /v1/circuits`` -- registered/benchmark/warmed names.
     * ``GET /v1/test-vector/<circuit>`` -- the measurement frequencies
@@ -460,11 +522,31 @@ class DiagnosisHTTPServer:
     """
 
     def __init__(self, service: AsyncDiagnosisService,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 idle_timeout: float = 60.0,
+                 shutdown_grace: float = 5.0) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Seconds a persistent connection may sit without making
+        #: progress (no next request line, stalled headers, or a body
+        #: upload with no bytes arriving) before the server reclaims
+        #: it -- bounds parked handler tasks and open sockets. Body
+        #: reads reset the clock per received chunk, so slow-but-live
+        #: uploads survive. <= 0 disables.
+        self.idle_timeout = idle_timeout
+        #: Seconds aclose() waits for in-flight exchanges to finish
+        #: writing their response before cancelling them.
+        self.shutdown_grace = shutdown_grace
         self._server: Optional[asyncio.AbstractServer] = None
+        self._closing = False
+        # Keep-alive leaves one handler task parked per idle
+        # connection; aclose() must reap them or they die noisily at
+        # loop teardown. Tasks currently *serving* a request (routing,
+        # not reading) are tracked separately so shutdown can drain
+        # them instead of dropping a client mid-response.
+        self._connections: Set["asyncio.Task[None]"] = set()
+        self._serving: Set["asyncio.Task[None]"] = set()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -488,77 +570,247 @@ class DiagnosisHTTPServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        self._closing = True           # served exchanges stop looping
         if self._server is not None:
-            self._server.close()
+            self._server.close()       # stop accepting new connections
+        # Reap persistent connections BEFORE wait_closed(): on Python
+        # >= 3.12.1 Server.wait_closed() waits for every connection
+        # handler, so a client idling on a keep-alive connection would
+        # deadlock shutdown until its idle timeout (or forever).
+        # Connections parked between requests are cancelled outright;
+        # exchanges being served get shutdown_grace to finish writing
+        # their response first.
+        for task in list(self._connections):
+            if task not in self._serving:
+                task.cancel()
+        remaining = set(self._connections)
+        if remaining:
+            _, pending = await asyncio.wait(
+                remaining, timeout=self.shutdown_grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
             await self._server.wait_closed()
             self._server = None
         await self.service.aclose()
 
     # ------------------------------------------------------------------
+    async def _timed(self, awaitable):
+        """Await under the idle/stall timeout (disabled when <= 0)."""
+        if self.idle_timeout > 0:
+            return await asyncio.wait_for(awaitable,
+                                          timeout=self.idle_timeout)
+        return await awaitable
+
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
-        try:
-            status, body = await self._respond(reader)
-            reason = _HTTP_REASONS.get(status, "Unknown")
-            head = (f"HTTP/1.1 {status} {reason}\r\n"
-                    f"Content-Type: application/json\r\n"
-                    f"Content-Length: {len(body)}\r\n"
-                    f"Connection: close\r\n\r\n").encode("latin1")
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        finally:
+        task = asyncio.current_task()
+        if self._closing:
+            # Accepted in the shutdown window before aclose()'s task
+            # snapshot could see us: bail out instead of parking (on
+            # >= 3.12.1 wait_closed() would wait for this handler).
             writer.close()
             try:
                 await writer.wait_closed()
             except ConnectionError:
                 pass
+            return
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                exchange = await self._respond(reader)
+                if exchange is None:        # clean EOF between requests
+                    break
+                status, body, keep_alive = exchange
+                # The write rides inside the _serving window too (set
+                # in _respond before routing): shutdown must not
+                # cancel an exchange mid-response-body.
+                if task is not None:
+                    self._serving.add(task)
+                try:
+                    reason = _HTTP_REASONS.get(status, "Unknown")
+                    connection = "keep-alive" if keep_alive else "close"
+                    head = (f"HTTP/1.1 {status} {reason}\r\n"
+                            f"Content-Type: application/json\r\n"
+                            f"Content-Length: {len(body)}\r\n"
+                            f"Connection: {connection}\r\n\r\n"
+                            ).encode("latin1")
+                    writer.write(head + body)
+                    try:
+                        await self._timed(writer.drain())
+                    except asyncio.TimeoutError:
+                        # Client is not reading its response: reclaim
+                        # the connection instead of parking forever.
+                        return
+                finally:
+                    if task is not None:
+                        self._serving.discard(task)
+                if not keep_alive or self._closing:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown while this connection idled between
+            # keep-alive requests: drop it quietly. Returning (instead
+            # of re-raising) lets the task finish cleanly, so nothing
+            # is logged at event-loop teardown.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
 
     async def _respond(self, reader: asyncio.StreamReader
-                       ) -> Tuple[int, bytes]:
+                       ) -> Optional[Tuple[int, bytes, bool]]:
+        """One request -> (status, body, keep connection alive).
+
+        ``None`` means the client closed cleanly before sending another
+        request, or idled/stalled past ``idle_timeout``: the request
+        line + headers run under one timeout, and the body read times
+        out per chunk (progress resets the clock, so slow-but-live
+        uploads survive while a half-sent request cannot park the
+        handler forever). Any error that leaves the byte stream
+        unsynchronised (bad request line, bad/oversized length) forces
+        a close: the unread remainder cannot be framed as a next
+        request.
+        """
         try:
-            request_line = await reader.readline()
-            parts = request_line.decode("latin1").split()
-            if len(parts) < 2:
-                return 400, codec.encode_error("malformed request line")
-            method, path = parts[0].upper(), parts[1]
-            headers: Dict[str, str] = {}
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            try:
-                length = int(headers.get("content-length", "0"))
-            except ValueError:
-                return 400, codec.encode_error("bad Content-Length")
-            if length < 0:
-                return 400, codec.encode_error("bad Content-Length")
-            if length > MAX_BODY_BYTES:
-                return 413, codec.encode_error(
-                    f"body exceeds {MAX_BODY_BYTES} bytes")
-            body = await reader.readexactly(length) if length > 0 \
-                else b""
+            head = await self._timed(self._read_head(reader))
+        except asyncio.TimeoutError:
+            return None         # idle or stalled connection: reclaim
+        except _BadRequest as exc:
+            return exc.status, exc.payload, False
         except ValueError:
             # StreamReader raises ValueError past its line limit
             # (oversized request line or header).
-            return 400, codec.encode_error("request line/header too long")
+            return 400, codec.encode_error(
+                "request line/header too long"), False
+        if head is None:
+            return None
+        method, path, length, keep_alive = head
         try:
-            return await self._route(method, path, body)
+            body = await self._read_body(reader, length)
+        except asyncio.TimeoutError:
+            return None         # body upload stalled: reclaim
+        task = asyncio.current_task()
+        if task is not None:
+            self._serving.add(task)
+        try:
+            status, payload = await self._route(method, path, body)
         except ServiceOverloadedError as exc:
-            return 503, codec.encode_error(str(exc),
-                                           kind=type(exc).__name__)
+            status, payload = 503, codec.encode_error(
+                str(exc), kind=type(exc).__name__)
+        except ClusterError as exc:
+            # A routing failure (every owning replica down) is an
+            # outage, not a bad request: retryable 503, never 404.
+            status, payload = 503, codec.encode_error(
+                str(exc), kind=type(exc).__name__)
         except CodecError as exc:
-            return 400, codec.encode_error(str(exc),
-                                           kind=type(exc).__name__)
+            status, payload = 400, codec.encode_error(
+                str(exc), kind=type(exc).__name__)
         except ServiceError as exc:
-            return 404, codec.encode_error(str(exc),
-                                           kind=type(exc).__name__)
+            status, payload = 404, codec.encode_error(
+                str(exc), kind=type(exc).__name__)
         except Exception as exc:         # noqa: BLE001 -- server boundary
-            return 500, codec.encode_error(str(exc),
-                                           kind=type(exc).__name__)
+            status, payload = 500, codec.encode_error(
+                str(exc), kind=type(exc).__name__)
+        finally:
+            if task is not None:
+                self._serving.discard(task)
+        return status, payload, keep_alive
+
+    @staticmethod
+    async def _read_head(reader: asyncio.StreamReader
+                         ) -> Optional[Tuple[str, str, int, bool]]:
+        """Read and frame one request head: (method, path, body
+        length, keep).
+
+        ``None`` on clean EOF; :class:`_BadRequest` for anything that
+        cannot be answered while keeping the stream synchronised.
+        """
+        request_line = await reader.readline()
+        if request_line == b"":
+            return None
+        parts = request_line.decode("latin1").split()
+        if len(parts) < 2:
+            raise _BadRequest(
+                400, codec.encode_error("malformed request line"))
+        method, path = parts[0].upper(), parts[1]
+        version = parts[2].upper() if len(parts) >= 3 else "HTTP/1.0"
+        headers: Dict[str, str] = {}
+        head_bytes = len(request_line)
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            head_bytes += len(line)
+            if head_bytes > MAX_HEAD_BYTES:
+                raise _BadRequest(431, codec.encode_error(
+                    f"request head exceeds {MAX_HEAD_BYTES} bytes"))
+            name, _, value = line.decode("latin1").partition(":")
+            name, value = name.strip().lower(), value.strip()
+            if name == "content-length" and \
+                    headers.get(name, value) != value:
+                # Conflicting lengths are request-smuggling shaped: an
+                # intermediary framing on the other copy would
+                # desynchronise the stream, so refuse and close.
+                raise _BadRequest(400, codec.encode_error(
+                    "conflicting Content-Length headers"))
+            headers[name] = value
+        # HTTP/1.1 persists by default; 1.0 only on explicit opt-in.
+        # A "close" token always wins.
+        connection = headers.get("connection", "").lower()
+        keep_alive = connection != "close" if version == "HTTP/1.1" \
+            else connection == "keep-alive"
+        if "transfer-encoding" in headers:
+            # Bodies are framed by Content-Length only; chunked
+            # framing we did not read would desynchronise the
+            # persistent stream (request-smuggling shaped), so refuse
+            # and close.
+            raise _BadRequest(400, codec.encode_error(
+                "Transfer-Encoding is not supported; frame the body "
+                "with Content-Length"))
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest(
+                400, codec.encode_error("bad Content-Length")) from None
+        if length < 0:
+            raise _BadRequest(
+                400, codec.encode_error("bad Content-Length"))
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(413, codec.encode_error(
+                f"body exceeds {MAX_BODY_BYTES} bytes"))
+        return method, path, length, keep_alive
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         length: int) -> bytes:
+        """Read a Content-Length body, timing out per chunk.
+
+        Each received chunk resets the idle clock, so a slow-but-live
+        upload completes while a stalled one raises
+        :class:`asyncio.TimeoutError`.
+        """
+        if length <= 0:
+            return b""
+        chunks = []
+        remaining = length
+        while remaining:
+            chunk = await self._timed(reader.read(min(65536,
+                                                      remaining)))
+            if chunk == b"":
+                raise asyncio.IncompleteReadError(b"".join(chunks),
+                                                  length)
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     async def _route(self, method: str, path: str,
                      body: bytes) -> Tuple[int, bytes]:
@@ -569,11 +821,19 @@ class DiagnosisHTTPServer:
             diagnoses = await self.service.submit(request.circuit,
                                                   request.magnitudes_db)
             return 200, codec.encode_response(diagnoses)
+        if path == "/v1/diagnose-many":
+            if method != "POST":
+                return 405, codec.encode_error("use POST")
+            requests = codec.decode_request_many(body)
+            batches = await self.service.submit_many(
+                [(request.circuit, request.magnitudes_db)
+                 for request in requests])
+            return 200, codec.encode_response_many(batches)
         if path == "/v1/stats" and method == "GET":
             return 200, codec.encode_stats(
-                self.service.stats.snapshot())
+                await self.service.stats_snapshot())
         if path == "/v1/circuits" and method == "GET":
-            known = self.service.service.known_circuits()
+            known = self.service.known_circuits()
             return 200, codec.encode_stats(
                 {origin: list(names) for origin, names in known.items()})
         if path.startswith("/v1/test-vector/") and method == "GET":
@@ -583,10 +843,14 @@ class DiagnosisHTTPServer:
                 {"circuit": circuit,
                  "test_vector_hz": sorted(freqs)})
         if path == "/v1/healthz" and method == "GET":
+            # warmed/registered ride along so cluster health probes
+            # can feed their sync introspection caches in one request.
+            known = self.service.known_circuits()
             return 200, codec.encode_stats(
                 {"status": "ok",
                  "queue_depth": self.service.queue_depth,
-                 "warmed": list(self.service.service.warmed_circuits)})
+                 "warmed": list(self.service.warmed_circuits()),
+                 "registered": list(known["registered"])})
         return 404, codec.encode_error(f"no route for {method} {path}")
 
 

@@ -26,8 +26,12 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
+
+import numpy as np
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (Deque, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 from ..circuits.library import BENCHMARK_CIRCUITS, CircuitInfo, \
     get_benchmark
@@ -35,8 +39,12 @@ from ..core.atpg import ATPGResult, FaultTrajectoryATPG
 from ..core.config import PipelineConfig
 from ..diagnosis.classifier import Diagnosis
 from ..errors import ServiceError
+from .backends import StorageBackend
 from .batch import BatchDiagnoser, ResponseBatch
-from .store import ArtifactStore
+from .store import ArtifactStore, as_store
+
+#: Anything ``DiagnosisService(store=...)`` accepts.
+StoreLike = Union[ArtifactStore, StorageBackend, str, Path, None]
 
 __all__ = ["DiagnosisService", "CircuitStats", "ServiceStats"]
 
@@ -237,7 +245,10 @@ class DiagnosisService:
         :meth:`PipelineConfig.paper`).
     store:
         Optional artifact store; warmed engines then load cached
-        dictionaries/GA results instead of re-simulating.
+        dictionaries/GA results instead of re-simulating. Accepts an
+        :class:`~repro.runtime.store.ArtifactStore`, a bare
+        :class:`~repro.runtime.backends.StorageBackend` (in-memory,
+        sharded, ...) or a local store-root path.
     max_engines:
         LRU capacity: the least recently used engine is evicted when a
         warm-up would exceed it.
@@ -246,12 +257,12 @@ class DiagnosisService:
     """
 
     def __init__(self, config: Optional[PipelineConfig] = None,
-                 store: Optional[ArtifactStore] = None,
+                 store: StoreLike = None,
                  max_engines: int = 4, seed: int = 0) -> None:
         if max_engines < 1:
             raise ServiceError("max_engines must be >= 1")
         self.config = config or PipelineConfig.paper()
-        self.store = store
+        self.store = as_store(store)
         self.max_engines = max_engines
         self.seed = seed
         self.stats = ServiceStats()
@@ -379,6 +390,52 @@ class DiagnosisService:
         elapsed = time.perf_counter() - started
         self.stats.record_request(circuit_name, len(diagnoses), elapsed)
         return diagnoses
+
+    def submit_many(self, requests: Sequence[Tuple[str, ResponseBatch]]
+                    ) -> List[List[Diagnosis]]:
+        """Diagnose a mixed-circuit burst: one classify per circuit.
+
+        ``requests`` is a sequence of ``(circuit_name, responses)``
+        pairs (each ``responses`` as in :meth:`submit`). The burst is
+        grouped by circuit, every circuit's rows are stacked, and
+        exactly one
+        :meth:`~repro.runtime.batch.BatchDiagnoser.classify_points`
+        call serves all of that circuit's requests -- the batched
+        engine's fixed cost is paid once per *circuit*, not once per
+        request. Returns one diagnosis list per request, in input
+        order, bitwise-identical to per-request :meth:`submit` calls
+        (classification is row-independent).
+
+        Errors are not isolated per request: a malformed entry
+        (unknown circuit, wrong signature width) raises and fails the
+        whole burst. Use the async front's per-request futures when
+        callers need isolation.
+        """
+        started = time.perf_counter()
+        if not requests:
+            return []
+        by_circuit: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, (circuit_name, _) in enumerate(requests):
+            by_circuit.setdefault(circuit_name, []).append(index)
+        results: List[List[Diagnosis]] = [[] for _ in requests]
+        for circuit_name, indices in by_circuit.items():
+            diagnoser = self._engine(circuit_name).diagnoser
+            points = [diagnoser.signatures(requests[index][1])
+                      for index in indices]
+            stacked = points[0] if len(points) == 1 \
+                else np.concatenate(points, axis=0)
+            diagnoses = diagnoser.classify_points(stacked)
+            finished = time.perf_counter()
+            offset = 0
+            records: List[Tuple[int, float]] = []
+            for index, part in zip(indices, points):
+                n_rows = int(part.shape[0])
+                results[index] = diagnoses[offset:offset + n_rows]
+                offset += n_rows
+                records.append((n_rows, finished - started))
+            self.stats.record_coalesced(circuit_name, records,
+                                        n_rows=int(stacked.shape[0]))
+        return results
 
     def test_vector_hz(self, circuit_name: str) -> Tuple[float, ...]:
         """The warmed test vector for a circuit (what to measure at)."""

@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk artifact store for pipeline products.
+"""Content-addressed artifact store for pipeline products.
 
 Every expensive artifact of the ATPG flow -- the dense fault
 dictionary, the GA search result, the exact test-vector dictionary and
@@ -8,10 +8,15 @@ This module hashes that tuple into a stable SHA-256 key and persists
 the artifacts under it, so a repeat ``FaultTrajectoryATPG.run()`` with
 ``store=`` loads everything back instead of re-simulating.
 
-Layout: ``<root>/<kind>/<key[:2]>/<key>/`` holding the artifact's
-files. Writers populate a temporary sibling directory and ``os.rename``
-it into place, so concurrent readers only ever observe complete
-artifacts; a lost rename race simply discards the duplicate.
+*Where* the artifacts live is pluggable (see
+:mod:`repro.runtime.backends`): the default
+:class:`~repro.runtime.backends.LocalDirBackend` keeps the original
+``<root>/<kind>/<key[:2]>/<key>/`` on-disk layout (byte-compatible with
+pre-refactor store roots), :class:`~repro.runtime.backends.InMemoryBackend`
+holds them in process memory, and
+:class:`~repro.runtime.backends.ShardedBackend` consistent-hashes keys
+across several child backends. The store itself owns key construction,
+artifact (de)serialisation and hit/miss/put accounting.
 
 Each artifact is keyed on *only* the inputs it depends on, so sweeping
 a GA knob reuses the cached dictionary and two configs landing on the
@@ -32,30 +37,25 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import re
-import shutil
-import uuid
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from ..circuits.library import CircuitInfo
-from ..errors import StoreError
+from ..errors import DictionaryError, StoreError
 from ..faults.dictionary import FaultDictionary, fault_to_json
 from ..faults.universe import FaultUniverse
 from ..ga.engine import GAResult, GenerationStats
 from ..trajectory.mapping import SignatureMapper
 from ..trajectory.trajectory import FaultTrajectory, TrajectorySet
+from .backends import (ArtifactRecord, LocalDirBackend, StorageBackend,
+                       coerce_backend)
 
-__all__ = ["ArtifactStore", "StoreStats", "problem_key", "derive_key",
-           "ga_search_key", "trajectory_key"]
-
-
-_KEY_PATTERN = re.compile(r"[0-9a-f]{64}")
-_KIND_PATTERN = re.compile(r"[a-z][a-z0-9_-]*")
+__all__ = ["ArtifactStore", "StoreStats", "as_store", "problem_key",
+           "derive_key", "ga_search_key", "trajectory_key"]
 
 
 @dataclass
@@ -68,6 +68,20 @@ class StoreStats:
 
     def snapshot(self) -> dict:
         return dataclasses.asdict(self)
+
+
+def as_store(source: Union["ArtifactStore", StorageBackend, str, Path,
+                           None]) -> Optional["ArtifactStore"]:
+    """Coerce anything store-shaped into an :class:`ArtifactStore`.
+
+    Accepts an existing store (returned as-is), a bare
+    :class:`~repro.runtime.backends.StorageBackend`, a local root path,
+    or ``None`` (no caching). The seam every ``store=`` parameter in
+    the pipeline and serving layers runs through.
+    """
+    if source is None or isinstance(source, ArtifactStore):
+        return source
+    return ArtifactStore(backend=coerce_backend(source))
 
 
 # ----------------------------------------------------------------------
@@ -174,12 +188,33 @@ def _ga_result_from_json(data: dict) -> GAResult:
 
 
 class ArtifactStore:
-    """Content-addressed cache of pipeline artifacts on local disk."""
+    """Content-addressed cache of pipeline artifacts.
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
+    Parameters
+    ----------
+    root:
+        Store root directory: shorthand for
+        ``backend=LocalDirBackend(root)`` (the original on-disk store,
+        byte-compatible with pre-backend roots).
+    backend:
+        Any :class:`~repro.runtime.backends.StorageBackend` --
+        in-memory, sharded, or a custom implementation. Exactly one of
+        ``root`` / ``backend`` must be given.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None, *,
+                 backend: Optional[StorageBackend] = None) -> None:
+        if (root is None) == (backend is None):
+            raise StoreError(
+                "pass exactly one of a store root path or backend=")
+        self.backend = backend if backend is not None \
+            else LocalDirBackend(root)
         self.stats = StoreStats()
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The local root directory, when the backend has one."""
+        return getattr(self.backend, "root", None)
 
     # -- key helpers exposed on the instance so callers need no extra
     # -- imports (core.atpg stays free of runtime imports).
@@ -189,54 +224,74 @@ class ArtifactStore:
     trajectory_key = staticmethod(trajectory_key)
 
     # ------------------------------------------------------------------
-    # Directory plumbing
+    # Backend plumbing
     # ------------------------------------------------------------------
-    def _slot(self, kind: str, key: str) -> Path:
-        # Keys are always SHA-256 hex digests and kinds simple names:
-        # anything else ('..', separators, ...) could escape the root.
-        if not _KEY_PATTERN.fullmatch(key or ""):
-            raise StoreError(f"invalid artifact key {key!r}")
-        if not _KIND_PATTERN.fullmatch(kind or ""):
-            raise StoreError(f"invalid artifact kind {kind!r}")
-        return self.root / kind / key[:2] / key
-
     def has(self, kind: str, key: str) -> bool:
-        return self._slot(kind, key).is_dir()
+        return self.backend.has(kind, key)
 
     def _open(self, kind: str, key: str) -> Optional[Path]:
-        slot = self._slot(kind, key)
-        if slot.is_dir():
+        slot = self.backend.open(kind, key)
+        if slot is not None:
             self.stats.hits += 1
             return slot
         self.stats.misses += 1
         return None
 
-    def _publish(self, kind: str, key: str, populate) -> None:
-        """Write an artifact atomically: populate a temp dir, rename it.
+    #: Read failures that mean "this cached artifact is gone or
+    #: unreadable" -- vanished mid-read (concurrent prune), a
+    #: transient I/O fault, or corrupt bytes on disk. All degrade to a
+    #: miss via :meth:`_vanished`; anything else still raises.
+    _UNREADABLE = (FileNotFoundError, OSError, EOFError, ValueError,
+                   KeyError, zipfile.BadZipFile, DictionaryError)
 
-        ``populate`` receives the temp directory path. If another
-        writer wins the rename race the temp copy is discarded -- both
-        writers produced identical content by construction.
-        """
-        slot = self._slot(kind, key)
-        slot.parent.mkdir(parents=True, exist_ok=True)
-        scratch = slot.parent / f".tmp-{key[:8]}-{uuid.uuid4().hex}"
-        scratch.mkdir()
-        published = False
-        try:
-            populate(scratch)
+    #: The corruption-shaped subset: the slot's *content* is bad, so
+    #: the slot is deleted to let a recompute republish. Transient
+    #: faults (plain OSError: EIO, EMFILE, stale NFS handles) must NOT
+    #: delete a healthy artifact other replicas rely on.
+    _CORRUPT = (EOFError, ValueError, KeyError, zipfile.BadZipFile,
+                DictionaryError)
+
+    def _vanished(self, kind: str, key: str,
+                  error: BaseException) -> None:
+        """The artifact could not be read after a successful open.
+
+        Degrades to an honest miss so the caller recomputes. A
+        corruption-shaped failure additionally vacates the slot --
+        first-writer-wins publication would otherwise keep the bad
+        copy forever and every future run would re-simulate without
+        ever self-healing."""
+        if isinstance(error, self._CORRUPT):
             try:
-                os.rename(scratch, slot)
-                published = True
+                if self.backend.has(kind, key):
+                    self.backend.delete(kind, key)
             except OSError:
-                if not slot.is_dir():
-                    raise
-                shutil.rmtree(scratch, ignore_errors=True)
-        except BaseException:
-            shutil.rmtree(scratch, ignore_errors=True)
-            raise
+                pass             # read-only/flaky root: miss anyway
+        self.stats.hits -= 1
+        self.stats.misses += 1
+
+    def _publish(self, kind: str, key: str, populate) -> None:
+        """Write an artifact atomically through the backend.
+
+        ``populate`` receives a scratch directory path. If another
+        writer wins the publication race the scratch copy is discarded
+        -- both writers produced identical content by construction.
+        """
+        published = self.backend.publish(kind, key, populate)
         if published:
             self.stats.puts += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def disk_usage(self) -> int:
+        """Total artifact bytes held by the backend."""
+        return self.backend.disk_usage()
+
+    def prune(self, max_bytes: int) -> Tuple[ArtifactRecord, ...]:
+        """Evict least-recently-used artifacts until at most
+        ``max_bytes`` remain; returns the evicted records. Reads touch
+        an artifact's recency, so the hot working set survives."""
+        return self.backend.prune(max_bytes)
 
     # ------------------------------------------------------------------
     # Fault dictionaries
@@ -246,7 +301,11 @@ class ArtifactStore:
         slot = self._open(kind, key)
         if slot is None:
             return None
-        return FaultDictionary.load(slot / "dictionary")
+        try:
+            return FaultDictionary.load(slot / "dictionary")
+        except self._UNREADABLE as exc:
+            self._vanished(kind, key, exc)
+            return None
 
     def save_dictionary(self, kind: str, key: str,
                         dictionary: FaultDictionary) -> None:
@@ -260,8 +319,12 @@ class ArtifactStore:
         slot = self._open("ga", key)
         if slot is None:
             return None
-        data = json.loads((slot / "result.json").read_text())
-        return _ga_result_from_json(data)
+        try:
+            data = json.loads((slot / "result.json").read_text())
+            return _ga_result_from_json(data)
+        except self._UNREADABLE as exc:
+            self._vanished("ga", key, exc)
+            return None
 
     def save_ga_result(self, key: str, result: GAResult) -> None:
         payload = json.dumps(_ga_result_to_json(result))
@@ -276,18 +339,24 @@ class ArtifactStore:
         slot = self._open("trajectories", key)
         if slot is None:
             return None
-        metadata = json.loads((slot / "trajectories.json").read_text())
-        arrays = np.load(slot / "trajectories.npz")
-        mapper = SignatureMapper(
-            tuple(metadata["mapper"]["test_freqs_hz"]),
-            scale=metadata["mapper"]["scale"],
-            relative_to_golden=metadata["mapper"]["relative_to_golden"])
-        trajectories = []
-        for index, component in enumerate(metadata["components"]):
-            trajectories.append(FaultTrajectory(
-                component,
-                tuple(metadata["deviations"][index]),
-                arrays[f"points_{index}"]))
+        try:
+            metadata = json.loads(
+                (slot / "trajectories.json").read_text())
+            arrays = np.load(slot / "trajectories.npz")
+            mapper = SignatureMapper(
+                tuple(metadata["mapper"]["test_freqs_hz"]),
+                scale=metadata["mapper"]["scale"],
+                relative_to_golden=metadata["mapper"]
+                ["relative_to_golden"])
+            trajectories = []
+            for index, component in enumerate(metadata["components"]):
+                trajectories.append(FaultTrajectory(
+                    component,
+                    tuple(metadata["deviations"][index]),
+                    arrays[f"points_{index}"]))
+        except self._UNREADABLE as exc:
+            self._vanished("trajectories", key, exc)
+            return None
         return TrajectorySet(mapper, trajectories)
 
     def save_trajectories(self, key: str,

@@ -22,6 +22,7 @@ from repro import (
     tow_thomas_biquad,
 )
 from repro.faults import FaultDictionary
+from repro.ga import GAConfig
 from repro.units import log_frequency_grid
 
 
@@ -77,3 +78,39 @@ def rc_info():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
+
+
+# ----------------------------------------------------------------------
+# Serving-layer scaffolding shared by the serving/cluster suites
+# ----------------------------------------------------------------------
+#: One quick config for every serving-layer suite -- a drift in these
+#: knobs must hit all of them together.
+QUICK_SERVING = PipelineConfig(
+    dictionary_points=32, deviations=(-0.2, 0.2),
+    ga=GAConfig(population_size=8, generations=2))
+
+#: The >= 3 library circuits the serving equivalence properties range
+#: over.
+SERVING_CIRCUITS = ("rc_lowpass", "voltage_divider",
+                    "sallen_key_lowpass")
+
+
+#: Plausible measured dB rows (golden magnitudes +- a few dB) -- the
+#: one implementation shared with the serving benchmarks.
+from repro.runtime.testing import noisy_golden_rows as measured_rows
+
+
+@pytest.fixture(scope="session")
+def warm_service():
+    """One warmed multi-circuit service shared by the serving suites.
+
+    Engines are deterministic pure functions of (config, seed), and
+    the diagnosers are read-only after warm-up, so sharing trades no
+    isolation for a large speed-up.
+    """
+    from repro import DiagnosisService
+    service = DiagnosisService(config=QUICK_SERVING, max_engines=8,
+                               seed=3)
+    for name in SERVING_CIRCUITS:
+        service.warm(name)
+    return service

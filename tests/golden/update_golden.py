@@ -29,7 +29,11 @@ from repro.sim import ACAnalysis
 GOLDEN_DIR = Path(__file__).resolve().parent
 
 SEED = 2005
-CIRCUITS = ("rc_lowpass", "voltage_divider", "sallen_key_lowpass")
+#: Every registry circuit is pinned (keep in sync with
+#: repro.circuits.library.BENCHMARK_CIRCUITS).
+CIRCUITS = ("rc_lowpass", "voltage_divider", "sallen_key_lowpass",
+            "tow_thomas_biquad", "khn_state_variable", "mfb_bandpass",
+            "twin_t_notch", "lc_ladder_lowpass5", "rc_ladder")
 #: Held-out injected deviations (disjoint from the trajectory grid).
 FAULT_DEVIATIONS = (-0.25, -0.1, 0.1, 0.25)
 

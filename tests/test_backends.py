@@ -1,0 +1,448 @@
+"""Storage backends: protocol conformance, sharding, maintenance,
+byte-compatibility with pre-refactor store roots.
+
+Every backend implements the same :class:`StorageBackend` contract, so
+the conformance tests run identically against the local-directory,
+in-memory and sharded implementations. The sharded tests additionally
+pin the consistent-hash properties (stable placement, minimal remap on
+node loss, full-ring fallback on miss), and the legacy-store test
+replays a committed pre-backend store tree through
+:class:`LocalDirBackend` to prove existing roots stay readable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ArtifactStore, DiagnosisService, FaultTrajectoryATPG
+from repro.errors import StoreError
+from repro.faults import FaultDictionary
+from repro.runtime.backends import (HashRing, InMemoryBackend,
+                                    LocalDirBackend, ShardedBackend,
+                                    StorageBackend)
+from repro.runtime.store import as_store
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+_spec = importlib.util.spec_from_file_location(
+    "legacy_store_maker", DATA_DIR / "make_legacy_store.py")
+legacy_maker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(legacy_maker)
+
+
+def key_of(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def publish_blob(backend: StorageBackend, kind: str, key: str,
+                 payload: bytes) -> bool:
+    def populate(scratch: Path) -> None:
+        (scratch / "blob.bin").write_bytes(payload)
+        nested = scratch / "nested" / "meta.json"
+        nested.parent.mkdir()
+        nested.write_text("{}")
+
+    return backend.publish(kind, key, populate)
+
+
+BACKENDS = ("local", "memory", "sharded")
+
+
+def make_backend(kind: str, tmp_path: Path) -> StorageBackend:
+    if kind == "local":
+        return LocalDirBackend(tmp_path / "root")
+    if kind == "memory":
+        return InMemoryBackend()
+    return ShardedBackend([LocalDirBackend(tmp_path / f"shard{i}")
+                           for i in range(3)])
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_and_total(self):
+        ring = HashRing(("a", "b", "c"))
+        keys = [f"circuit-{i}" for i in range(100)]
+        first = [ring.node_for(k) for k in keys]
+        again = [HashRing(("a", "b", "c")).node_for(k) for k in keys]
+        assert first == again
+        assert set(first) == {"a", "b", "c"}   # all nodes take load
+
+    def test_node_loss_only_remaps_that_node(self):
+        """The consistent-hashing property: dropping one node moves
+        only the keys it owned."""
+        ring = HashRing(("a", "b", "c"))
+        keys = [f"circuit-{i}" for i in range(200)]
+        before = {k: ring.node_for(k) for k in keys}
+        survivors = HashRing(("a", "b"))
+        for k in keys:
+            if before[k] != "c":
+                assert survivors.node_for(k) == before[k], \
+                    f"{k} moved although its node survived"
+
+    def test_exclusion_walks_the_ring(self):
+        ring = HashRing(("a", "b", "c"))
+        for key in ("x", "y", "z"):
+            owner = ring.node_for(key)
+            fallback = ring.node_for(key, exclude=frozenset({owner}))
+            assert fallback != owner
+            # Deterministic failover order per key.
+            assert fallback == ring.node_for(
+                key, exclude=frozenset({owner}))
+
+    def test_all_excluded_raises(self):
+        ring = HashRing(("a", "b"))
+        with pytest.raises(StoreError, match="no live node"):
+            ring.node_for("x", exclude=frozenset({"a", "b"}))
+
+    def test_invalid_rings_rejected(self):
+        with pytest.raises(StoreError):
+            HashRing(())
+        with pytest.raises(StoreError):
+            HashRing(("a", "a"))
+        with pytest.raises(StoreError):
+            HashRing(("a",), vnodes=0)
+
+
+# ----------------------------------------------------------------------
+# Protocol conformance (every backend)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend_kind", BACKENDS)
+class TestBackendConformance:
+    def test_publish_open_round_trip(self, backend_kind, tmp_path):
+        backend = make_backend(backend_kind, tmp_path)
+        key = key_of("artifact-1")
+        assert backend.open("dictionary", key) is None
+        assert not backend.has("dictionary", key)
+        assert publish_blob(backend, "dictionary", key, b"payload")
+        assert backend.has("dictionary", key)
+        slot = backend.open("dictionary", key)
+        assert slot is not None
+        assert (slot / "blob.bin").read_bytes() == b"payload"
+        assert (slot / "nested" / "meta.json").read_text() == "{}"
+
+    def test_first_writer_wins(self, backend_kind, tmp_path):
+        backend = make_backend(backend_kind, tmp_path)
+        key = key_of("artifact-2")
+        assert publish_blob(backend, "ga", key, b"first")
+        assert not publish_blob(backend, "ga", key, b"second")
+        slot = backend.open("ga", key)
+        assert (slot / "blob.bin").read_bytes() == b"first"
+
+    def test_delete(self, backend_kind, tmp_path):
+        backend = make_backend(backend_kind, tmp_path)
+        key = key_of("artifact-3")
+        assert not backend.delete("exact", key)
+        publish_blob(backend, "exact", key, b"x")
+        assert backend.delete("exact", key)
+        assert backend.open("exact", key) is None
+        assert not backend.has("exact", key)
+
+    def test_records_and_disk_usage(self, backend_kind, tmp_path):
+        backend = make_backend(backend_kind, tmp_path)
+        payloads = {key_of(f"a{i}"): b"x" * (10 * (i + 1))
+                    for i in range(3)}
+        for key, payload in payloads.items():
+            publish_blob(backend, "dictionary", key, payload)
+        records = list(backend.records())
+        assert {r.key for r in records} == set(payloads)
+        for record in records:
+            # blob.bin plus the 2-byte nested meta.json.
+            assert record.n_bytes == len(payloads[record.key]) + 2
+            assert record.kind == "dictionary"
+        assert backend.disk_usage() == sum(
+            len(p) + 2 for p in payloads.values())
+
+    def test_prune_evicts_lru_first(self, backend_kind, tmp_path):
+        backend = make_backend(backend_kind, tmp_path)
+        keys = [key_of(f"p{i}") for i in range(3)]
+        for key in keys:
+            publish_blob(backend, "dictionary", key, b"z" * 100)
+            time.sleep(0.02)          # strictly ordered mtimes
+        # Touch the oldest artifact: a read refreshes its recency.
+        assert backend.open("dictionary", keys[0]) is not None
+        evicted = backend.prune(max_bytes=2 * 102)
+        assert [record.key for record in evicted] == [keys[1]]
+        assert backend.has("dictionary", keys[0])
+        assert not backend.has("dictionary", keys[1])
+        assert backend.has("dictionary", keys[2])
+        assert backend.disk_usage() <= 2 * 102
+        # Prune to zero clears everything; a second prune is a no-op.
+        assert len(backend.prune(max_bytes=0)) == 2
+        assert backend.disk_usage() == 0
+        assert backend.prune(max_bytes=0) == ()
+
+    def test_invalid_slots_rejected(self, backend_kind, tmp_path):
+        backend = make_backend(backend_kind, tmp_path)
+        for bad_key in ("../escape", "", "short", "G" * 64):
+            with pytest.raises(StoreError):
+                backend.has("dictionary", bad_key)
+        for bad_kind in ("..", "", "Kind", "a/b"):
+            with pytest.raises(StoreError):
+                backend.has(bad_kind, "0" * 64)
+
+    def test_pipeline_warm_run_skips_simulation(self, backend_kind,
+                                                tmp_path):
+        """The acceptance criterion, per backend: a store-warmed
+        pipeline repeat runs zero fault simulations and reproduces the
+        cold run exactly."""
+        backend = make_backend(backend_kind, tmp_path)
+        store = ArtifactStore(backend=backend)
+        info = legacy_maker.circuit_info()
+        config = legacy_maker.CONFIG
+        cold = FaultTrajectoryATPG(info, config).run(seed=5, store=store)
+        simulations_before = FaultDictionary.simulations_run
+        warm = FaultTrajectoryATPG(info, config).run(seed=5, store=store)
+        assert FaultDictionary.simulations_run == simulations_before
+        assert set(warm.cache_hits) == {"dictionary", "ga", "exact",
+                                        "trajectories"}
+        assert warm.test_vector_hz == cold.test_vector_hz
+        for a, b in zip(warm.trajectories, cold.trajectories):
+            assert np.array_equal(a.points, b.points)
+
+
+# ----------------------------------------------------------------------
+# Sharded specifics
+# ----------------------------------------------------------------------
+class TestShardedBackend:
+    def test_keys_spread_across_shards(self, tmp_path):
+        shards = [LocalDirBackend(tmp_path / f"s{i}") for i in range(3)]
+        backend = ShardedBackend(shards)
+        for i in range(30):
+            publish_blob(backend, "dictionary", key_of(f"spread{i}"),
+                         b"x")
+        per_shard = [len(list(shard.records())) for shard in shards]
+        assert sum(per_shard) == 30
+        assert all(count > 0 for count in per_shard), per_shard
+
+    def test_placement_is_deterministic(self, tmp_path):
+        backend = ShardedBackend([InMemoryBackend() for _ in range(3)])
+        key = key_of("placed")
+        owner = backend.shard_for("dictionary", key)
+        publish_blob(backend, "dictionary", key, b"x")
+        assert owner.has("dictionary", key)
+
+    def test_miss_falls_back_to_full_ring(self, tmp_path):
+        """An artifact living on the 'wrong' shard (written before a
+        rebalance) is still found and deletable."""
+        shards = [InMemoryBackend() for _ in range(3)]
+        backend = ShardedBackend(shards)
+        key = key_of("misplaced")
+        owner = backend.shard_for("dictionary", key)
+        stranger = next(s for s in shards if s is not owner)
+        publish_blob(stranger, "dictionary", key, b"old-home")
+        assert not owner.has("dictionary", key)
+        assert backend.has("dictionary", key)
+        slot = backend.open("dictionary", key)
+        assert (slot / "blob.bin").read_bytes() == b"old-home"
+        assert backend.delete("dictionary", key)
+        assert not backend.has("dictionary", key)
+
+    def test_delete_clears_stale_copies_everywhere(self, tmp_path):
+        shards = [InMemoryBackend() for _ in range(3)]
+        backend = ShardedBackend(shards)
+        key = key_of("duplicated")
+        for shard in shards:           # rebalance left copies behind
+            publish_blob(shard, "ga", key, b"copy")
+        assert backend.delete("ga", key)
+        assert all(not shard.has("ga", key) for shard in shards)
+
+    def test_prune_folds_duplicate_copies_into_one_record(self):
+        """Post-rebalance duplicates must not over-evict: deleting one
+        logical artifact frees every physical copy, and the byte
+        accounting has to reflect that."""
+        shards = [InMemoryBackend() for _ in range(2)]
+        backend = ShardedBackend(shards)
+        dup = key_of("duplicated-old")
+        for shard in shards:           # two physical copies, old
+            publish_blob(shard, "ga", dup, b"d" * 100)
+        time.sleep(0.02)
+        fresh = key_of("fresh-hot")
+        publish_blob(backend, "ga", fresh, b"f" * 100)
+        # Physical usage: 2 x 102 (dup) + 102 (fresh). Evicting the
+        # old duplicated artifact alone reaches the bound -- the hot
+        # artifact must survive.
+        evicted = backend.prune(max_bytes=102)
+        assert [(r.kind, r.key) for r in evicted] == [("ga", dup)]
+        assert evicted[0].n_bytes == 2 * 102
+        assert backend.has("ga", fresh)
+        assert backend.disk_usage() == 102
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(StoreError):
+            ShardedBackend([])
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore over backends
+# ----------------------------------------------------------------------
+class TestStoreOverBackends:
+    def test_exactly_one_of_root_or_backend(self, tmp_path):
+        with pytest.raises(StoreError):
+            ArtifactStore()
+        with pytest.raises(StoreError):
+            ArtifactStore(tmp_path, backend=InMemoryBackend())
+        assert ArtifactStore(tmp_path).root == tmp_path
+        assert ArtifactStore(backend=InMemoryBackend()).root is None
+
+    def test_as_store_coercions(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert as_store(store) is store
+        assert as_store(None) is None
+        from_path = as_store(tmp_path)
+        assert isinstance(from_path.backend, LocalDirBackend)
+        backend = InMemoryBackend()
+        assert as_store(backend).backend is backend
+        with pytest.raises(StoreError):
+            as_store(42)
+
+    def test_service_accepts_path_and_backend_stores(self, tmp_path):
+        by_path = DiagnosisService(config=legacy_maker.CONFIG,
+                                   store=tmp_path / "store", seed=3)
+        assert isinstance(by_path.store, ArtifactStore)
+        by_backend = DiagnosisService(config=legacy_maker.CONFIG,
+                                      store=InMemoryBackend(), seed=3)
+        assert isinstance(by_backend.store.backend, InMemoryBackend)
+
+    def test_store_prune_and_disk_usage(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        info = legacy_maker.circuit_info()
+        FaultTrajectoryATPG(info, legacy_maker.CONFIG).run(
+            seed=5, store=store)
+        total = store.disk_usage()
+        assert total > 0
+        records = list(store.backend.records())
+        assert {r.kind for r in records} == {"dictionary", "ga",
+                                             "exact", "trajectories"}
+        assert sum(r.n_bytes for r in records) == total
+        # Keep roughly half: the least recently used artifacts go.
+        evicted = store.prune(max_bytes=total // 2)
+        assert evicted
+        assert store.disk_usage() <= total // 2
+        for record in evicted:
+            assert not store.has(record.kind, record.key)
+
+    def test_artifact_vanishing_mid_read_degrades_to_miss(
+            self, tmp_path):
+        """A concurrent prune between open() and the file reads must
+        read as a miss (caller recomputes), not crash the load."""
+        store = ArtifactStore(tmp_path / "store")
+        info = legacy_maker.circuit_info()
+        FaultTrajectoryATPG(info, legacy_maker.CONFIG).run(
+            seed=5, store=store)
+        record = next(r for r in store.backend.records()
+                      if r.kind == "dictionary")
+        stale_slot = store.backend.open("dictionary", record.key)
+        store.backend.delete("dictionary", record.key)
+        # Simulate the race: open() handed out a path that a prune
+        # then deleted before the loader touched the files.
+        store.backend.open = lambda kind, key: stale_slot
+        stats_before = store.stats.snapshot()
+        assert store.load_dictionary("dictionary",
+                                     record.key) is None
+        assert store.stats.misses == stats_before["misses"] + 1
+        assert store.stats.hits == stats_before["hits"]
+
+    def test_corrupt_artifact_self_heals(self, tmp_path):
+        """A corrupt artifact (present but unreadable) must read as a
+        miss AND vacate its slot, so the recompute can republish --
+        first-writer-wins would otherwise keep the bad copy forever."""
+        store = ArtifactStore(tmp_path / "store")
+        info = legacy_maker.circuit_info()
+        config = legacy_maker.CONFIG
+        FaultTrajectoryATPG(info, config).run(seed=5, store=store)
+        record = next(r for r in store.backend.records()
+                      if r.kind == "dictionary")
+        slot = store.backend.open("dictionary", record.key)
+        (slot / "dictionary.npz").unlink()   # truncated/corrupt slot
+        assert store.load_dictionary("dictionary", record.key) is None
+        assert not store.has("dictionary", record.key)
+        rerun = FaultTrajectoryATPG(info, config).run(seed=5,
+                                                      store=store)
+        assert "dictionary" not in rerun.cache_hits
+        warm = FaultTrajectoryATPG(info, config).run(seed=5,
+                                                     store=store)
+        assert "dictionary" in warm.cache_hits
+
+    def test_pruned_artifact_rebuilds_on_next_run(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        info = legacy_maker.circuit_info()
+        config = legacy_maker.CONFIG
+        FaultTrajectoryATPG(info, config).run(seed=5, store=store)
+        store.prune(max_bytes=0)
+        rerun = FaultTrajectoryATPG(info, config).run(seed=5,
+                                                      store=store)
+        assert rerun.cache_hits == ()        # everything was evicted
+        warm = FaultTrajectoryATPG(info, config).run(seed=5,
+                                                     store=store)
+        assert set(warm.cache_hits) == {"dictionary", "ga", "exact",
+                                        "trajectories"}
+
+
+# ----------------------------------------------------------------------
+# Byte-compatibility with pre-backend store roots
+# ----------------------------------------------------------------------
+class TestLegacyStoreCompatibility:
+    """``tests/data/legacy_store`` was written by the original
+    ArtifactStore (no backend layer). It must stay fully readable."""
+
+    @pytest.fixture()
+    def legacy_root(self, tmp_path):
+        root = tmp_path / "legacy_store"
+        shutil.copytree(legacy_maker.LEGACY_ROOT, root)
+        return root
+
+    def test_layout_matches_local_backend(self, legacy_root):
+        backend = LocalDirBackend(legacy_root)
+        records = list(backend.records())
+        assert {r.kind for r in records} == {"dictionary", "ga",
+                                             "exact", "trajectories"}
+        for record in records:
+            slot = legacy_root / record.kind / record.key[:2] / record.key
+            assert slot.is_dir()
+
+    def test_legacy_run_loads_all_artifacts(self, legacy_root):
+        """Replaying the fixture's pipeline run against the committed
+        tree must hit every artifact (same content keys, same bytes)
+        and reproduce a fresh run bitwise."""
+        store = ArtifactStore(backend=LocalDirBackend(legacy_root))
+        info = legacy_maker.circuit_info()
+        config = legacy_maker.CONFIG
+        warm = FaultTrajectoryATPG(info, config).run(
+            seed=legacy_maker.SEED, store=store)
+        assert set(warm.cache_hits) == {"dictionary", "ga", "exact",
+                                        "trajectories"}, (
+            "committed legacy store no longer resolves -- the layout, "
+            "content keys or serialisation format changed; see "
+            "tests/data/make_legacy_store.py")
+        fresh = FaultTrajectoryATPG(info, config).run(
+            seed=legacy_maker.SEED)
+        assert warm.test_vector_hz == fresh.test_vector_hz
+        assert warm.metrics == fresh.metrics
+        for a, b in zip(warm.trajectories, fresh.trajectories):
+            assert np.array_equal(a.points, b.points)
+        point = np.array([0.4, -0.2])
+        assert warm.diagnose_point(point) == fresh.diagnose_point(point)
+
+    def test_legacy_store_served_through_sharded_fallback(
+            self, tmp_path, legacy_root):
+        """A legacy root dropped into a sharded deployment as one of
+        the shards stays reachable via the full-ring fallback."""
+        backend = ShardedBackend([
+            LocalDirBackend(legacy_root),
+            LocalDirBackend(tmp_path / "new-shard"),
+        ])
+        store = ArtifactStore(backend=backend)
+        warm = FaultTrajectoryATPG(
+            legacy_maker.circuit_info(), legacy_maker.CONFIG).run(
+            seed=legacy_maker.SEED, store=store)
+        assert set(warm.cache_hits) == {"dictionary", "ga", "exact",
+                                        "trajectories"}

@@ -43,6 +43,13 @@ def test_golden_files_cover_every_circuit():
         "run tests/golden/update_golden.py and commit the result")
 
 
+def test_golden_circuits_cover_the_whole_registry():
+    from repro import BENCHMARK_CIRCUITS
+    assert set(golden_updater.CIRCUITS) == set(BENCHMARK_CIRCUITS), (
+        "a registry circuit has no golden pin -- add it to "
+        "update_golden.CIRCUITS and regenerate")
+
+
 @pytest.mark.parametrize("circuit_name", golden_updater.CIRCUITS)
 def test_diagnosis_outputs_match_golden(circuit_name):
     golden = json.loads(

@@ -16,16 +16,10 @@ import math
 import numpy as np
 import pytest
 
-from repro import (
-    AsyncDiagnosisService,
-    DiagnosisService,
-    PipelineConfig,
-    serve,
-)
+from repro import AsyncDiagnosisService, serve
 from repro.diagnosis import Diagnosis
 from repro.errors import (CodecError, DiagnosisError, ServiceError,
                           ServiceOverloadedError)
-from repro.ga import GAConfig
 from repro.runtime import codec
 
 hypothesis = pytest.importorskip("hypothesis")
@@ -33,34 +27,11 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 pytestmark = pytest.mark.serving
 
-QUICK = PipelineConfig(dictionary_points=32, deviations=(-0.2, 0.2),
-                       ga=GAConfig(population_size=8, generations=2))
-
-#: The >= 3 library circuits the equivalence property ranges over.
-CIRCUITS = ("rc_lowpass", "voltage_divider", "sallen_key_lowpass")
-
-
-@pytest.fixture(scope="module")
-def warm_service():
-    """One warmed multi-circuit service shared by the whole module.
-
-    Engines are deterministic pure functions of (config, seed), and the
-    diagnosers are read-only after warm-up, so sharing trades no
-    isolation for a large speed-up.
-    """
-    service = DiagnosisService(config=QUICK, max_engines=8, seed=3)
-    for name in CIRCUITS:
-        service.warm(name)
-    return service
-
-
-def measured_rows(service, circuit, n_rows, seed):
-    """Plausible measured dB rows: golden magnitudes +- a few dB."""
-    diagnoser = service._engine(circuit).diagnoser
-    golden_db = diagnoser._golden_sample_db()
-    rng = np.random.default_rng(seed)
-    return golden_db[None, :] + rng.normal(
-        0.0, 3.0, size=(n_rows, golden_db.shape[0]))
+# Shared serving scaffolding (config, circuits, warm_service fixture,
+# measured-row generator) lives in conftest.py -- the cluster suite
+# uses the same definitions.
+from conftest import (QUICK_SERVING as QUICK,
+                      SERVING_CIRCUITS as CIRCUITS, measured_rows)
 
 
 # ----------------------------------------------------------------------
@@ -314,6 +285,117 @@ class TestBackpressure:
 
 
 # ----------------------------------------------------------------------
+# Burst batching (submit_many)
+# ----------------------------------------------------------------------
+class TestSubmitMany:
+    def burst(self, warm_service):
+        """A mixed-circuit burst interleaving the three circuits."""
+        return [(CIRCUITS[index % len(CIRCUITS)],
+                 measured_rows(warm_service,
+                               CIRCUITS[index % len(CIRCUITS)],
+                               1 + index % 3, seed=100 + index))
+                for index in range(7)]
+
+    def test_sync_burst_bitwise_equals_per_request_submit(
+            self, warm_service):
+        burst = self.burst(warm_service)
+        expected = [warm_service.submit(circuit, rows)
+                    for circuit, rows in burst]
+        assert warm_service.submit_many(burst) == expected
+        assert warm_service.submit_many([]) == []
+
+    def test_sync_burst_issues_one_classify_per_circuit(
+            self, warm_service):
+        burst = self.burst(warm_service)
+        before = warm_service.stats.snapshot()
+        warm_service.submit_many(burst)
+        after = warm_service.stats.snapshot()
+        assert after["coalesced_batches"] - \
+            before["coalesced_batches"] == len(CIRCUITS)
+        assert after["coalesced_requests"] - \
+            before["coalesced_requests"] == len(burst)
+        assert after["requests"] - before["requests"] == len(burst)
+
+    def test_sync_burst_unknown_circuit_fails_whole_burst(
+            self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=1)
+        with pytest.raises(ServiceError, match="unknown"):
+            warm_service.submit_many([("rc_lowpass", rows),
+                                      ("ghost", rows)])
+
+    def test_async_burst_bitwise_equals_sequential(self, warm_service):
+        burst = self.burst(warm_service)
+        expected = [warm_service.submit(circuit, rows)
+                    for circuit, rows in burst]
+        before = warm_service.stats.snapshot()
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service, max_batch=64,
+                                          window_seconds=0.005)
+            results = await front.submit_many(burst)
+            await front.aclose()
+            return results
+
+        assert asyncio.run(run()) == expected
+        after = warm_service.stats.snapshot()
+        # The whole burst lands in one loop pass, so the coalescer
+        # serves it with exactly one classify call per circuit.
+        assert after["coalesced_batches"] - \
+            before["coalesced_batches"] == len(CIRCUITS)
+
+    def test_async_burst_with_multiple_failures_settles_cleanly(
+            self, warm_service):
+        """Two bad entries in one burst: the first failure is raised
+        only after every request settled (no unretrieved futures),
+        and good peers were still classified."""
+        good = measured_rows(warm_service, "rc_lowpass", 1, seed=8)
+        bad = np.zeros((1, 7))             # wrong signature width
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service, max_batch=16,
+                                          window_seconds=0.005)
+            with pytest.raises(DiagnosisError):
+                await front.submit_many([("rc_lowpass", good),
+                                         ("rc_lowpass", bad),
+                                         ("voltage_divider", bad),
+                                         ("rc_lowpass", good)])
+            await front.aclose()
+
+        asyncio.run(run())
+
+    def test_http_diagnose_many_route(self, warm_service):
+        burst = self.burst(warm_service)
+        expected = [warm_service.submit(circuit, rows)
+                    for circuit, rows in burst]
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                status, payload = await _http(
+                    host, port, "POST", "/v1/diagnose-many",
+                    codec.encode_request_many(burst))
+                assert status == 200
+                assert codec.decode_response_many(payload) == expected
+
+                status, _ = await _http(host, port, "GET",
+                                        "/v1/diagnose-many")
+                assert status == 405
+
+                status, payload = await _http(host, port, "POST",
+                                              "/v1/diagnose-many",
+                                              b'{"requests": []}')
+                assert status == 400 and b"CodecError" in payload
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
 # Codec
 # ----------------------------------------------------------------------
 class TestCodec:
@@ -354,6 +436,42 @@ class TestCodec:
             codec.decode_response(b'{"diagnoses": [{"component": "R1"}]}')
         with pytest.raises(CodecError):
             codec.decode_response(b'{"nope": 1}')
+
+    def test_burst_request_round_trip(self):
+        burst = [("a", np.array([[1.5, -2.25]])),
+                 ("b", np.array([[0.125, 3.0], [4.0, -1.0]]))]
+        decoded = codec.decode_request_many(
+            codec.encode_request_many(burst))
+        assert [(r.circuit, r.n_rows) for r in decoded] == \
+            [("a", 1), ("b", 2)]
+        for request, (_, matrix) in zip(decoded, burst):
+            assert np.array_equal(request.magnitudes_db, matrix)
+
+    @pytest.mark.parametrize("payload", [
+        b"not json",
+        b"[]",
+        b'{"requests": []}',
+        b'{"requests": {"circuit": "x"}}',
+        b'{"requests": [{"circuit": "x"}]}',
+        b'{"requests": [{"circuit": "", "magnitudes_db": [[1.0]]}]}',
+    ])
+    def test_malformed_burst_requests_rejected(self, payload):
+        with pytest.raises(CodecError):
+            codec.decode_request_many(payload)
+
+    def test_malformed_burst_responses_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_response_many(b'{"nope": 1}')
+        with pytest.raises(CodecError):
+            codec.decode_response_many(b'{"batches": [1]}')
+
+    def test_non_numeric_rows_raise_codec_error(self):
+        """FrequencyResponse-shaped objects cannot ride the wire: the
+        encoder must answer with CodecError, not a NumPy TypeError."""
+        with pytest.raises(CodecError, match="numeric"):
+            codec.encode_request("x", [object()])
+        with pytest.raises(CodecError, match="numeric"):
+            codec.encode_request_many([("x", [object()])])
 
     def test_error_payload_shape(self):
         import json
@@ -465,6 +583,288 @@ class TestHTTPServer:
                 writer.close()
                 await writer.wait_closed()
                 assert int(raw.split(b" ", 2)[1]) == 413
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# HTTP keep-alive / pipelining
+# ----------------------------------------------------------------------
+async def _read_one_response(reader):
+    """Frame exactly one HTTP response off a persistent connection."""
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    payload = await reader.readexactly(length) if length else b""
+    return status, headers, payload
+
+
+class TestKeepAlive:
+    def test_pipelined_requests_on_one_connection(self, warm_service):
+        """Two diagnose requests written back-to-back before reading
+        anything come back in order on the same connection; an
+        explicit Connection: close then ends it."""
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=31)
+        expected = warm_service.submit("rc_lowpass", rows)
+        body = codec.encode_request("rc_lowpass", rows)
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                request = (f"POST /v1/diagnose HTTP/1.1\r\n"
+                           f"Host: {host}\r\n"
+                           f"Content-Length: {len(body)}\r\n\r\n"
+                           ).encode("latin1") + body
+                writer.write(request + request)    # pipelined pair
+                await writer.drain()
+                for _ in range(2):
+                    status, headers, payload = await \
+                        _read_one_response(reader)
+                    assert status == 200
+                    assert headers["connection"] == "keep-alive"
+                    assert codec.decode_response(payload) == expected
+                writer.write((f"GET /v1/healthz HTTP/1.1\r\n"
+                              f"Host: {host}\r\n"
+                              f"Connection: close\r\n\r\n"
+                              ).encode("latin1"))
+                await writer.drain()
+                status, headers, _ = await _read_one_response(reader)
+                assert status == 200
+                assert headers["connection"] == "close"
+                assert await reader.read() == b""  # server hung up
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_http10_closes_unless_keep_alive_requested(self,
+                                                       warm_service):
+        async def exchange(host, port, version, extra=""):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write((f"GET /v1/healthz {version}\r\n"
+                          f"Host: {host}\r\n{extra}\r\n"
+                          ).encode("latin1"))
+            await writer.drain()
+            status, headers, _ = await _read_one_response(reader)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            return status, headers
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                status, headers = await exchange(host, port,
+                                                 "HTTP/1.0")
+                assert status == 200
+                assert headers["connection"] == "close"
+                status, headers = await exchange(
+                    host, port, "HTTP/1.0",
+                    extra="Connection: keep-alive\r\n")
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_aclose_returns_promptly_with_idle_keepalive_client(
+            self, warm_service):
+        """Shutdown must not wait on clients idling between requests
+        (Python >= 3.12.1 Server.wait_closed() waits for connection
+        handlers, so the parked tasks must be reaped first)."""
+        rows = measured_rows(warm_service, "rc_lowpass", 1, seed=41)
+        body = codec.encode_request("rc_lowpass", rows)
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write((f"POST /v1/diagnose HTTP/1.1\r\n"
+                          f"Host: {host}\r\n"
+                          f"Content-Length: {len(body)}\r\n\r\n"
+                          ).encode("latin1") + body)
+            await writer.drain()
+            status, headers, _ = await _read_one_response(reader)
+            assert status == 200
+            assert headers["connection"] == "keep-alive"
+            # The connection now idles; aclose must not stall on it.
+            await asyncio.wait_for(server.aclose(), timeout=5.0)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+        asyncio.run(run())
+
+    def test_idle_connection_reclaimed_after_timeout(self,
+                                                     warm_service):
+        """A keep-alive connection that goes quiet is closed by the
+        server's idle timeout instead of parking a handler forever."""
+
+        async def run():
+            front = AsyncDiagnosisService(warm_service,
+                                          window_seconds=0.001)
+            from repro import DiagnosisHTTPServer
+            server = DiagnosisHTTPServer(front, host="127.0.0.1",
+                                         port=0, idle_timeout=0.2)
+            await server.start()
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                # Send nothing: the server must hang up on its own.
+                data = await asyncio.wait_for(reader.read(),
+                                              timeout=5.0)
+                assert data == b""
+                writer.close()
+                await writer.wait_closed()
+                # A half-sent request (line, then stall mid-headers)
+                # is reclaimed too: the timeout covers the whole read
+                # phase, not just the first line.
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(b"POST /v1/diagnose HTTP/1.1\r\n"
+                             b"Content-Length: 100\r\n")
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(),
+                                              timeout=5.0)
+                assert data == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_chunked_transfer_encoding_rejected_and_closed(
+            self, warm_service):
+        """Chunked bodies are unsupported; answering keep-alive with
+        the chunk framing unread would desynchronise the stream, so
+        the server must refuse and close."""
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write((f"POST /v1/diagnose HTTP/1.1\r\n"
+                              f"Host: {host}\r\n"
+                              f"Transfer-Encoding: chunked\r\n\r\n"
+                              f"5\r\nhello\r\n0\r\n\r\n"
+                              ).encode("latin1"))
+                await writer.drain()
+                status, headers, payload = await \
+                    _read_one_response(reader)
+                assert status == 400
+                assert b"Transfer-Encoding" in payload
+                assert headers["connection"] == "close"
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+                # Conflicting Content-Length copies: same refusal.
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write((f"POST /v1/diagnose HTTP/1.1\r\n"
+                              f"Host: {host}\r\n"
+                              f"Content-Length: 10\r\n"
+                              f"Content-Length: 0\r\n\r\n"
+                              f"0123456789").encode("latin1"))
+                await writer.drain()
+                status, headers, payload = await \
+                    _read_one_response(reader)
+                assert status == 400
+                assert b"conflicting Content-Length" in payload
+                assert headers["connection"] == "close"
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_oversized_header_block_rejected(self, warm_service):
+        """Streaming endless header lines must hit the head-bytes cap
+        (431 + close), not grow server memory for the idle window."""
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(b"GET /v1/healthz HTTP/1.1\r\n")
+                filler = b"x" * 1000
+                for index in range(100):       # ~100 KB of headers
+                    writer.write(b"h%d: %s\r\n" % (index, filler))
+                await writer.drain()
+                status, headers, _ = await _read_one_response(reader)
+                assert status == 431
+                assert headers["connection"] == "close"
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_parse_error_closes_the_connection(self, warm_service):
+        """A framing error leaves the stream unsynchronised: answer
+        400 and close, never try to read a next request."""
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(b"BOGUS\r\n\r\n")
+                await writer.drain()
+                status, headers, _ = await _read_one_response(reader)
+                assert status == 400
+                assert headers["connection"] == "close"
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
             finally:
                 await server.aclose()
 
