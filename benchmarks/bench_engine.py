@@ -59,7 +59,13 @@ SEED = 2005
 REQUIRED_KEYS = {
     "dictionary_build": ("dense", "test_vector"),
     "ga_evaluation": ("per_individual_s", "population_s", "speedup"),
+    "telemetry_overhead": ("instrumented_s", "bare_s",
+                           "overhead_fraction"),
 }
+
+#: Ceiling on the relative cost of the always-on profiling hooks over
+#: a dictionary build (the serving acceptance bar).
+MAX_TELEMETRY_OVERHEAD = 0.02
 
 
 def _best_of(repeats, func):
@@ -137,6 +143,38 @@ def bench_ga_evaluation(info, universe, grid, population_size, repeats):
     }
 
 
+def bench_telemetry_overhead(info, universe, grid, repeats):
+    """Dictionary build with profiling sinks attached vs detached.
+
+    The default instrumentation (installed on import of the runtime
+    layer) stays on for the instrumented leg; the bare leg detaches
+    every sink, so the hot paths skip their timestamps entirely.
+    Results are asserted identical -- observability must not change
+    the computation.
+    """
+    from repro import profiling
+    from repro.runtime import telemetry
+
+    telemetry.install_default_instrumentation()
+
+    def build():
+        return FaultDictionary.build(
+            universe, info.output_node, grid,
+            input_source=info.input_source,
+            engine=BatchedMnaEngine(info.circuit))
+
+    instrumented_s, instrumented = _best_of(repeats, build)
+    with profiling.suspended():
+        bare_s, bare = _best_of(repeats, build)
+    _assert_identical(instrumented, bare)
+    return {
+        "points": int(np.asarray(grid).size),
+        "instrumented_s": instrumented_s,
+        "bare_s": bare_s,
+        "overhead_fraction": instrumented_s / bare_s - 1.0,
+    }
+
+
 def run(quick: bool) -> dict:
     info = tow_thomas_biquad(ideal_opamps=False)
     universe = parametric_universe(info.circuit,
@@ -163,6 +201,9 @@ def run(quick: bool) -> dict:
             info, universe, dense_grid,
             population_size=32 if quick else 128,
             repeats=2 if quick else 3),
+        "telemetry_overhead": bench_telemetry_overhead(
+            info, universe, dense_grid,
+            repeats=5 if quick else 8),
         "notes": (
             "All timed paths are asserted bitwise-equal before the "
             "numbers are trusted. 'test_vector' is the exact-dictionary "
@@ -191,6 +232,11 @@ def check(report: dict) -> None:
                     f"dictionary_build.{regime}.{field}: {value!r}")
     if report["dictionary_build_speedup"] <= 0.0:
         raise SystemExit("bad headline dictionary_build_speedup")
+    overhead = report["telemetry_overhead"]["overhead_fraction"]
+    if overhead > MAX_TELEMETRY_OVERHEAD:
+        raise SystemExit(
+            f"telemetry overhead {overhead:.2%} exceeds the "
+            f"{MAX_TELEMETRY_OVERHEAD:.0%} budget")
 
 
 def main(argv=None) -> int:
@@ -223,6 +269,12 @@ def main(argv=None) -> int:
           f"per-individual {ga['per_individual_s'] * 1e3:.1f} ms, "
           f"population {ga['population_s'] * 1e3:.1f} ms "
           f"({ga['speedup']:.2f}x)")
+    overhead = report["telemetry_overhead"]
+    print(f"telemetry overhead (dictionary build, "
+          f"{overhead['points']} pts): instrumented "
+          f"{overhead['instrumented_s'] * 1e3:.1f} ms, bare "
+          f"{overhead['bare_s'] * 1e3:.1f} ms "
+          f"({overhead['overhead_fraction']:+.2%})")
     print(f"wrote {args.out}")
     if args.check:
         check(report)

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # avoid a core <-> runtime import cycle
     from ..runtime.batch import BatchDiagnoser
     from ..runtime.store import ArtifactStore
 
+from .. import profiling
 from ..circuits.library import CircuitInfo
 from ..diagnosis.classifier import Diagnosis, TrajectoryClassifier
 from ..diagnosis.evaluate import (
@@ -274,7 +275,11 @@ class FaultTrajectoryATPG:
         if dictionary is not None:
             cache_hits.append("dictionary")
         else:
-            dictionary = self._simulate_dictionary(universe, grid)
+            with profiling.profiled("pipeline.dictionary",
+                                    circuit=self.info.circuit.name,
+                                    faults=len(universe),
+                                    points=int(grid.size)):
+                dictionary = self._simulate_dictionary(universe, grid)
             if store:
                 store.save_dictionary("dictionary", dict_key, dictionary)
 
@@ -295,7 +300,9 @@ class FaultTrajectoryATPG:
             fitness = self.make_fitness(surface)
             ga = GeneticAlgorithm(space, fitness, self.config.ga,
                                   n_workers=self.config.n_workers)
-            ga_result = ga.run(seed=seed)
+            with profiling.profiled("pipeline.ga_search",
+                                    circuit=self.info.circuit.name):
+                ga_result = ga.run(seed=seed)
             if ga_key:
                 store.save_ga_result(ga_key, ga_result)
         test_vector = ga_result.best_freqs_hz
@@ -315,8 +322,10 @@ class FaultTrajectoryATPG:
         if exact is not None:
             cache_hits.append("exact")
         else:
-            exact = self._simulate_dictionary(
-                universe, np.array(sorted(test_vector), dtype=float))
+            with profiling.profiled("pipeline.exact",
+                                    circuit=self.info.circuit.name):
+                exact = self._simulate_dictionary(
+                    universe, np.array(sorted(test_vector), dtype=float))
             if store:
                 store.save_dictionary("exact", exact_key, exact)
         traj_key = store.trajectory_key(exact_key, self.config) \
@@ -325,7 +334,9 @@ class FaultTrajectoryATPG:
         if trajectories is not None:
             cache_hits.append("trajectories")
         else:
-            trajectories = TrajectorySet.from_source(exact, mapper)
+            with profiling.profiled("pipeline.trajectories",
+                                    circuit=self.info.circuit.name):
+                trajectories = TrajectorySet.from_source(exact, mapper)
             if store:
                 store.save_trajectories(traj_key, trajectories)
         metrics = evaluate_metrics(trajectories)

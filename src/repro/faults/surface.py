@@ -15,10 +15,12 @@ five decades keeps the error far below the separations that matter).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import profiling
 from ..errors import DictionaryError
 from .dictionary import FaultDictionary
 from .models import GOLDEN_LABEL
@@ -66,6 +68,7 @@ class ResponseSurface:
         grid ends (consistent with FrequencyResponse interpolation).
         ``rows`` optionally restricts to a subset of row indices.
         """
+        sample_start = time.perf_counter() if profiling.enabled() else None
         query = np.atleast_1d(np.asarray(freqs_hz, dtype=float))
         if query.ndim != 1 or query.size == 0:
             raise DictionaryError("need a non-empty 1-D frequency query")
@@ -82,8 +85,13 @@ class ResponseSurface:
                               span > 0.0, span, 1.0),
                           0.0)
         matrix = self._matrix_db if rows is None else self._matrix_db[rows]
-        return (matrix[:, lower] * (1.0 - weight) +
-                matrix[:, upper] * weight)
+        sampled = (matrix[:, lower] * (1.0 - weight) +
+                   matrix[:, upper] * weight)
+        if sample_start is not None:
+            profiling.profile_event(
+                "surface.sample", time.perf_counter() - sample_start,
+                rows=int(sampled.shape[0]), freqs=int(query.size))
+        return sampled
 
     def golden_db(self, freqs_hz: Sequence[float] | np.ndarray
                   ) -> np.ndarray:

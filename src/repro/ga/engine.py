@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import profiling
 from ..errors import GAError
 from .config import GAConfig
 from .encoding import FrequencySpace
@@ -171,6 +172,8 @@ class GeneticAlgorithm:
 
         generations_run = 0
         for generation in range(config.generations):
+            gen_start = time.perf_counter() if profiling.enabled() \
+                else None
             generations_run = generation + 1
             history.append(GenerationStats(
                 generation=generation,
@@ -215,6 +218,11 @@ class GeneticAlgorithm:
             if scores[generation_best] > best_fitness:
                 best_fitness = float(scores[generation_best])
                 best_genome = population[generation_best].copy()
+            if gen_start is not None:
+                profiling.profile_event(
+                    "ga.generation", time.perf_counter() - gen_start,
+                    generation=generation,
+                    population=int(population.shape[0]))
 
         elapsed = time.perf_counter() - started
         return GAResult(

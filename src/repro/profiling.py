@@ -1,0 +1,125 @@
+"""Leaf profiling-hook registry for the hot paths.
+
+The simulation engine, the ATPG pipeline stages and the GA loop emit
+timing events through this module; the serving layer (or a test, or a
+benchmark) subscribes a *sink* to turn those events into metrics.  The
+module deliberately imports nothing from the rest of :mod:`repro` so
+that low-level code (``repro.sim.engine``) can depend on it without
+creating an import cycle with :mod:`repro.runtime`.
+
+Design constraints:
+
+* **Near-zero cost when nobody listens.**  Call sites guard on
+  :func:`enabled` (a truthiness check on a module-level list) before
+  taking any timestamps, so un-instrumented runs pay one attribute
+  lookup per hook.
+* **Sinks must not break the caller.**  A sink that raises is dropped
+  for the offending event and the exception is swallowed; simulation
+  results never depend on observability plumbing.
+
+Event vocabulary (``stage`` strings emitted by the instrumented code):
+
+=========================  ====================================================
+``engine.stamp``           One engine construction (MNA stamping + op record).
+``engine.solve``           One ``transfer_block`` call (batched or scalar).
+``pipeline.dictionary``    Fault-dictionary build stage of the ATPG pipeline.
+``pipeline.ga_search``     GA frequency search stage.
+``pipeline.exact``         Exact dictionary rebuild at the found test vector.
+``pipeline.trajectories``  Trajectory construction stage.
+``ga.generation``          One GA generation (evaluate + breed).
+``surface.sample``         One vectorised response-surface sampling call.
+=========================  ====================================================
+
+Metadata keys are event-specific (``engine``, ``circuit``, ``variants``,
+``freqs``, ``chunks``, ``rows``, ...); sinks must tolerate missing keys.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List
+
+__all__ = [
+    "ProfileSink",
+    "add_profile_sink",
+    "remove_profile_sink",
+    "profile_event",
+    "profiled",
+    "enabled",
+    "suspended",
+]
+
+# A sink receives (stage, seconds, metadata).
+ProfileSink = Callable[..., None]
+
+_SINKS: List[ProfileSink] = []
+
+
+def enabled() -> bool:
+    """True when at least one sink is subscribed.
+
+    Hot paths call this before taking timestamps so the disabled case
+    costs a single list truthiness check.
+    """
+    return bool(_SINKS)
+
+
+def add_profile_sink(sink: ProfileSink) -> ProfileSink:
+    """Subscribe ``sink`` to profiling events; returns it for symmetry."""
+    if sink not in _SINKS:
+        _SINKS.append(sink)
+    return sink
+
+
+def remove_profile_sink(sink: ProfileSink) -> None:
+    """Unsubscribe ``sink``; unknown sinks are ignored."""
+    try:
+        _SINKS.remove(sink)
+    except ValueError:
+        pass
+
+
+def profile_event(stage: str, seconds: float, **meta: object) -> None:
+    """Deliver one timing event to every subscribed sink.
+
+    Sink exceptions are swallowed: observability must never change the
+    outcome of the computation it observes.
+    """
+    for sink in tuple(_SINKS):
+        try:
+            sink(stage, seconds, meta)
+        except Exception:
+            pass
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Temporarily detach every sink (overhead measurements).
+
+    Inside the block :func:`enabled` is False, so the hot paths skip
+    their timestamps entirely -- the baseline an instrumented run is
+    compared against.
+    """
+    saved = _SINKS[:]
+    del _SINKS[:]
+    try:
+        yield
+    finally:
+        _SINKS[:] = saved
+
+
+@contextmanager
+def profiled(stage: str, **meta: object) -> Iterator[None]:
+    """Context manager timing its body with a monotonic clock.
+
+    No-ops (no clock reads) when no sink is subscribed at entry.
+    """
+    if not _SINKS:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        profile_event(stage, time.perf_counter() - start, **meta)

@@ -27,6 +27,11 @@ Turns the paper reproduction into an engine fit for heavy traffic:
   worker replicas (health checks, re-route-on-death failover);
 * :mod:`repro.runtime.codec` -- the transport-agnostic JSON wire
   format those requests and responses ride on;
+* :mod:`repro.runtime.telemetry` -- the stdlib observability spine:
+  Prometheus-text metrics registry (``GET /v1/metrics``), trace spans
+  with contextvars propagation, request ids, and the profiling bridge
+  that turns :mod:`repro.profiling` events into engine/pipeline metric
+  families;
 * :mod:`repro.runtime.cli` -- the ``repro-serve`` launcher (single
   process or spawned cluster).
 """
@@ -41,6 +46,10 @@ from .server import AsyncDiagnosisService, DiagnosisHTTPServer, serve
 from .service import CircuitStats, DiagnosisService, ServiceStats
 from .store import (ArtifactStore, StoreStats, as_store, derive_key,
                     ga_search_key, problem_key, trajectory_key)
+from .telemetry import (REGISTRY, TRACER, Counter, Gauge, Histogram,
+                        MetricsRegistry, ProfilingCollector, Span,
+                        Tracer, current_request_id, new_request_id,
+                        parse_exposition, render_registries)
 
 __all__ = [
     "BatchDiagnoser",
@@ -70,4 +79,17 @@ __all__ = [
     "InProcessReplica",
     "HTTPReplica",
     "SpawnedReplica",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "REGISTRY",
+    "render_registries",
+    "parse_exposition",
+    "Tracer",
+    "TRACER",
+    "Span",
+    "ProfilingCollector",
+    "new_request_id",
+    "current_request_id",
 ]

@@ -25,11 +25,13 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Optional
 
 from ..core.config import PipelineConfig
+from ..errors import ReproError
 from .backends import InMemoryBackend, LocalDirBackend, ShardedBackend
 from .cluster import LISTENING_PREFIX, WORKER_DEFAULTS, ClusterService
 from .server import AsyncDiagnosisService, DiagnosisHTTPServer
@@ -101,7 +103,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--health-interval", type=float, default=5.0,
                         help="cluster replica health-probe period in "
                              "seconds (default: %(default)s)")
+    parser.add_argument("--log-level",
+                        choices=("debug", "info", "warning", "error"),
+                        default="info",
+                        help="logging threshold on stderr "
+                             "(default: %(default)s)")
+    parser.add_argument("--access-log", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="log one line per served request "
+                             "(default: on)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit access-log lines as structured "
+                             "JSON instead of plain text")
     return parser
+
+
+def configure_logging(args: argparse.Namespace) -> None:
+    """Wire stderr logging for the server process.
+
+    The ``repro.access`` logger gets its own bare-message handler (an
+    access line -- plain or JSON -- is already fully formatted), while
+    everything else goes through the root logger's standard format.
+    """
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s %(message)s")
+    access = logging.getLogger("repro.access")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    access.addHandler(handler)
+    access.propagate = False
 
 
 def load_config(args: argparse.Namespace) -> PipelineConfig:
@@ -159,7 +191,9 @@ async def _amain(args: argparse.Namespace) -> None:
         if args.health_interval > 0:
             health_task = asyncio.ensure_future(
                 front.run_health_loop(args.health_interval))
-    server = DiagnosisHTTPServer(front, host=args.host, port=args.port)
+    server = DiagnosisHTTPServer(front, host=args.host, port=args.port,
+                                 access_log=args.access_log,
+                                 log_json=args.log_json)
     # Everything after the spawn runs under the finally: a startup
     # failure (port already bound, bad --warm name) must tear the
     # worker processes down with it, not orphan them.
@@ -184,10 +218,17 @@ async def _amain(args: argparse.Namespace) -> None:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args)
     try:
         asyncio.run(_amain(args))
     except KeyboardInterrupt:
         pass
+    except (ReproError, OSError, ValueError) as exc:
+        # Startup failures (port in use, bad --warm name, malformed
+        # --config-json) exit non-zero with one line, not a traceback.
+        print(f"repro-serve: error: {exc}", file=sys.stderr,
+              flush=True)
+        return 2
     return 0
 
 

@@ -42,6 +42,7 @@ import asyncio
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import (Awaitable, Callable, Dict, FrozenSet, List,
                     Optional, Sequence, Set, Tuple, TypeVar)
@@ -50,7 +51,7 @@ from ..circuits.library import BENCHMARK_CIRCUITS
 from ..diagnosis.classifier import Diagnosis
 from ..errors import (ClusterError, ReplicaTimeoutError,
                       ReplicaUnavailableError, ServiceError, StoreError)
-from . import codec
+from . import codec, telemetry
 from .backends import HashRing
 from .batch import ResponseBatch
 from .server import AsyncDiagnosisService
@@ -154,6 +155,11 @@ class Replica(abc.ABC):
     async def aclose(self) -> None: ...
 
     # Optional surface, used for best-effort introspection only.
+    async def metrics_text(self) -> str:
+        """The replica's Prometheus exposition text (empty when the
+        transport does not expose metrics)."""
+        return ""
+
     @property
     def queue_depth(self) -> int:
         return 0
@@ -206,6 +212,9 @@ class InProcessReplica(Replica):
 
     async def stats_snapshot(self) -> Dict[str, object]:
         return await self.front.stats_snapshot()
+
+    async def metrics_text(self) -> str:
+        return await self.front.metrics_text()
 
     async def aclose(self) -> None:
         await self.front.aclose()
@@ -376,8 +385,12 @@ class HTTPReplica(Replica):
                        timeout: Optional[float] = None
                        ) -> Tuple[int, bytes]:
         timeout = timeout if timeout is not None else self.request_timeout
+        # Propagate the caller's request id so a hop through the
+        # cluster front keeps one id across every access log and span.
+        request_id = telemetry.current_request_id()
+        id_line = f"X-Request-Id: {request_id}\r\n" if request_id else ""
         head = (f"{method} {path} HTTP/1.1\r\n"
-                f"Host: {self.host}\r\n"
+                f"Host: {self.host}\r\n{id_line}"
                 f"Content-Length: {len(body)}\r\n\r\n").encode("latin1")
         async with self._slots:
             if self._idle:
@@ -481,6 +494,12 @@ class HTTPReplica(Replica):
         if status != 200:
             self._raise_for_error(status, payload)
         return json.loads(payload)
+
+    async def metrics_text(self) -> str:
+        status, payload = await self._request("GET", "/v1/metrics")
+        if status != 200:
+            self._raise_for_error(status, payload)
+        return payload.decode("utf-8", "replace")
 
     @property
     def queue_depth(self) -> int:
@@ -636,6 +655,34 @@ class ClusterService:
         self.bursts = 0
         self.failovers = 0
         self._closed = False
+        # Cluster-level metrics live on their own registry (the plain
+        # int counters above stay -- tests and stats_snapshot read
+        # them); /v1/metrics renders it ahead of the replica scrapes.
+        self.registry = telemetry.MetricsRegistry()
+        self._m_requests = self.registry.counter(
+            "repro_cluster_requests_total",
+            "Diagnosis requests accepted by the cluster front.")
+        self._m_bursts = self.registry.counter(
+            "repro_cluster_bursts_total",
+            "Mixed-circuit bursts accepted by the cluster front.")
+        self._m_failovers = self.registry.counter(
+            "repro_cluster_failovers_total",
+            "Request shares re-routed off their owning replica.",
+            labelnames=("reason",))
+        self._m_timeouts = self.registry.counter(
+            "repro_cluster_replica_timeouts_total",
+            "Replica calls that exceeded the request timeout.",
+            labelnames=("replica",))
+        self._m_up = self.registry.gauge(
+            "repro_cluster_replica_up",
+            "1 while the replica is in the ring, 0 once marked down.",
+            labelnames=("replica",))
+        self._m_latency = self.registry.histogram(
+            "repro_cluster_replica_call_seconds",
+            "Wall time of one replica call as seen by the router.",
+            labelnames=("replica",))
+        for name in self.replicas:
+            self._m_up.labels(name).set(1.0)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -736,6 +783,26 @@ class ClusterService:
                                        exclude=frozenset(self.down))
         return self.replicas[name]
 
+    def _mark_down(self, name: str) -> None:
+        self.down.add(name)
+        self.failovers += 1
+        self._m_failovers.labels("unavailable").inc()
+        self._m_up.labels(name).set(0.0)
+
+    def _mark_slow(self, name: str, slow: Set[str]) -> None:
+        slow.add(name)
+        self.failovers += 1
+        self._m_failovers.labels("timeout").inc()
+        self._m_timeouts.labels(name).inc()
+
+    async def _timed(self, name: str, awaitable: Awaitable[T]) -> T:
+        started = time.perf_counter()
+        try:
+            return await awaitable
+        finally:
+            self._m_latency.labels(name).observe(
+                time.perf_counter() - started)
+
     async def _call(self, circuit_name: str,
                     op: Callable[[Replica], Awaitable[T]]) -> T:
         """Run ``op`` on the owning replica, failing over along the
@@ -752,13 +819,11 @@ class ClusterService:
             if name in self.down or name in slow:
                 continue
             try:
-                return await op(self.replicas[name])
+                return await self._timed(name, op(self.replicas[name]))
             except ReplicaTimeoutError:
-                slow.add(name)
-                self.failovers += 1
+                self._mark_slow(name, slow)
             except ReplicaUnavailableError:
-                self.down.add(name)
-                self.failovers += 1
+                self._mark_down(name)
         raise ClusterError(
             f"no live replica for circuit {circuit_name!r} "
             f"(down: {sorted(self.down)}, timed out: {sorted(slow)})")
@@ -767,6 +832,7 @@ class ClusterService:
                      responses: ResponseBatch) -> List[Diagnosis]:
         """Diagnose one request on the circuit's owning replica."""
         self.requests += 1
+        self._m_requests.inc()
         return await self._call(
             circuit_name,
             lambda replica: replica.submit(circuit_name, responses))
@@ -787,6 +853,8 @@ class ClusterService:
             return []
         self.requests += len(requests)
         self.bursts += 1
+        self._m_requests.inc(len(requests))
+        self._m_bursts.inc()
         results: List[Optional[List[Diagnosis]]] = [None] * len(requests)
         pending: List[Tuple[int, Tuple[str, ResponseBatch]]] = \
             list(enumerate(requests))
@@ -800,18 +868,16 @@ class ClusterService:
                 groups.setdefault(name, []).append((index, request))
             pending = []
             outcomes = await asyncio.gather(
-                *(self.replicas[name].submit_many(
-                    [request for _, request in items])
+                *(self._timed(name, self.replicas[name].submit_many(
+                    [request for _, request in items]))
                   for name, items in groups.items()),
                 return_exceptions=True)
             for (name, items), outcome in zip(groups.items(), outcomes):
                 if isinstance(outcome, ReplicaTimeoutError):
-                    slow.add(name)
-                    self.failovers += 1
+                    self._mark_slow(name, slow)
                     pending.extend(items)
                 elif isinstance(outcome, ReplicaUnavailableError):
-                    self.down.add(name)
-                    self.failovers += 1
+                    self._mark_down(name)
                     pending.extend(items)
                 elif isinstance(outcome, BaseException):
                     raise outcome
@@ -820,8 +886,7 @@ class ClusterService:
                     # the wrong batch count; treat as replica failure
                     # so the burst share fails over instead of
                     # silently returning None entries.
-                    self.down.add(name)
-                    self.failovers += 1
+                    self._mark_down(name)
                     pending.extend(items)
                 else:
                     for (index, _), batch in zip(items, outcome):
@@ -862,6 +927,7 @@ class ClusterService:
                 self.down.discard(name)
             else:
                 self.down.add(name)
+            self._m_up.labels(name).set(1.0 if alive else 0.0)
         return health
 
     async def run_health_loop(self, interval: float = 5.0) -> None:
@@ -896,8 +962,62 @@ class ClusterService:
                 "benchmarks": tuple(sorted(BENCHMARK_CIRCUITS)),
                 "warmed": self.warmed_circuits()}
 
+    @staticmethod
+    def _merge_snapshots(snapshots: Sequence[Dict[str, object]]
+                         ) -> Dict[str, object]:
+        """Sum reachable replica snapshots into one service-shaped view.
+
+        Counters add; ``peak_queue_depth`` takes the max (peaks do not
+        sum across independent queues); the batch-size histogram and
+        the per-circuit breakdown merge bucket- and circuit-wise.
+        Latency quantiles are per-replica statistics and deliberately
+        stay out of the merged view.
+        """
+        merged: Dict[str, object] = {
+            "requests": 0, "responses_diagnosed": 0,
+            "total_latency_seconds": 0.0, "evictions": 0,
+            "coalesced_batches": 0, "coalesced_requests": 0,
+            "rejections": 0, "peak_queue_depth": 0,
+            "batch_size_histogram": {}, "per_circuit": {},
+        }
+        for snapshot in snapshots:
+            for key in ("requests", "responses_diagnosed",
+                        "total_latency_seconds", "evictions",
+                        "coalesced_batches", "coalesced_requests",
+                        "rejections"):
+                merged[key] += snapshot.get(key, 0)    # type: ignore
+            merged["peak_queue_depth"] = max(
+                merged["peak_queue_depth"],             # type: ignore
+                snapshot.get("peak_queue_depth", 0))
+            histogram: Dict[str, int] = merged["batch_size_histogram"]
+            for bucket, count in snapshot.get(
+                    "batch_size_histogram", {}).items():
+                # In-process snapshots carry int bucket keys, wire
+                # snapshots str ones (JSON); normalise to str.
+                histogram[str(bucket)] = \
+                    histogram.get(str(bucket), 0) + count
+            per_circuit: Dict[str, Dict[str, float]] = \
+                merged["per_circuit"]
+            for circuit, stats in snapshot.get("per_circuit",
+                                               {}).items():
+                into = per_circuit.setdefault(circuit, {})
+                for key, value in stats.items():
+                    if key == "mean_latency_seconds":
+                        continue     # recomputed below, means don't sum
+                    into[key] = into.get(key, 0) + value
+        for stats in merged["per_circuit"].values():      # type: ignore
+            requests = stats.get("requests", 0)
+            stats["mean_latency_seconds"] = \
+                stats.get("total_latency_seconds", 0.0) / requests \
+                if requests else 0.0
+        merged["batch_size_histogram"] = dict(sorted(
+            merged["batch_size_histogram"].items(),       # type: ignore
+            key=lambda item: int(item[0])))
+        return merged
+
     async def stats_snapshot(self) -> Dict[str, object]:
-        """Cluster counters plus every reachable replica's snapshot."""
+        """Cluster counters, a merged service view, and every
+        replica's own snapshot keyed by replica id."""
         names = list(self.replicas)
         snapshots = await asyncio.gather(
             *(self.replicas[name].stats_snapshot() for name in names),
@@ -914,8 +1034,44 @@ class ClusterService:
                 "bursts": self.bursts,
                 "failovers": self.failovers,
             },
-            "replicas": per_replica,
+            "merged": self._merge_snapshots(
+                [snapshot for snapshot in snapshots
+                 if not isinstance(snapshot, BaseException)]),
+            "per_replica": per_replica,
         }
+
+    async def metrics_text(self) -> str:
+        """Cluster metrics plus every replica's scrape, merged.
+
+        Each reachable replica's ``/v1/metrics`` text is parsed, every
+        sample is tagged with a ``replica`` label, and the result is
+        re-rendered after the cluster's own registry. Unreachable
+        replicas are skipped -- their ``repro_cluster_replica_up``
+        gauge already reports the outage.
+        """
+        names = list(self.replicas)
+        scrapes = await asyncio.gather(
+            *(self.replicas[name].metrics_text() for name in names),
+            return_exceptions=True)
+        merged: Dict[str, Dict[str, object]] = {}
+        for name, scrape in zip(names, scrapes):
+            if isinstance(scrape, BaseException) or not scrape:
+                continue
+            try:
+                families = telemetry.parse_exposition(scrape)
+            except ValueError:
+                continue          # malformed scrape: skip, don't 500
+            for family_name, family in families.items():
+                entry = merged.setdefault(
+                    family_name, {"type": family["type"],
+                                  "help": family["help"],
+                                  "samples": []})
+                for sample_name, labels, value in family["samples"]:
+                    tagged = dict(labels)
+                    tagged["replica"] = name
+                    entry["samples"].append(
+                        (sample_name, tagged, value))
+        return self.registry.render() + telemetry.render_families(merged)
 
     # ------------------------------------------------------------------
     # Lifecycle

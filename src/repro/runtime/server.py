@@ -41,6 +41,8 @@ JSON codec in :mod:`repro.runtime.codec`.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -49,7 +51,7 @@ import numpy as np
 from ..diagnosis.classifier import Diagnosis
 from ..errors import (ClusterError, CodecError, ServiceError,
                       ServiceOverloadedError)
-from . import codec
+from . import codec, telemetry
 from .batch import ResponseBatch
 from .service import DiagnosisService
 
@@ -194,6 +196,10 @@ class AsyncDiagnosisService:
     async def stats_snapshot(self) -> Dict[str, object]:
         return self.service.stats.snapshot()
 
+    async def metrics_text(self) -> str:
+        """Prometheus exposition text for ``GET /v1/metrics``."""
+        return self.service.metrics_text()
+
     def known_circuits(self) -> Dict[str, Tuple[str, ...]]:
         return self.service.known_circuits()
 
@@ -231,23 +237,28 @@ class AsyncDiagnosisService:
                 f"unknown circuit {circuit_name!r}; register() it "
                 f"first")
         rows = _count_rows(responses)
-        await self._admit()
-        loop = asyncio.get_running_loop()
-        item = _Pending(responses, rows, loop.create_future())
-        queue = self._queues.get(circuit_name)
-        if queue is None:
-            queue = self._queues.setdefault(circuit_name, _CircuitQueue())
-        queue.items.append(item)
-        queue.rows += rows
-        stats = self.service.stats
-        if self._pending > stats.peak_queue_depth:   # lock only on a new peak
-            stats.observe_queue_depth(self._pending)
-        if queue.rows >= self.max_batch:
-            self._start_flush(circuit_name)
-        elif queue.timer is None:
-            queue.timer = loop.create_task(
-                self._window_timer(circuit_name))
-        return await item.future
+        with telemetry.TRACER.span("service.submit",
+                                   circuit=circuit_name, rows=rows):
+            await self._admit()
+            loop = asyncio.get_running_loop()
+            item = _Pending(responses, rows, loop.create_future())
+            queue = self._queues.get(circuit_name)
+            if queue is None:
+                queue = self._queues.setdefault(circuit_name,
+                                                _CircuitQueue())
+            queue.items.append(item)
+            queue.rows += rows
+            stats = self.service.stats
+            stats.gauge_queue_depth(self._pending)
+            if self._pending > stats.peak_queue_depth:
+                # lock only on a new peak
+                stats.observe_queue_depth(self._pending)
+            if queue.rows >= self.max_batch:
+                self._start_flush(circuit_name)
+            elif queue.timer is None:
+                queue.timer = loop.create_task(
+                    self._window_timer(circuit_name))
+            return await item.future
 
     async def submit_many(self, requests: Sequence[Tuple[str,
                                                          ResponseBatch]]
@@ -292,6 +303,7 @@ class AsyncDiagnosisService:
 
     async def _settle(self, count: int) -> None:
         self._pending -= count
+        self.service.stats.gauge_queue_depth(self._pending)
         async with self._capacity:
             self._capacity.notify_all()
 
@@ -497,6 +509,26 @@ class _BadRequest(Exception):
         self.payload = payload
 
 
+class _Exchange:
+    """One served request/response pair, ready to write and log."""
+
+    __slots__ = ("status", "body", "keep_alive", "content_type",
+                 "request_id", "method", "path", "duration_ms")
+
+    def __init__(self, status: int, body: bytes, keep_alive: bool,
+                 content_type: str = "application/json",
+                 request_id: str = "", method: str = "-",
+                 path: str = "-", duration_ms: float = 0.0) -> None:
+        self.status = status
+        self.body = body
+        self.keep_alive = keep_alive
+        self.content_type = content_type
+        self.request_id = request_id
+        self.method = method
+        self.path = path
+        self.duration_ms = duration_ms
+
+
 class DiagnosisHTTPServer:
     """JSON-over-HTTP front for an :class:`AsyncDiagnosisService` (or
     anything exposing the same serving-front surface, e.g.
@@ -515,19 +547,36 @@ class DiagnosisHTTPServer:
       (``{"requests": [...]}``); answers one diagnosis list per
       request (coalesced per circuit).
     * ``GET /v1/stats`` -- :meth:`ServiceStats.snapshot`.
+    * ``GET /v1/metrics`` -- Prometheus text exposition 0.0.4 (see
+      :mod:`repro.runtime.telemetry`).
     * ``GET /v1/circuits`` -- registered/benchmark/warmed names.
     * ``GET /v1/test-vector/<circuit>`` -- the measurement frequencies
       (warms the circuit when cold).
     * ``GET /v1/healthz`` -- liveness.
+
+    Observability: every request gets (or propagates) an
+    ``X-Request-Id`` -- echoed on the response and carried through
+    :class:`~repro.runtime.cluster.HTTPReplica` hops -- and is traced
+    as an ``http.request`` span. Sending ``X-Repro-Debug: trace``
+    embeds the request's span tree in a JSON response under a
+    ``"trace"`` key. Access logs go to the ``repro.access`` logger
+    (one line per request; JSON lines with ``log_json=True``).
     """
 
     def __init__(self, service: AsyncDiagnosisService,
                  host: str = "127.0.0.1", port: int = 0,
                  idle_timeout: float = 60.0,
-                 shutdown_grace: float = 5.0) -> None:
+                 shutdown_grace: float = 5.0,
+                 access_log: bool = True,
+                 log_json: bool = False) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Emit one ``repro.access`` log line per served request.
+        self.access_log = access_log
+        #: Structured JSON access-log lines instead of plain text.
+        self.log_json = log_json
+        self._access_logger = logging.getLogger("repro.access")
         #: Seconds a persistent connection may sit without making
         #: progress (no next request line, stalled headers, or a body
         #: upload with no bytes arriving) before the server reclaims
@@ -624,21 +673,26 @@ class DiagnosisHTTPServer:
                 exchange = await self._respond(reader)
                 if exchange is None:        # clean EOF between requests
                     break
-                status, body, keep_alive = exchange
                 # The write rides inside the _serving window too (set
                 # in _respond before routing): shutdown must not
                 # cancel an exchange mid-response-body.
                 if task is not None:
                     self._serving.add(task)
                 try:
+                    status = exchange.status
                     reason = _HTTP_REASONS.get(status, "Unknown")
-                    connection = "keep-alive" if keep_alive else "close"
+                    connection = "keep-alive" if exchange.keep_alive \
+                        else "close"
+                    request_id_line = (
+                        f"X-Request-Id: {exchange.request_id}\r\n"
+                        if exchange.request_id else "")
                     head = (f"HTTP/1.1 {status} {reason}\r\n"
-                            f"Content-Type: application/json\r\n"
-                            f"Content-Length: {len(body)}\r\n"
+                            f"Content-Type: {exchange.content_type}\r\n"
+                            f"Content-Length: {len(exchange.body)}\r\n"
+                            f"{request_id_line}"
                             f"Connection: {connection}\r\n\r\n"
                             ).encode("latin1")
-                    writer.write(head + body)
+                    writer.write(head + exchange.body)
                     try:
                         await self._timed(writer.drain())
                     except asyncio.TimeoutError:
@@ -648,7 +702,9 @@ class DiagnosisHTTPServer:
                 finally:
                     if task is not None:
                         self._serving.discard(task)
-                if not keep_alive or self._closing:
+                if self.access_log:
+                    self._log_access(exchange)
+                if not exchange.keep_alive or self._closing:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -668,8 +724,8 @@ class DiagnosisHTTPServer:
                 pass
 
     async def _respond(self, reader: asyncio.StreamReader
-                       ) -> Optional[Tuple[int, bytes, bool]]:
-        """One request -> (status, body, keep connection alive).
+                       ) -> Optional[_Exchange]:
+        """One request -> a ready-to-write :class:`_Exchange`.
 
         ``None`` means the client closed cleanly before sending another
         request, or idled/stalled past ``idle_timeout``: the request
@@ -686,51 +742,101 @@ class DiagnosisHTTPServer:
         except asyncio.TimeoutError:
             return None         # idle or stalled connection: reclaim
         except _BadRequest as exc:
-            return exc.status, exc.payload, False
+            return _Exchange(exc.status, exc.payload, False)
         except ValueError:
             # StreamReader raises ValueError past its line limit
             # (oversized request line or header).
-            return 400, codec.encode_error(
-                "request line/header too long"), False
+            return _Exchange(400, codec.encode_error(
+                "request line/header too long"), False)
         if head is None:
             return None
-        method, path, length, keep_alive = head
+        method, path, length, keep_alive, headers = head
         try:
             body = await self._read_body(reader, length)
         except asyncio.TimeoutError:
             return None         # body upload stalled: reclaim
+        # Adopt the client's X-Request-Id (or mint one): it rides the
+        # task context from here, so spans, access logs and outbound
+        # HTTPReplica hops all carry the same id.
+        request_id = telemetry.ensure_request_id(
+            headers.get("x-request-id"))
+        want_trace = "trace" in headers.get("x-repro-debug", "").lower()
+        started = time.perf_counter()
         task = asyncio.current_task()
         if task is not None:
             self._serving.add(task)
+        content_type = "application/json"
         try:
-            status, payload = await self._route(method, path, body)
-        except ServiceOverloadedError as exc:
-            status, payload = 503, codec.encode_error(
-                str(exc), kind=type(exc).__name__)
-        except ClusterError as exc:
-            # A routing failure (every owning replica down) is an
-            # outage, not a bad request: retryable 503, never 404.
-            status, payload = 503, codec.encode_error(
-                str(exc), kind=type(exc).__name__)
-        except CodecError as exc:
-            status, payload = 400, codec.encode_error(
-                str(exc), kind=type(exc).__name__)
-        except ServiceError as exc:
-            status, payload = 404, codec.encode_error(
-                str(exc), kind=type(exc).__name__)
-        except Exception as exc:         # noqa: BLE001 -- server boundary
-            status, payload = 500, codec.encode_error(
-                str(exc), kind=type(exc).__name__)
+            with telemetry.TRACER.span("http.request", method=method,
+                                       path=path) as span:
+                try:
+                    routed = await self._route(method, path, body)
+                    if len(routed) == 3:
+                        status, payload, content_type = routed
+                    else:
+                        status, payload = routed
+                except ServiceOverloadedError as exc:
+                    status, payload = 503, codec.encode_error(
+                        str(exc), kind=type(exc).__name__)
+                except ClusterError as exc:
+                    # A routing failure (every owning replica down) is
+                    # an outage, not a bad request: retryable 503,
+                    # never 404.
+                    status, payload = 503, codec.encode_error(
+                        str(exc), kind=type(exc).__name__)
+                except CodecError as exc:
+                    status, payload = 400, codec.encode_error(
+                        str(exc), kind=type(exc).__name__)
+                except ServiceError as exc:
+                    status, payload = 404, codec.encode_error(
+                        str(exc), kind=type(exc).__name__)
+                except Exception as exc:  # noqa: BLE001 -- server boundary
+                    status, payload = 500, codec.encode_error(
+                        str(exc), kind=type(exc).__name__)
+                span.attrs["status"] = status
         finally:
             if task is not None:
                 self._serving.discard(task)
-        return status, payload, keep_alive
+        if want_trace and content_type == "application/json":
+            payload = self._embed_trace(payload, span)
+        return _Exchange(status, payload, keep_alive, content_type,
+                         request_id, method, path,
+                         (time.perf_counter() - started) * 1e3)
+
+    @staticmethod
+    def _embed_trace(payload: bytes, span: telemetry.Span) -> bytes:
+        """Add the finished request span tree to a JSON object body."""
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            return payload
+        if not isinstance(data, dict):
+            return payload
+        data["trace"] = span.to_dict()
+        return json.dumps(data).encode("utf-8")
+
+    def _log_access(self, exchange: _Exchange) -> None:
+        if self.log_json:
+            self._access_logger.info(json.dumps({
+                "method": exchange.method,
+                "path": exchange.path,
+                "status": exchange.status,
+                "duration_ms": round(exchange.duration_ms, 3),
+                "bytes": len(exchange.body),
+                "request_id": exchange.request_id,
+            }, sort_keys=True))
+        else:
+            self._access_logger.info(
+                "%s %s %d %dB %.2fms %s", exchange.method,
+                exchange.path, exchange.status, len(exchange.body),
+                exchange.duration_ms, exchange.request_id or "-")
 
     @staticmethod
     async def _read_head(reader: asyncio.StreamReader
-                         ) -> Optional[Tuple[str, str, int, bool]]:
+                         ) -> Optional[Tuple[str, str, int, bool,
+                                             Dict[str, str]]]:
         """Read and frame one request head: (method, path, body
-        length, keep).
+        length, keep, headers).
 
         ``None`` on clean EOF; :class:`_BadRequest` for anything that
         cannot be answered while keeping the stream synchronised.
@@ -788,7 +894,7 @@ class DiagnosisHTTPServer:
         if length > MAX_BODY_BYTES:
             raise _BadRequest(413, codec.encode_error(
                 f"body exceeds {MAX_BODY_BYTES} bytes"))
-        return method, path, length, keep_alive
+        return method, path, length, keep_alive, headers
 
     async def _read_body(self, reader: asyncio.StreamReader,
                          length: int) -> bytes:
@@ -812,8 +918,9 @@ class DiagnosisHTTPServer:
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, bytes]:
+    async def _route(self, method: str, path: str, body: bytes):
+        """One routed request -> ``(status, payload)`` or
+        ``(status, payload, content_type)`` (JSON by default)."""
         if path == "/v1/diagnose":
             if method != "POST":
                 return 405, codec.encode_error("use POST")
@@ -832,6 +939,9 @@ class DiagnosisHTTPServer:
         if path == "/v1/stats" and method == "GET":
             return 200, codec.encode_stats(
                 await self.service.stats_snapshot())
+        if path == "/v1/metrics" and method == "GET":
+            text = await self.service.metrics_text()
+            return 200, text.encode("utf-8"), telemetry.CONTENT_TYPE
         if path == "/v1/circuits" and method == "GET":
             known = self.service.known_circuits()
             return 200, codec.encode_stats(

@@ -39,6 +39,7 @@ from ..core.atpg import ATPGResult, FaultTrajectoryATPG
 from ..core.config import PipelineConfig
 from ..diagnosis.classifier import Diagnosis
 from ..errors import ServiceError
+from . import telemetry
 from .backends import StorageBackend
 from .batch import BatchDiagnoser, ResponseBatch
 from .store import ArtifactStore, as_store
@@ -94,6 +95,15 @@ class ServiceStats:
     from any number of threads and every counter stays exact. Plain
     attribute reads are lock-free (ints/floats are torn-write safe under
     the GIL); use :meth:`snapshot` for a consistent multi-field view.
+
+    Every record also lands in the attached
+    :class:`~repro.runtime.telemetry.MetricsRegistry` (the Prometheus
+    view served by ``GET /v1/metrics``): the ``record_*`` seam writes
+    both books, so the JSON :meth:`snapshot` surface stays exactly as
+    it always was while the registry carries labelled counters, the
+    request-latency histogram and the live/peak queue-depth gauges.
+    Each stats object gets its own registry by default so concurrent
+    services never share counters.
     """
 
     requests: int = 0
@@ -111,11 +121,53 @@ class ServiceStats:
     #: Coalesced batch sizes (rows), bucketed to powers of two.
     batch_size_histogram: Dict[int, int] = field(default_factory=dict)
     per_circuit: Dict[str, CircuitStats] = field(default_factory=dict)
+    registry: Optional[telemetry.MetricsRegistry] = field(
+        default=None, repr=False, compare=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
     _latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW),
         repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = telemetry.MetricsRegistry()
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_service_requests_total",
+            "Completed diagnosis requests.", ("circuit",))
+        self._m_responses = reg.counter(
+            "repro_service_responses_total",
+            "Response rows diagnosed.", ("circuit",))
+        self._m_warm_loads = reg.counter(
+            "repro_service_warm_loads_total",
+            "Engine warm-ups (pipeline builds or store loads).",
+            ("circuit",))
+        self._m_latency = reg.histogram(
+            "repro_service_request_latency_seconds",
+            "End-to-end request latency inside the service.")
+        self._m_evictions = reg.counter(
+            "repro_service_engine_evictions_total",
+            "Warm engines evicted by the LRU.")
+        self._m_coalesced_batches = reg.counter(
+            "repro_service_coalesced_batches_total",
+            "Coalesced classify calls issued by the async front.")
+        self._m_coalesced_requests = reg.counter(
+            "repro_service_coalesced_requests_total",
+            "Client requests answered from a coalesced batch.")
+        self._m_rejections = reg.counter(
+            "repro_service_rejections_total",
+            "Requests refused by backpressure.")
+        self._m_batch_rows = reg.histogram(
+            "repro_service_coalesce_batch_rows",
+            "Rows per coalesced classify call.",
+            buckets=telemetry.POWER_OF_TWO_BUCKETS)
+        self._m_queue_depth = reg.gauge(
+            "repro_service_queue_depth",
+            "Requests currently queued in the async front.")
+        self._m_peak_queue_depth = reg.gauge(
+            "repro_service_peak_queue_depth",
+            "Highest queued-request count ever observed.")
 
     def for_circuit(self, name: str) -> CircuitStats:
         return self.per_circuit.setdefault(name, CircuitStats())
@@ -131,6 +183,9 @@ class ServiceStats:
             scope.responses_diagnosed += n_responses
             scope.total_latency_seconds += latency_seconds
         self._latencies.append(latency_seconds)
+        self._m_requests.labels(circuit_name).inc()
+        self._m_responses.labels(circuit_name).inc(n_responses)
+        self._m_latency.observe(latency_seconds)
 
     def record_request(self, circuit_name: str, n_responses: int,
                        latency_seconds: float) -> None:
@@ -153,25 +208,38 @@ class ServiceStats:
             bucket = _batch_bucket(n_rows)
             self.batch_size_histogram[bucket] = \
                 self.batch_size_histogram.get(bucket, 0) + 1
+            self._m_coalesced_batches.inc()
+            self._m_coalesced_requests.inc(len(request_latencies))
+            self._m_batch_rows.observe(n_rows)
             for n_responses, latency in request_latencies:
                 self._record_one(circuit_name, n_responses, latency)
 
     def record_warm_load(self, circuit_name: str) -> None:
         with self._lock:
             self.for_circuit(circuit_name).warm_loads += 1
+            self._m_warm_loads.labels(circuit_name).inc()
 
     def record_eviction(self, count: int = 1) -> None:
         with self._lock:
             self.evictions += count
+            self._m_evictions.inc(count)
 
     def record_rejection(self) -> None:
         with self._lock:
             self.rejections += 1
+            self._m_rejections.inc()
+
+    def gauge_queue_depth(self, depth: int) -> None:
+        """Update only the live queue-depth gauge (no peak lock)."""
+        self._m_queue_depth.set(depth)
 
     def observe_queue_depth(self, depth: int) -> None:
+        """Track the live queue depth (gauge) and its high watermark."""
+        self._m_queue_depth.set(depth)
         with self._lock:
             if depth > self.peak_queue_depth:
                 self.peak_queue_depth = depth
+                self._m_peak_queue_depth.set(depth)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -254,18 +322,24 @@ class DiagnosisService:
         warm-up would exceed it.
     seed:
         GA seed used for every warm-up (per-circuit determinism).
+    registry:
+        Metrics registry backing this service's :class:`ServiceStats`;
+        defaults to a fresh one per service (see
+        :meth:`metrics_text`).
     """
 
     def __init__(self, config: Optional[PipelineConfig] = None,
                  store: StoreLike = None,
-                 max_engines: int = 4, seed: int = 0) -> None:
+                 max_engines: int = 4, seed: int = 0,
+                 registry: Optional[telemetry.MetricsRegistry] = None,
+                 ) -> None:
         if max_engines < 1:
             raise ServiceError("max_engines must be >= 1")
         self.config = config or PipelineConfig.paper()
         self.store = as_store(store)
         self.max_engines = max_engines
         self.seed = seed
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(registry=registry)
         self._circuits: Dict[str, CircuitInfo] = {}
         self._engines: "OrderedDict[str, _Engine]" = OrderedDict()
         self._lock = threading.Lock()
@@ -357,8 +431,10 @@ class DiagnosisService:
             engine = self._engine_if_warm(circuit_name)
             if engine is not None:        # built while we waited
                 return engine
-            result = FaultTrajectoryATPG(info, self.config).run(
-                seed=self.seed, store=self.store)
+            with telemetry.TRACER.span("service.warm_build",
+                                       circuit=circuit_name):
+                result = FaultTrajectoryATPG(info, self.config).run(
+                    seed=self.seed, store=self.store)
             engine = _Engine(result=result,
                              diagnoser=result.batch_diagnoser())
             with self._lock:
@@ -440,3 +516,11 @@ class DiagnosisService:
     def test_vector_hz(self, circuit_name: str) -> Tuple[float, ...]:
         """The warmed test vector for a circuit (what to measure at)."""
         return self._engine(circuit_name).result.test_vector_hz
+
+    def metrics_text(self) -> str:
+        """Prometheus text: this service's registry + the process-wide
+        engine/pipeline/store families (deduplicated when shared)."""
+        if self.stats.registry is telemetry.REGISTRY:
+            return telemetry.REGISTRY.render()
+        return telemetry.render_registries(self.stats.registry,
+                                           telemetry.REGISTRY)

@@ -51,6 +51,7 @@ from ..faults.universe import FaultUniverse
 from ..ga.engine import GAResult, GenerationStats
 from ..trajectory.mapping import SignatureMapper
 from ..trajectory.trajectory import FaultTrajectory, TrajectorySet
+from . import telemetry
 from .backends import (ArtifactRecord, LocalDirBackend, StorageBackend,
                        coerce_backend)
 
@@ -200,16 +201,50 @@ class ArtifactStore:
         Any :class:`~repro.runtime.backends.StorageBackend` --
         in-memory, sharded, or a custom implementation. Exactly one of
         ``root`` / ``backend`` must be given.
+    registry:
+        Metrics registry receiving ``repro_store_*`` families (labelled
+        by backend class); defaults to the process registry. The
+        per-instance :class:`StoreStats` is kept alongside for the
+        JSON ``snapshot()`` surface.
     """
 
     def __init__(self, root: Union[str, Path, None] = None, *,
-                 backend: Optional[StorageBackend] = None) -> None:
+                 backend: Optional[StorageBackend] = None,
+                 registry: Optional[telemetry.MetricsRegistry] = None,
+                 ) -> None:
         if (root is None) == (backend is None):
             raise StoreError(
                 "pass exactly one of a store root path or backend=")
         self.backend = backend if backend is not None \
             else LocalDirBackend(root)
         self.stats = StoreStats()
+        self.registry = registry if registry is not None \
+            else telemetry.REGISTRY
+        label = type(self.backend).__name__
+        reg = self.registry
+        self._hits_total = reg.counter(
+            "repro_store_hits_total",
+            "Artifact reads served from the store.",
+            ("backend",)).labels(label)
+        self._misses_total = reg.counter(
+            "repro_store_misses_total",
+            "Artifact reads that missed (absent or unreadable).",
+            ("backend",)).labels(label)
+        self._puts_total = reg.counter(
+            "repro_store_puts_total",
+            "Artifacts published to the store.", ("backend",)).labels(label)
+        self._evictions_total = reg.counter(
+            "repro_store_evictions_total",
+            "Artifacts evicted by prune().", ("backend",)).labels(label)
+        self._evicted_bytes_total = reg.counter(
+            "repro_store_evicted_bytes_total",
+            "Bytes reclaimed by prune().", ("backend",)).labels(label)
+        # Lazy gauge: backend disk usage is computed at scrape time.
+        reg.gauge(
+            "repro_store_bytes",
+            "Total artifact bytes held by the backend.",
+            ("backend",)).labels(label).set_function(
+                self.backend.disk_usage)
 
     @property
     def root(self) -> Optional[Path]:
@@ -235,6 +270,7 @@ class ArtifactStore:
             self.stats.hits += 1
             return slot
         self.stats.misses += 1
+        self._misses_total.inc()
         return None
 
     #: Read failures that mean "this cached artifact is gone or
@@ -268,6 +304,9 @@ class ArtifactStore:
                 pass             # read-only/flaky root: miss anyway
         self.stats.hits -= 1
         self.stats.misses += 1
+        # Registry hits are only counted on a *completed* load, so this
+        # correction path just records the miss (counters stay monotonic).
+        self._misses_total.inc()
 
     def _publish(self, kind: str, key: str, populate) -> None:
         """Write an artifact atomically through the backend.
@@ -279,6 +318,7 @@ class ArtifactStore:
         published = self.backend.publish(kind, key, populate)
         if published:
             self.stats.puts += 1
+            self._puts_total.inc()
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -291,7 +331,12 @@ class ArtifactStore:
         """Evict least-recently-used artifacts until at most
         ``max_bytes`` remain; returns the evicted records. Reads touch
         an artifact's recency, so the hot working set survives."""
-        return self.backend.prune(max_bytes)
+        evicted = self.backend.prune(max_bytes)
+        if evicted:
+            self._evictions_total.inc(len(evicted))
+            self._evicted_bytes_total.inc(
+                sum(record.n_bytes for record in evicted))
+        return evicted
 
     # ------------------------------------------------------------------
     # Fault dictionaries
@@ -302,10 +347,12 @@ class ArtifactStore:
         if slot is None:
             return None
         try:
-            return FaultDictionary.load(slot / "dictionary")
+            dictionary = FaultDictionary.load(slot / "dictionary")
         except self._UNREADABLE as exc:
             self._vanished(kind, key, exc)
             return None
+        self._hits_total.inc()
+        return dictionary
 
     def save_dictionary(self, kind: str, key: str,
                         dictionary: FaultDictionary) -> None:
@@ -321,10 +368,12 @@ class ArtifactStore:
             return None
         try:
             data = json.loads((slot / "result.json").read_text())
-            return _ga_result_from_json(data)
+            result = _ga_result_from_json(data)
         except self._UNREADABLE as exc:
             self._vanished("ga", key, exc)
             return None
+        self._hits_total.inc()
+        return result
 
     def save_ga_result(self, key: str, result: GAResult) -> None:
         payload = json.dumps(_ga_result_to_json(result))
@@ -357,6 +406,7 @@ class ArtifactStore:
         except self._UNREADABLE as exc:
             self._vanished("trajectories", key, exc)
             return None
+        self._hits_total.inc()
         return TrajectorySet(mapper, trajectories)
 
     def save_trajectories(self, key: str,

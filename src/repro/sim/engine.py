@@ -32,12 +32,14 @@ complex transfer matrix that lazily slices into the familiar
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Protocol, Sequence, \
     Tuple, runtime_checkable
 
 import numpy as np
 
+from .. import profiling
 from ..circuits.components import Component
 from ..circuits.netlist import Circuit
 from ..errors import SimulationError, SingularCircuitError
@@ -219,6 +221,8 @@ class ScalarMnaEngine:
         freqs = np.asarray(freqs_hz, dtype=float)
         if not variants:
             raise SimulationError("transfer_block needs >= 1 variant")
+        profiled = profiling.enabled()
+        start = time.perf_counter() if profiled else 0.0
         values = np.empty((len(variants), freqs.size), dtype=complex)
         labels = []
         for index, spec in enumerate(variants):
@@ -227,6 +231,11 @@ class ScalarMnaEngine:
                 output_node, freqs, input_source)
             values[index] = response.values
             labels.append(circuit.name)
+        if profiled:
+            profiling.profile_event(
+                "engine.solve", time.perf_counter() - start,
+                engine="scalar", variants=len(variants),
+                freqs=int(freqs.size), chunks=len(variants))
         return ResponseBlock(freqs, values, labels, output_node)
 
 
@@ -244,6 +253,7 @@ class BatchedMnaEngine:
     """
 
     def __init__(self, circuit: Circuit, gmin: float = 0.0) -> None:
+        stamp_start = time.perf_counter() if profiling.enabled() else None
         self._circuit = circuit
         self.gmin = float(gmin)
         self.system = MnaSystem(circuit, gmin=gmin)
@@ -287,6 +297,11 @@ class BatchedMnaEngine:
                 dict.fromkeys(matrix_structure))
             self._touched_rhs[component.name] = tuple(
                 dict.fromkeys(rhs_structure))
+        if stamp_start is not None:
+            profiling.profile_event(
+                "engine.stamp", time.perf_counter() - stamp_start,
+                engine="batched", circuit=circuit.name,
+                dim=self.system.dim)
 
     @property
     def circuit(self) -> Circuit:
@@ -421,6 +436,8 @@ class BatchedMnaEngine:
                           self._circuit[source_name])
             phasors[index] = source_phasor(source, source_name)
 
+        solve_start = time.perf_counter() if profiling.enabled() else None
+        chunks_solved = 0
         s_all = 1j * TWO_PI * freqs
         solutions = np.empty((num_variants, num_freqs, dim),
                              dtype=complex)
@@ -448,6 +465,7 @@ class BatchedMnaEngine:
                                            chunk_s)
                 solutions[lo:hi] = solved.reshape(hi - lo, num_freqs,
                                                   dim)
+                chunks_solved += 1
         else:
             # One variant at a time, frequencies chunked (the scalar
             # sweep's own shape) -- for grids too large to fuse.
@@ -466,6 +484,7 @@ class BatchedMnaEngine:
                         stack, rhs, [labels[index]] * (stop - start),
                         s_values)
                     solutions[index, start:stop] = solved
+                    chunks_solved += 1
 
         for index in range(num_variants):
             if not np.all(np.isfinite(solutions[index])):
@@ -477,6 +496,11 @@ class BatchedMnaEngine:
             values = np.zeros((num_variants, num_freqs), dtype=complex)
         else:
             values = solutions[:, :, out_index] / phasors[:, None]
+        if solve_start is not None:
+            profiling.profile_event(
+                "engine.solve", time.perf_counter() - solve_start,
+                engine="batched", variants=num_variants,
+                freqs=num_freqs, chunks=chunks_solved)
         return ResponseBlock(freqs, values, labels, output_node)
 
 

@@ -25,6 +25,7 @@ from repro import (
 )
 from repro.errors import (ClusterError, ReplicaUnavailableError,
                           ServiceError)
+from repro.runtime import telemetry
 from repro.runtime.cluster import (CircuitRouter, HTTPReplica,
                                    InProcessReplica, SpawnedReplica)
 
@@ -313,9 +314,42 @@ class TestClusterIntrospection:
         assert snapshot["cluster"]["requests"] == 2
         assert snapshot["cluster"]["bursts"] == 1
         assert snapshot["cluster"]["failovers"] == 0
-        assert set(snapshot["replicas"]) == {"replica-0", "replica-1"}
-        for replica_snapshot in snapshot["replicas"].values():
+        assert set(snapshot["per_replica"]) == {"replica-0",
+                                                "replica-1"}
+        for replica_snapshot in snapshot["per_replica"].values():
             assert "requests" in replica_snapshot
+        merged = snapshot["merged"]
+        assert merged["requests"] == sum(
+            replica_snapshot["requests"] for replica_snapshot
+            in snapshot["per_replica"].values())
+        assert "per_circuit" in merged
+        assert "batch_size_histogram" in merged
+
+    def test_metrics_text_merges_replica_scrapes(self, warm_service):
+        async def run():
+            cluster = shared_cluster(warm_service, 2,
+                                     window_seconds=0.001)
+            await cluster.submit(
+                "rc_lowpass",
+                measured_rows(warm_service, "rc_lowpass", 1, 9))
+            text = await cluster.metrics_text()
+            await cluster.aclose()
+            return text
+
+        text = asyncio.run(run())
+        families = telemetry.parse_exposition(text)
+        # The cluster's own registry renders first...
+        assert families["repro_cluster_requests_total"]["samples"] \
+            [0][2] == 1
+        up = {labels["replica"]: value for _, labels, value
+              in families["repro_cluster_replica_up"]["samples"]}
+        assert up == {"replica-0": 1.0, "replica-1": 1.0}
+        assert "repro_cluster_replica_call_seconds" in families
+        # ...then every replica scrape, tagged with a replica label.
+        replicas = {labels.get("replica") for _, labels, _
+                    in families["repro_service_requests_total"]
+                    ["samples"]}
+        assert replicas == {"replica-0", "replica-1"}
 
     def test_known_and_warmed_circuits(self, warm_service):
         async def run():

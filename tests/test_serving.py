@@ -11,7 +11,10 @@ contract of micro-batching.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import math
+import re
 
 import numpy as np
 import pytest
@@ -20,7 +23,8 @@ from repro import AsyncDiagnosisService, serve
 from repro.diagnosis import Diagnosis
 from repro.errors import (CodecError, DiagnosisError, ServiceError,
                           ServiceOverloadedError)
-from repro.runtime import codec
+from repro.runtime import codec, telemetry
+from repro.runtime.server import DiagnosisHTTPServer
 
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -869,3 +873,178 @@ class TestKeepAlive:
                 await server.aclose()
 
         asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Telemetry over HTTP: /v1/metrics, request ids, trace embed, access log
+# ----------------------------------------------------------------------
+async def _http_full(host, port, method, path, body=b"",
+                     extra_headers=()):
+    """One request with custom headers; returns (status, headers,
+    payload)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in extra_headers)
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n{extra}"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin1")
+    writer.write(head + body)
+    await writer.drain()
+    status, headers, payload = await _read_one_response(reader)
+    writer.close()
+    await writer.wait_closed()
+    return status, headers, payload
+
+
+class TestTelemetryHTTP:
+    def test_metrics_route_serves_valid_exposition(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 2, seed=5)
+        # Store families register on the process registry when a store
+        # exists; give the scrape one to cover.
+        from repro.runtime import ArtifactStore, InMemoryBackend
+        ArtifactStore(backend=InMemoryBackend())
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                status, _, _ = await _http_full(
+                    host, port, "POST", "/v1/diagnose",
+                    codec.encode_request("rc_lowpass", rows))
+                assert status == 200
+                status, headers, payload = await _http_full(
+                    host, port, "GET", "/v1/metrics")
+                assert status == 200
+                assert headers["content-type"] == telemetry.CONTENT_TYPE
+                return payload.decode("utf-8")
+            finally:
+                await server.aclose()
+
+        text = asyncio.run(run())
+        families = telemetry.parse_exposition(text)
+        # Service-level counters moved onto the registry.
+        requests = families["repro_service_requests_total"]
+        assert requests["type"] == "counter"
+        assert sum(value for _, _, value in requests["samples"]) >= 1
+        assert "repro_service_request_latency_seconds" in families
+        assert "repro_service_queue_depth" in families
+        assert "repro_service_coalesce_batch_rows" in families
+        # Process-wide engine/pipeline/store families ride along.
+        assert "repro_engine_solve_seconds" in families
+        assert "repro_pipeline_stage_seconds" in families
+        assert "repro_store_hits_total" in families
+
+    def test_request_id_echo_and_generation(self, warm_service):
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                _, headers, _ = await _http_full(
+                    host, port, "GET", "/v1/healthz",
+                    extra_headers=[("X-Request-Id", "req-42.alpha")])
+                assert headers["x-request-id"] == "req-42.alpha"
+
+                _, headers, _ = await _http_full(
+                    host, port, "GET", "/v1/healthz")
+                generated = headers["x-request-id"]
+                assert re.fullmatch(r"[A-Za-z0-9._-]{1,128}", generated)
+
+                # Header-injection attempts are replaced, not echoed.
+                _, headers, _ = await _http_full(
+                    host, port, "GET", "/v1/healthz",
+                    extra_headers=[("X-Request-Id", "a b\tc")])
+                assert headers["x-request-id"] != "a b\tc"
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_debug_header_embeds_span_tree(self, warm_service):
+        rows = measured_rows(warm_service, "rc_lowpass", 2, seed=7)
+
+        async def run():
+            server = await serve(
+                AsyncDiagnosisService(warm_service,
+                                      window_seconds=0.001),
+                host="127.0.0.1", port=0)
+            host, port = server.address
+            try:
+                status, _, payload = await _http_full(
+                    host, port, "POST", "/v1/diagnose",
+                    codec.encode_request("rc_lowpass", rows),
+                    extra_headers=[("X-Repro-Debug", "trace")])
+                assert status == 200
+                data = json.loads(payload)
+                trace = data["trace"]
+                assert trace["name"] == "http.request"
+                assert trace["attrs"]["path"] == "/v1/diagnose"
+                assert trace["attrs"]["status"] == 200
+                child_names = {child["name"] for child
+                               in trace.get("children", ())}
+                assert "service.submit" in child_names
+                # The decorated payload still decodes as a response.
+                assert codec.decode_response(payload) == \
+                    warm_service.submit("rc_lowpass", rows)
+
+                # Without the header there is no trace key.
+                _, _, payload = await _http_full(
+                    host, port, "POST", "/v1/diagnose",
+                    codec.encode_request("rc_lowpass", rows))
+                assert "trace" not in json.loads(payload)
+            finally:
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_json_access_log_lines(self, warm_service, caplog):
+        async def run():
+            front = AsyncDiagnosisService(warm_service,
+                                          window_seconds=0.001)
+            server = DiagnosisHTTPServer(front, host="127.0.0.1",
+                                         port=0, log_json=True)
+            await server.start()
+            host, port = server.address
+            try:
+                await _http_full(
+                    host, port, "GET", "/v1/healthz",
+                    extra_headers=[("X-Request-Id", "log-probe")])
+            finally:
+                await server.aclose()
+
+        with caplog.at_level(logging.INFO, logger="repro.access"):
+            asyncio.run(run())
+        lines = [json.loads(record.getMessage())
+                 for record in caplog.records
+                 if record.name == "repro.access"]
+        probe = [line for line in lines
+                 if line["request_id"] == "log-probe"]
+        assert probe, f"no access line for the probe in {lines}"
+        assert probe[0]["method"] == "GET"
+        assert probe[0]["path"] == "/v1/healthz"
+        assert probe[0]["status"] == 200
+        assert probe[0]["duration_ms"] >= 0.0
+
+    def test_access_log_can_be_disabled(self, warm_service, caplog):
+        async def run():
+            front = AsyncDiagnosisService(warm_service,
+                                          window_seconds=0.001)
+            server = DiagnosisHTTPServer(front, host="127.0.0.1",
+                                         port=0, access_log=False)
+            await server.start()
+            host, port = server.address
+            try:
+                await _http_full(host, port, "GET", "/v1/healthz")
+            finally:
+                await server.aclose()
+
+        with caplog.at_level(logging.INFO, logger="repro.access"):
+            asyncio.run(run())
+        assert not [record for record in caplog.records
+                    if record.name == "repro.access"]

@@ -1,0 +1,297 @@
+"""Telemetry spine: exposition conformance, tracing, profiling bridge.
+
+The exposition tests pin Prometheus text format 0.0.4 details that
+real scrapers depend on -- label escaping, cumulative ``le`` buckets
+ending at ``+Inf``, ``# HELP``/``# TYPE`` comment lines -- and prove
+the module's own parser round-trips its renderer (the same parser the
+cluster front and the CI smoke job use as a validator).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro import profiling
+from repro.runtime import telemetry
+from repro.runtime.telemetry import (DEFAULT_SECONDS_BUCKETS,
+                                     MetricsRegistry,
+                                     ProfilingCollector, Tracer,
+                                     parse_exposition,
+                                     render_families,
+                                     render_registries)
+
+
+# ----------------------------------------------------------------------
+# Exposition format conformance
+# ----------------------------------------------------------------------
+class TestExposition:
+    def test_counter_help_type_and_value_lines(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "Jobs processed.")
+        counter.inc()
+        counter.inc(2)
+        text = registry.render()
+        assert "# HELP jobs_total Jobs processed.\n" in text
+        assert "# TYPE jobs_total counter\n" in text
+        assert "jobs_total 3\n" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "Hits.", ("path",))
+        counter.labels('a"b\\c\nd').inc()
+        text = registry.render()
+        assert 'hits_total{path="a\\"b\\\\c\\nd"} 1' in text
+        # The escaped form must survive a parse round-trip verbatim.
+        families = parse_exposition(text)
+        ((_, labels, value),) = families["hits_total"]["samples"]
+        assert labels == {"path": 'a"b\\c\nd'}
+        assert value == 1
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'latency_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'latency_seconds_bucket{le="1"} 3\n' in text
+        assert 'latency_seconds_bucket{le="10"} 4\n' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 5\n' in text
+        assert "latency_seconds_count 5\n" in text
+        assert "latency_seconds_sum 56.05" in text
+
+    def test_histogram_observation_on_bucket_boundary(self):
+        # Prometheus buckets are upper-inclusive: le="1" counts 1.0.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "H.", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert 'h_bucket{le="1"} 1\n' in registry.render()
+
+    def test_parse_back_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total", "Requests.",
+                                   ("code", "path"))
+        counter.labels("200", "/v1/diagnose").inc(7)
+        counter.labels("404", "/v1/ghost").inc()
+        registry.gauge("depth", "Queue depth.").set(3)
+        histogram = registry.histogram("lat_seconds", "Latency.",
+                                       buckets=(0.5, 1.0))
+        histogram.observe(0.2)
+        text = registry.render()
+
+        families = parse_exposition(text)
+        assert families["reqs_total"]["type"] == "counter"
+        assert families["reqs_total"]["help"] == "Requests."
+        samples = {tuple(sorted(labels.items())): value
+                   for _, labels, value
+                   in families["reqs_total"]["samples"]}
+        assert samples[(("code", "200"),
+                        ("path", "/v1/diagnose"))] == 7
+        assert families["depth"]["samples"] == [("depth", {}, 3.0)]
+        # Histogram child samples group under the family name.
+        names = {name for name, _, _
+                 in families["lat_seconds"]["samples"]}
+        assert names == {"lat_seconds_bucket", "lat_seconds_sum",
+                         "lat_seconds_count"}
+        # And the re-renderer emits text the parser accepts again.
+        assert parse_exposition(render_families(families)).keys() == \
+            families.keys()
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x sideways\nx 1\n")
+        with pytest.raises(ValueError):
+            parse_exposition('x{a="unterminated} 1\n')
+        with pytest.raises(ValueError):
+            parse_exposition("x notanumber\n")
+
+    def test_registry_is_idempotent_but_typed(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "X.")
+        assert registry.counter("x_total", "X.") is counter
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "X.")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "X.", ("label",))
+
+    def test_invalid_names_and_negative_counters(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "Bad.")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "Ok.", ("bad-label",))
+        counter = registry.counter("ok_total", "Ok.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_callback_evaluates_at_render(self):
+        registry = MetricsRegistry()
+        state = {"value": 1.0}
+        registry.gauge("disk_bytes", "Disk.").set_function(
+            lambda: state["value"])
+        assert "disk_bytes 1\n" in registry.render()
+        state["value"] = 2.0
+        assert "disk_bytes 2\n" in registry.render()
+        # A failing callback renders NaN instead of breaking a scrape.
+        registry.gauge("disk_bytes", "Disk.").set_function(
+            lambda: 1 / 0)
+        rendered = registry.render()
+        assert "disk_bytes NaN" in rendered
+
+    def test_render_registries_concatenates(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total", "A.").inc()
+        second.counter("b_total", "B.").inc()
+        families = parse_exposition(render_registries(first, second))
+        assert {"a_total", "b_total"} <= families.keys()
+
+    def test_nan_and_inf_render(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "G.")
+        gauge.set(math.inf)
+        assert "g +Inf\n" in registry.render()
+        gauge.set(-math.inf)
+        assert "g -Inf\n" in registry.render()
+
+
+# ----------------------------------------------------------------------
+# Trace spans + request ids
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_spans_nest_and_record_duration(self):
+        tracer = Tracer(capacity=8)
+        with tracer.span("outer", kind="request") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.children == [inner]
+        assert inner.duration_s is not None
+        assert inner.duration_s <= outer.duration_s
+        (tree,) = tracer.recent()
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"kind": "request"}
+        assert tree["children"][0]["name"] == "inner"
+        assert tree["children"][0]["duration_ms"] >= 0.0
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [span["name"] for span in tracer.recent()]
+        assert names == ["s2", "s3", "s4"]
+
+    def test_concurrent_tasks_get_separate_trees(self):
+        tracer = Tracer(capacity=8)
+
+        async def worker(name):
+            with tracer.span(name):
+                await asyncio.sleep(0)
+                with tracer.span(f"{name}.child"):
+                    await asyncio.sleep(0)
+
+        async def run():
+            await asyncio.gather(worker("a"), worker("b"))
+
+        asyncio.run(run())
+        roots = {span["name"]: span for span in tracer.recent()}
+        assert set(roots) == {"a", "b"}
+        assert [c["name"] for c in roots["a"]["children"]] == \
+            ["a.child"]
+        assert [c["name"] for c in roots["b"]["children"]] == \
+            ["b.child"]
+
+    def test_request_id_validation(self):
+        good = telemetry.ensure_request_id("req-1.A_2")
+        assert good == "req-1.A_2"
+        assert telemetry.current_request_id() == good
+        # Injection attempts and garbage get replaced, not echoed.
+        bad = telemetry.ensure_request_id("evil\r\nSet-Cookie: x")
+        assert bad != "evil\r\nSet-Cookie: x"
+        assert telemetry._REQUEST_ID_RE.match(bad)
+        assert telemetry._REQUEST_ID_RE.match(telemetry.new_request_id())
+        telemetry.set_request_id(None)
+        assert telemetry.current_request_id() is None
+
+
+# ----------------------------------------------------------------------
+# Profiling bridge
+# ----------------------------------------------------------------------
+class TestProfilingBridge:
+    def test_events_land_as_metric_families(self):
+        registry = MetricsRegistry()
+        with ProfilingCollector(registry):
+            profiling.profile_event("engine.solve", 0.25,
+                                    engine="batched", variants=32,
+                                    freqs=100, chunks=4)
+            profiling.profile_event("engine.stamp", 0.01,
+                                    engine="batched")
+            profiling.profile_event("pipeline.dictionary", 1.5,
+                                    circuit="rc_lowpass")
+            profiling.profile_event("ga.generation", 0.02,
+                                    generation=0, population=30)
+            profiling.profile_event("surface.sample", 0.001,
+                                    rows=40, freqs=4)
+        families = parse_exposition(registry.render())
+        assert families["repro_engine_solve_seconds"]["type"] == \
+            "histogram"
+        solved = {tuple(labels.items()): value for _, labels, value
+                  in families["repro_engine_variants_solved_total"]
+                  ["samples"]}
+        assert solved[(("engine", "batched"),)] == 32
+        stages = {labels["stage"] for _, labels, _
+                  in families["repro_pipeline_stage_seconds"]["samples"]
+                  if "stage" in labels}
+        assert "dictionary" in stages
+        assert families["repro_ga_generations_total"]["samples"] \
+            [0][2] == 1
+        assert families["repro_surface_rows_total"]["samples"] \
+            [0][2] == 40
+
+    def test_uninstall_detaches_the_sink(self):
+        registry = MetricsRegistry()
+        collector = ProfilingCollector(registry)
+        collector.install()
+        collector.uninstall()
+        profiling.profile_event("engine.stamp", 1.0, engine="scalar")
+        families = parse_exposition(registry.render())
+        counts = [value for name, _, value
+                  in families["repro_engine_stamp_seconds"]["samples"]
+                  if name.endswith("_count")]
+        assert sum(counts) == 0
+
+    def test_sink_errors_never_reach_the_hot_path(self):
+        def broken(stage, seconds, meta):
+            raise RuntimeError("boom")
+
+        profiling.add_profile_sink(broken)
+        try:
+            profiling.profile_event("engine.stamp", 0.0,
+                                    engine="scalar")
+        finally:
+            profiling.remove_profile_sink(broken)
+
+    def test_default_instrumentation_is_installed(self):
+        # Importing repro.runtime.telemetry wires engine/pipeline
+        # events into the process registry exactly once.
+        collector = telemetry.install_default_instrumentation()
+        assert collector is telemetry.install_default_instrumentation()
+        assert profiling.enabled()
+
+    def test_profiled_context_manager_emits_once(self):
+        events = []
+        sink = profiling.add_profile_sink(
+            lambda stage, seconds, meta: events.append(
+                (stage, seconds, meta)))
+        try:
+            with profiling.profiled("pipeline.exact", circuit="rc"):
+                pass
+        finally:
+            profiling.remove_profile_sink(sink)
+        ((stage, seconds, meta),) = events
+        assert stage == "pipeline.exact"
+        assert seconds >= 0.0
+        assert meta == {"circuit": "rc"}
