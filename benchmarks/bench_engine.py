@@ -22,7 +22,14 @@ and writes a machine-readable ``BENCH_engine.json``:
   pass + memo-deduplicated scoring) on identical fresh-cache
   populations.
 
-Both comparisons assert result equality before timing is trusted.
+Both dictionary-build regimes additionally time
+:class:`FactoredMnaEngine` (factor-once Sherman-Morrison-Woodbury
+low-rank updates), and a **size sweep** over uniform RC ladders with a
+fixed fault set maps where the low-rank path overtakes the dense one
+as the MNA dimension grows.
+
+Every comparison asserts result equality (bitwise for batched, scaled
+tolerance for factored) before timing is trusted.
 
 Run standalone (no pytest-benchmark needed)::
 
@@ -45,13 +52,16 @@ import numpy as np
 
 from repro import (
     BatchedMnaEngine,
+    FactoredMnaEngine,
     ScalarMnaEngine,
     parametric_universe,
     tow_thomas_biquad,
 )
+from repro.circuits.library import rc_ladder
 from repro.faults import FaultDictionary, ResponseSurface
 from repro.ga import PaperFitness
 from repro.ga.encoding import FrequencySpace
+from repro.sim import VariantSpec
 from repro.units import log_frequency_grid
 
 SEED = 2005
@@ -59,9 +69,14 @@ SEED = 2005
 REQUIRED_KEYS = {
     "dictionary_build": ("dense", "test_vector"),
     "ga_evaluation": ("per_individual_s", "population_s", "speedup"),
+    "size_sweep": ("points", "fault_components", "cases"),
     "telemetry_overhead": ("instrumented_s", "bare_s",
                            "overhead_fraction"),
 }
+
+#: Factored-vs-scalar agreement bound (scaled; see the engine docs --
+#: the low-rank path is a different floating-point computation).
+FACTORED_RTOL = 1e-9
 
 #: Ceiling on the relative cost of the always-on profiling hooks over
 #: a dictionary build (the serving acceptance bar).
@@ -86,8 +101,33 @@ def _assert_identical(built, reference):
         assert np.array_equal(a.response.values, b.response.values)
 
 
+def _assert_close(values, reference, context=""):
+    """Scaled-tolerance agreement (the factored-engine contract)."""
+    scale = max(float(np.max(np.abs(reference))), 1e-30)
+    if not np.allclose(values, reference, rtol=FACTORED_RTOL,
+                       atol=FACTORED_RTOL * scale):
+        worst = float(np.max(np.abs(values - reference))) / scale
+        raise AssertionError(
+            f"factored path drifted {worst:.2e} (scaled) past "
+            f"{FACTORED_RTOL:.0e} {context}")
+
+
+def _assert_dictionary_close(built, reference):
+    assert built.labels == reference.labels
+    _assert_close(built.golden.values, reference.golden.values,
+                  "on the golden response")
+    for a, b in zip(built.entries, reference.entries):
+        _assert_close(a.response.values, b.response.values,
+                      f"on {a.response.label}")
+
+
 def bench_dictionary_build(info, universe, grid, repeats):
-    """Scalar vs batched build on one grid; results asserted equal."""
+    """Scalar vs batched vs factored build on one grid.
+
+    Batched is asserted bitwise-equal to scalar; factored is asserted
+    within the scaled ``FACTORED_RTOL`` band before its timing is
+    trusted.
+    """
     scalar_s, scalar = _best_of(repeats, lambda: FaultDictionary.build(
         universe, info.output_node, grid,
         input_source=info.input_source,
@@ -96,21 +136,38 @@ def bench_dictionary_build(info, universe, grid, repeats):
         universe, info.output_node, grid,
         input_source=info.input_source,
         engine=BatchedMnaEngine(info.circuit)))
+    factored_s, factored = _best_of(
+        repeats, lambda: FaultDictionary.build(
+            universe, info.output_node, grid,
+            input_source=info.input_source,
+            engine=FactoredMnaEngine(info.circuit)))
     # Warm: the pipeline stamps once and reuses the engine across the
     # dense grid, the exact grid and held-out case generation.
     engine = BatchedMnaEngine(info.circuit)
     warm_s, _ = _best_of(repeats, lambda: FaultDictionary.build(
         universe, info.output_node, grid,
         input_source=info.input_source, engine=engine))
+    factored_engine = FactoredMnaEngine(info.circuit)
+    factored_warm_s, _ = _best_of(
+        repeats, lambda: FaultDictionary.build(
+            universe, info.output_node, grid,
+            input_source=info.input_source, engine=factored_engine))
     _assert_identical(batched, scalar)
+    _assert_dictionary_close(factored, scalar)
     return {
         "points": int(np.asarray(grid).size),
         "n_variants": len(universe) + 1,
         "scalar_s": scalar_s,
         "batched_s": batched_s,
         "batched_warm_s": warm_s,
+        "factored_s": factored_s,
+        "factored_warm_s": factored_warm_s,
         "speedup": scalar_s / batched_s,
         "speedup_warm": scalar_s / warm_s,
+        "speedup_factored": scalar_s / factored_s,
+        "factored_vs_batched": batched_s / factored_s,
+        "lowrank_fallbacks": sum(
+            factored_engine.lowrank_fallbacks.values()),
     }
 
 
@@ -140,6 +197,72 @@ def bench_ga_evaluation(info, universe, grid, population_size, repeats):
         "per_individual_s": individual_s,
         "population_s": population_s,
         "speedup": individual_s / population_s,
+    }
+
+
+#: Fault components timed at every ladder size -- fixed so the sweep
+#: isolates circuit *dimension*, not fault count.
+SWEEP_FAULT_COMPONENTS = 12
+SWEEP_GRID_POINTS = 31
+
+
+def bench_size_sweep(sections_list, repeats):
+    """Engine times vs circuit size on uniform RC ladders.
+
+    The MNA dimension grows linearly with ``sections`` while the fault
+    set stays fixed, exposing the dense-vs-low-rank crossover: per
+    variant the batched path refactors the full matrix at every
+    frequency (O(n^3)) where the factored path reuses the nominal
+    factorisation and solves a rank-<=2 capacitance system.
+    """
+    cases = []
+    for sections in sections_list:
+        info = rc_ladder(sections=sections)
+        names = list(info.circuit.passive_names)
+        step = max(1, len(names) // SWEEP_FAULT_COMPONENTS)
+        chosen = tuple(names[::step][:SWEEP_FAULT_COMPONENTS])
+        universe = parametric_universe(info.circuit,
+                                       components=chosen,
+                                       deviations=(-0.2, 0.2))
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz,
+                                  SWEEP_GRID_POINTS)
+        variants = (VariantSpec(name=info.circuit.name),) + \
+            universe.variants()
+
+        blocks = {}
+        times = {}
+        for kind in ("scalar", "batched", "factored"):
+            def solve(kind=kind):
+                engine = {"scalar": ScalarMnaEngine,
+                          "batched": BatchedMnaEngine,
+                          "factored": FactoredMnaEngine}[kind](
+                              info.circuit)
+                block = engine.transfer_block(
+                    info.output_node, grid, variants,
+                    info.input_source)
+                return engine, block
+            times[kind], (engine, blocks[kind]) = _best_of(repeats,
+                                                           solve)
+        assert np.array_equal(blocks["batched"].values,
+                              blocks["scalar"].values)
+        _assert_close(blocks["factored"].values,
+                      blocks["scalar"].values,
+                      f"on the {sections}-section ladder")
+        cases.append({
+            "sections": sections,
+            "dim": int(engine.system.dim),
+            "n_variants": len(variants),
+            "sparse_factorisation": bool(engine.uses_sparse),
+            "scalar_s": times["scalar"],
+            "batched_s": times["batched"],
+            "factored_s": times["factored"],
+            "factored_vs_batched":
+                times["batched"] / times["factored"],
+        })
+    return {
+        "points": SWEEP_GRID_POINTS,
+        "fault_components": SWEEP_FAULT_COMPONENTS,
+        "cases": cases,
     }
 
 
@@ -201,17 +324,28 @@ def run(quick: bool) -> dict:
             info, universe, dense_grid,
             population_size=32 if quick else 128,
             repeats=2 if quick else 3),
+        "size_sweep": bench_size_sweep(
+            (10, 30) if quick else (10, 25, 50, 100, 200),
+            repeats=1 if quick else 2),
         "telemetry_overhead": bench_telemetry_overhead(
             info, universe, dense_grid,
             repeats=5 if quick else 8),
         "notes": (
-            "All timed paths are asserted bitwise-equal before the "
-            "numbers are trusted. 'test_vector' is the exact-dictionary "
-            "stage every pipeline run and diagnosis request executes; "
-            "'dense' is LAPACK-bound, so both paths share its floor."),
+            "Scalar and batched paths are asserted bitwise-equal, the "
+            "factored path within its scaled tolerance band, before "
+            "the numbers are trusted. 'test_vector' is the "
+            "exact-dictionary stage every pipeline run and diagnosis "
+            "request executes; 'dense' is LAPACK-bound for scalar/"
+            "batched, which is exactly the per-variant refactorisation "
+            "the factored engine's Sherman-Morrison-Woodbury updates "
+            "avoid. The size sweep fixes the fault set and grows the "
+            "RC-ladder dimension to expose the dense-vs-low-rank "
+            "crossover."),
     }
     report["dictionary_build_speedup"] = \
         report["dictionary_build"]["test_vector"]["speedup"]
+    report["factored_vs_batched_dense"] = \
+        report["dictionary_build"]["dense"]["factored_vs_batched"]
     return report
 
 
@@ -224,7 +358,8 @@ def check(report: dict) -> None:
                 raise SystemExit(
                     f"BENCH_engine.json missing {key}.{field}")
     for regime in ("dense", "test_vector"):
-        for field in ("scalar_s", "batched_s", "speedup"):
+        for field in ("scalar_s", "batched_s", "factored_s",
+                      "speedup", "factored_vs_batched"):
             value = report["dictionary_build"][regime][field]
             if not (isinstance(value, float) and value > 0.0):
                 raise SystemExit(
@@ -232,6 +367,25 @@ def check(report: dict) -> None:
                     f"dictionary_build.{regime}.{field}: {value!r}")
     if report["dictionary_build_speedup"] <= 0.0:
         raise SystemExit("bad headline dictionary_build_speedup")
+    for case in report["size_sweep"]["cases"]:
+        for field in ("scalar_s", "batched_s", "factored_s"):
+            if not case[field] > 0.0:
+                raise SystemExit(
+                    f"bad size_sweep time {field} at "
+                    f"{case['sections']} sections")
+    if not report["quick"]:
+        # Full-mode performance bars (quick mode only checks shape --
+        # CI machines are too noisy for ratio assertions on tiny
+        # workloads).
+        headline = report["factored_vs_batched_dense"]
+        if headline < 2.0:
+            raise SystemExit(
+                f"factored engine only {headline:.2f}x vs batched on "
+                f"the dense build (bar: 2x)")
+        if not any(case["factored_vs_batched"] > 1.0 for case in
+                   report["size_sweep"]["cases"]):
+            raise SystemExit(
+                "size sweep shows no dense-vs-low-rank crossover")
     overhead = report["telemetry_overhead"]["overhead_fraction"]
     if overhead > MAX_TELEMETRY_OVERHEAD:
         raise SystemExit(
@@ -255,15 +409,27 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     build = report["dictionary_build"]
-    print(f"dictionary build (dense, {build['dense']['points']} pts): "
-          f"scalar {build['dense']['scalar_s'] * 1e3:.1f} ms, "
-          f"batched {build['dense']['batched_s'] * 1e3:.1f} ms "
-          f"({build['dense']['speedup']:.2f}x)")
+    dense = build["dense"]
+    print(f"dictionary build (dense, {dense['points']} pts): "
+          f"scalar {dense['scalar_s'] * 1e3:.1f} ms, "
+          f"batched {dense['batched_s'] * 1e3:.1f} ms "
+          f"({dense['speedup']:.2f}x), "
+          f"factored {dense['factored_s'] * 1e3:.1f} ms "
+          f"({dense['factored_vs_batched']:.2f}x vs batched)")
     tv = build["test_vector"]
     print(f"dictionary build (test vector, {tv['points']} pts): "
           f"scalar {tv['scalar_s'] * 1e3:.2f} ms, "
           f"batched {tv['batched_s'] * 1e3:.2f} ms "
-          f"({tv['speedup']:.2f}x cold, {tv['speedup_warm']:.2f}x warm)")
+          f"({tv['speedup']:.2f}x cold, {tv['speedup_warm']:.2f}x "
+          f"warm), factored {tv['factored_s'] * 1e3:.2f} ms")
+    for case in report["size_sweep"]["cases"]:
+        mode = "sparse" if case["sparse_factorisation"] else "dense"
+        print(f"size sweep ({case['sections']} sections, dim "
+              f"{case['dim']}, {mode} factorisation): scalar "
+              f"{case['scalar_s'] * 1e3:.1f} ms, batched "
+              f"{case['batched_s'] * 1e3:.1f} ms, factored "
+              f"{case['factored_s'] * 1e3:.1f} ms "
+              f"({case['factored_vs_batched']:.2f}x vs batched)")
     ga = report["ga_evaluation"]
     print(f"GA evaluation ({ga['population']} individuals): "
           f"per-individual {ga['per_individual_s'] * 1e3:.1f} ms, "

@@ -104,6 +104,7 @@ from .ga import (
 from .sim import (
     ACAnalysis,
     BatchedMnaEngine,
+    FactoredMnaEngine,
     DCAnalysis,
     FrequencyResponse,
     MnaSystem,
@@ -152,6 +153,7 @@ __all__ = [
     "sensitivity_analysis",
     "SimulationEngine",
     "BatchedMnaEngine",
+    "FactoredMnaEngine",
     "ScalarMnaEngine",
     "ResponseBlock",
     "VariantSpec",

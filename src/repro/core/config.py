@@ -58,10 +58,15 @@ class PipelineConfig:
     engine:
         Simulation engine for every fault-simulation stage:
         ``"batched"`` (default; stamp-once/solve-many
-        :class:`~repro.sim.engine.BatchedMnaEngine`) or ``"scalar"``
+        :class:`~repro.sim.engine.BatchedMnaEngine`), ``"scalar"``
         (one circuit assembly per variant -- the reference path, kept
-        for conservative deployments and equivalence testing). Both
-        produce bitwise-identical responses.
+        for conservative deployments and equivalence testing) or
+        ``"factored"`` (:class:`~repro.sim.engine.FactoredMnaEngine`:
+        nominal system factored once per frequency, fault variants
+        solved via Sherman-Morrison-Woodbury low-rank updates with a
+        per-variant dense fallback). Batched and scalar produce
+        bitwise-identical responses; factored matches them within
+        tight tolerance (~1e-12 relative on the benchmark circuits).
     """
 
     deviations: Tuple[float, ...] = field(

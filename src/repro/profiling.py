@@ -21,7 +21,16 @@ Event vocabulary (``stage`` strings emitted by the instrumented code):
 
 =========================  ====================================================
 ``engine.stamp``           One engine construction (MNA stamping + op record).
-``engine.solve``           One ``transfer_block`` call (batched or scalar).
+``engine.solve``           One ``transfer_block`` call (batched, scalar or
+                           factored; the factored engine's per-variant dense
+                           fallbacks book their own ``engine.solve`` events
+                           under ``engine="factored_fallback"``).
+``engine.factor``          Factored engine: nominal factorisation + shared
+                           multi-RHS solves (meta: ``mode`` dense/sparse,
+                           ``rhs_columns``).
+``engine.lowrank``         Factored engine: batched Sherman-Morrison-Woodbury
+                           update stage (meta: ``updates``, ``fallbacks``,
+                           ``fallback_conditioning``/``_rank``/``_nonfinite``).
 ``pipeline.dictionary``    Fault-dictionary build stage of the ATPG pipeline.
 ``pipeline.ga_search``     GA frequency search stage.
 ``pipeline.exact``         Exact dictionary rebuild at the found test vector.

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import json
 import logging
 import sys
@@ -81,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config-json", default=None, metavar="JSON",
                         help="PipelineConfig as inline JSON or "
                              "@path/to/file.json (overrides --config)")
+    parser.add_argument("--engine",
+                        choices=("scalar", "batched", "factored"),
+                        default=None,
+                        help="simulation engine for circuit warm-ups: "
+                             "'batched' (stamp-once dense solves), "
+                             "'scalar' (reference path) or 'factored' "
+                             "(factor-once Sherman-Morrison-Woodbury "
+                             "low-rank updates, dense fallback on "
+                             "ill-conditioned faults); overrides the "
+                             "--config/--config-json engine field "
+                             "(default: use the config's engine)")
     parser.add_argument("--window-ms", type=float,
                         default=WORKER_DEFAULTS["window_ms"],
                         help="coalescing window in milliseconds "
@@ -141,9 +153,13 @@ def load_config(args: argparse.Namespace) -> PipelineConfig:
         text = args.config_json
         if text.startswith("@"):
             text = Path(text[1:]).read_text()
-        return PipelineConfig.from_json_dict(json.loads(text))
-    return PipelineConfig.paper() if args.config == "paper" \
-        else PipelineConfig.quick()
+        config = PipelineConfig.from_json_dict(json.loads(text))
+    else:
+        config = PipelineConfig.paper() if args.config == "paper" \
+            else PipelineConfig.quick()
+    if getattr(args, "engine", None):
+        config = dataclasses.replace(config, engine=args.engine)
+    return config
 
 
 def make_store(args: argparse.Namespace) -> Optional[ArtifactStore]:

@@ -120,6 +120,9 @@ class ServiceStats:
     peak_queue_depth: int = 0
     #: Coalesced batch sizes (rows), bucketed to powers of two.
     batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Simulation engine kind the owning service warms circuits with
+    #: (``PipelineConfig.engine``); surfaced through ``/v1/stats``.
+    engine_kind: str = "batched"
     per_circuit: Dict[str, CircuitStats] = field(default_factory=dict)
     registry: Optional[telemetry.MetricsRegistry] = field(
         default=None, repr=False, compare=False)
@@ -270,6 +273,7 @@ class ServiceStats:
         with self._lock:
             window = sorted(self._latencies)
             snap: Dict[str, object] = {
+                "engine_kind": self.engine_kind,
                 "requests": self.requests,
                 "responses_diagnosed": self.responses_diagnosed,
                 "total_latency_seconds": self.total_latency_seconds,
@@ -339,7 +343,8 @@ class DiagnosisService:
         self.store = as_store(store)
         self.max_engines = max_engines
         self.seed = seed
-        self.stats = ServiceStats(registry=registry)
+        self.stats = ServiceStats(registry=registry,
+                                  engine_kind=self.config.engine)
         self._circuits: Dict[str, CircuitInfo] = {}
         self._engines: "OrderedDict[str, _Engine]" = OrderedDict()
         self._lock = threading.Lock()

@@ -730,6 +730,16 @@ class ProfilingCollector:
       ``transfer_block`` wall time;
     * ``repro_engine_variants_solved_total{engine}`` /
       ``repro_engine_solve_chunks_total{engine}`` -- work counters;
+    * ``repro_engine_lowrank_updates_total`` -- variants solved via
+      Sherman-Morrison-Woodbury updates by the factored engine;
+    * ``repro_engine_lowrank_fallbacks_total{reason}`` -- variants the
+      factored engine routed to the dense path (``conditioning``,
+      ``rank`` or ``nonfinite``);
+    * ``repro_engine_lowrank_factor_seconds{mode}`` -- histogram of
+      nominal factorisation + multi-RHS solve time (``dense`` or
+      ``sparse`` assembly);
+    * ``repro_engine_lowrank_update_seconds`` -- histogram of the
+      batched capacitance-solve (update) stage;
     * ``repro_pipeline_stage_seconds{stage}`` -- histogram of ATPG
       build stages (dictionary, ga_search, exact, trajectories);
     * ``repro_ga_generations_total`` / ``repro_ga_generation_seconds``;
@@ -755,6 +765,21 @@ class ProfilingCollector:
         self._chunks_total = registry.counter(
             "repro_engine_solve_chunks_total",
             "Chunked batched-solve invocations.", ("engine",))
+        self._lowrank_updates_total = registry.counter(
+            "repro_engine_lowrank_updates_total",
+            "Variants solved via Sherman-Morrison-Woodbury low-rank "
+            "updates.")
+        self._lowrank_fallbacks_total = registry.counter(
+            "repro_engine_lowrank_fallbacks_total",
+            "Variants routed from the low-rank path to the dense "
+            "fallback.", ("reason",))
+        self._lowrank_factor_seconds = registry.histogram(
+            "repro_engine_lowrank_factor_seconds",
+            "Nominal factorisation + multi-RHS solve wall time.",
+            ("mode",))
+        self._lowrank_update_seconds = registry.histogram(
+            "repro_engine_lowrank_update_seconds",
+            "Low-rank capacitance-solve (update stage) wall time.")
         self._stage_seconds = registry.histogram(
             "repro_pipeline_stage_seconds",
             "ATPG pipeline stage wall time.", ("stage",),
@@ -785,6 +810,19 @@ class ProfilingCollector:
         elif stage == "engine.stamp":
             engine = str(meta.get("engine", "unknown"))
             self._stamp_seconds.labels(engine).observe(seconds)
+        elif stage == "engine.factor":
+            mode = str(meta.get("mode", "dense"))
+            self._lowrank_factor_seconds.labels(mode).observe(seconds)
+        elif stage == "engine.lowrank":
+            self._lowrank_update_seconds.observe(seconds)
+            updates = meta.get("updates")
+            if updates:
+                self._lowrank_updates_total.inc(float(updates))
+            for reason in ("conditioning", "rank", "nonfinite"):
+                count = meta.get(f"fallback_{reason}")
+                if count:
+                    self._lowrank_fallbacks_total.labels(reason) \
+                        .inc(float(count))
         elif stage.startswith("pipeline."):
             self._stage_seconds.labels(stage[len("pipeline."):]) \
                 .observe(seconds)

@@ -4,6 +4,7 @@ from .ac import ACAnalysis, FrequencyResponse
 from .dc import DCAnalysis, OperatingPoint
 from .engine import (
     BatchedMnaEngine,
+    FactoredMnaEngine,
     ResponseBlock,
     ScalarMnaEngine,
     SimulationEngine,
@@ -33,6 +34,7 @@ __all__ = [
     "ComponentOps",
     "SimulationEngine",
     "BatchedMnaEngine",
+    "FactoredMnaEngine",
     "ScalarMnaEngine",
     "ResponseBlock",
     "VariantSpec",

@@ -6,7 +6,7 @@ For a fault universe that repeats the assembly work hundreds of times on
 circuits that differ from the nominal one in a single component value.
 
 This module factors the "solve a family of single-deviation variants"
-operation behind a :class:`SimulationEngine` protocol with two
+operation behind a :class:`SimulationEngine` protocol with three
 implementations:
 
 * :class:`ScalarMnaEngine` -- the reference: one circuit clone + one
@@ -16,14 +16,26 @@ implementations:
   variant's ``G``/``B`` matrices by re-folding only the entries the
   deviated component touches (delta-stamps, no circuit re-parse), and
   solves all variants x all grid frequencies with chunked batched
-  ``np.linalg.solve``.
+  ``np.linalg.solve``;
+* :class:`FactoredMnaEngine` -- factors the *nominal* system once per
+  frequency and solves every variant through batched
+  Sherman-Morrison-Woodbury low-rank updates (each single-component
+  fault only perturbs a handful of MNA entries), falling back to the
+  batched dense path per variant when an update is ill-conditioned.
+  Optionally assembles the nominal system with ``scipy.sparse`` on
+  large circuits (graceful numpy-dense fallback when scipy is absent).
 
-Equivalence contract: both engines produce *bitwise identical* response
-blocks. The batched engine re-folds affected matrix entries in the exact
-accumulation order of the direct stamper and feeds the same per-matrix
-``A(s) = G + s B`` systems to the same LAPACK routine, so no tolerance
-is needed anywhere -- the test suite asserts exact equality across the
-whole circuit library.
+Equivalence contract: the scalar and batched engines produce *bitwise
+identical* response blocks. The batched engine re-folds affected matrix
+entries in the exact accumulation order of the direct stamper and feeds
+the same per-matrix ``A(s) = G + s B`` systems to the same LAPACK
+routine, so no tolerance is needed anywhere -- the test suite asserts
+exact equality across the whole circuit library. The factored engine
+computes the same transfers through an algebraically different route,
+so its contract is *tight-tolerance* agreement with the scalar
+reference (asserted across the registry and backstopped by the golden
+suite), with the conditioning guard routing numerically risky updates
+back onto the bitwise dense path.
 
 Both engines return a :class:`ResponseBlock`, a ``(n_variants, n_freqs)``
 complex transfer matrix that lazily slices into the familiar
@@ -44,7 +56,9 @@ from ..circuits.components import Component
 from ..circuits.netlist import Circuit
 from ..errors import SimulationError, SingularCircuitError
 from ..units import TWO_PI, db
+from . import lowrank
 from .ac import ACAnalysis, FrequencyResponse, source_phasor
+from .lowrank import LowRankDelta, NominalFactorSolver
 from .mna import ComponentOps, MnaSystem
 
 __all__ = [
@@ -53,11 +67,12 @@ __all__ = [
     "SimulationEngine",
     "ScalarMnaEngine",
     "BatchedMnaEngine",
+    "FactoredMnaEngine",
     "make_engine",
     "ENGINE_KINDS",
 ]
 
-ENGINE_KINDS = ("batched", "scalar")
+ENGINE_KINDS = ("batched", "scalar", "factored")
 
 # The (K, N, N) stacks handed to np.linalg.solve are chunked to roughly
 # this many bytes: big enough to amortise the gufunc dispatch, small
@@ -252,6 +267,13 @@ class BatchedMnaEngine:
     LAPACK operation the scalar sweep performs).
     """
 
+    #: Profiling label for engine construction (``engine.stamp``).
+    _kind = "batched"
+    #: Profiling label for the dense ``transfer_block`` solve
+    #: (``engine.solve``); the factored subclass relabels its fallback
+    #: calls so dashboards can tell main-path from fallback work.
+    _dense_solve_kind = "batched"
+
     def __init__(self, circuit: Circuit, gmin: float = 0.0) -> None:
         stamp_start = time.perf_counter() if profiling.enabled() else None
         self._circuit = circuit
@@ -300,7 +322,7 @@ class BatchedMnaEngine:
         if stamp_start is not None:
             profiling.profile_event(
                 "engine.stamp", time.perf_counter() - stamp_start,
-                engine="batched", circuit=circuit.name,
+                engine=self._kind, circuit=circuit.name,
                 dim=self.system.dim)
 
     @property
@@ -396,11 +418,10 @@ class BatchedMnaEngine:
                         "feedback") from exc
             return out
 
-    def transfer_block(self, output_node: str, freqs_hz: np.ndarray,
-                       variants: Sequence[VariantSpec],
-                       input_source: Optional[str] = None
-                       ) -> ResponseBlock:
-        freqs = np.asarray(freqs_hz, dtype=float)
+    def _check_block_args(self, freqs: np.ndarray,
+                          variants: Sequence[VariantSpec],
+                          input_source: Optional[str]) -> str:
+        """Shared ``transfer_block`` validation; returns the source name."""
         if freqs.ndim != 1 or freqs.size == 0:
             raise SimulationError("frequency grid must be a non-empty "
                                   "1-D array")
@@ -414,6 +435,15 @@ class BatchedMnaEngine:
             raise SimulationError(
                 f"{self._circuit.name}: no component named "
                 f"{source_name!r}")
+        return source_name
+
+    def transfer_block(self, output_node: str, freqs_hz: np.ndarray,
+                       variants: Sequence[VariantSpec],
+                       input_source: Optional[str] = None
+                       ) -> ResponseBlock:
+        freqs = np.asarray(freqs_hz, dtype=float)
+        source_name = self._check_block_args(freqs, variants,
+                                             input_source)
 
         num_variants = len(variants)
         num_freqs = freqs.size
@@ -499,7 +529,281 @@ class BatchedMnaEngine:
         if solve_start is not None:
             profiling.profile_event(
                 "engine.solve", time.perf_counter() - solve_start,
-                engine="batched", variants=num_variants,
+                engine=self._dense_solve_kind, variants=num_variants,
+                freqs=num_freqs, chunks=chunks_solved)
+        return ResponseBlock(freqs, values, labels, output_node)
+
+
+class FactoredMnaEngine(BatchedMnaEngine):
+    """Factor-once / low-rank-update engine (Sherman-Morrison-Woodbury).
+
+    Every fault variant only perturbs the handful of MNA entries its
+    replaced component stamps, so ``A_v(s) = A(s) + U M(s) V.T`` with a
+    tiny ``(r, c)`` block ``M(s) = delta_g + s * delta_b`` (``r``, ``c``
+    <= ``max_rank``). Instead of one dense LU per variant per frequency
+    (the batched path), this engine:
+
+    1. solves the *nominal* system once per frequency against a shared
+       multi-column RHS -- the stimulus vector plus one identity column
+       per touched row (one LU amortised over all columns; optionally
+       ``scipy.sparse`` ``splu`` on large circuits);
+    2. forms each variant's ``r x r`` capacitance matrix
+       ``C = I + M(s) * V.T A(s)^{-1} U`` and solves it **batched over
+       same-support variant groups and frequencies**;
+    3. combines ``x_v[out] = y0[out] - (A^{-1}U)[out] C^{-1} M y0[V]``
+       -- the Woodbury identity evaluated only at the observed output.
+
+    Numerics are guarded per variant: a capacitance matrix that is
+    non-finite, near-singular or worse-conditioned than ``cond_limit``
+    routes that variant to the inherited batched dense path (bitwise
+    the historical result), as do updates wider than ``max_rank``.
+    Stimulus-source replacements (RHS deltas) stay on the low-rank path
+    via extra nominal columns at the touched RHS rows.
+
+    Counters (``lowrank_updates``, ``lowrank_fallbacks``) accumulate
+    across calls and are mirrored to :mod:`repro.profiling` events
+    (``engine.factor``, ``engine.lowrank``, ``engine.solve``) for the
+    telemetry layer.
+    """
+
+    _kind = "factored"
+    _dense_solve_kind = "factored_fallback"
+
+    def __init__(self, circuit: Circuit, gmin: float = 0.0, *,
+                 cond_limit: float = 1e8, max_rank: int = 8,
+                 sparse: object = "auto",
+                 sparse_min_dim: int = 50) -> None:
+        super().__init__(circuit, gmin=gmin)
+        if not cond_limit > 0.0:
+            raise SimulationError("cond_limit must be positive")
+        if max_rank < 1:
+            raise SimulationError("max_rank must be >= 1")
+        if sparse not in ("auto", True, False):
+            raise SimulationError(
+                f"sparse must be 'auto', True or False, got {sparse!r}")
+        if sparse is True and lowrank.scipy_sparse() is None:
+            raise SimulationError(
+                f"{circuit.name}: sparse=True requires scipy; install "
+                "it or use sparse='auto' for the numpy fallback")
+        self.cond_limit = float(cond_limit)
+        self.max_rank = int(max_rank)
+        self.sparse_min_dim = int(sparse_min_dim)
+        self._sparse_mode = sparse
+        self._solver: Optional[NominalFactorSolver] = None
+        #: Variants solved via low-rank updates, across all calls.
+        self.lowrank_updates = 0
+        #: Dense-fallback counts by reason, across all calls.
+        self.lowrank_fallbacks: Dict[str, int] = {
+            "conditioning": 0, "rank": 0, "nonfinite": 0}
+
+    @property
+    def uses_sparse(self) -> bool:
+        """Whether nominal factorisation runs through scipy.sparse."""
+        if self._sparse_mode == "auto":
+            return lowrank.scipy_sparse() is not None and \
+                self.system.dim >= self.sparse_min_dim
+        return bool(self._sparse_mode)
+
+    def _nominal_solver(self) -> NominalFactorSolver:
+        if self._solver is None:
+            self._solver = NominalFactorSolver(
+                self._base_g, self._base_b, sparse=self.uses_sparse,
+                label=self._circuit.name)
+        return self._solver
+
+    def transfer_block(self, output_node: str, freqs_hz: np.ndarray,
+                       variants: Sequence[VariantSpec],
+                       input_source: Optional[str] = None
+                       ) -> ResponseBlock:
+        freqs = np.asarray(freqs_hz, dtype=float)
+        source_name = self._check_block_args(freqs, variants,
+                                             input_source)
+        num_variants = len(variants)
+        num_freqs = freqs.size
+        dim = self.system.dim
+
+        labels: List[str] = []
+        phasors = np.empty(num_variants, dtype=complex)
+        deltas: List[Optional[LowRankDelta]] = [None] * num_variants
+        fallback: Dict[int, str] = {}
+        for index, spec in enumerate(variants):
+            labels.append(spec.name or self._circuit.name)
+            source = next((c for c in spec.replacements
+                           if c.name == source_name),
+                          self._circuit[source_name])
+            phasors[index] = source_phasor(source, source_name)
+            if not spec.replacements:
+                continue
+            delta = lowrank.variant_delta(
+                self._ops, self._replacement_ops(spec))
+            if delta.rank > self.max_rank:
+                fallback[index] = "rank"
+            else:
+                deltas[index] = delta
+
+        out_index = self.system.node_index(output_node)
+        if out_index < 0:
+            # Observing ground: every transfer is identically zero, no
+            # solves needed (matches the batched result).
+            return ResponseBlock(
+                freqs, np.zeros((num_variants, num_freqs),
+                                dtype=complex), labels, output_node)
+
+        profiled = profiling.enabled()
+        total_start = time.perf_counter() if profiled else 0.0
+        factor_seconds = 0.0
+        update_seconds = 0.0
+        chunks_solved = 0
+
+        # Group low-rank variants by support signature so capacitance
+        # solves batch over (variants in group) x (frequency chunk);
+        # all deviations of one component share a signature.
+        identity_indices: List[int] = []
+        grouped: Dict[tuple, List[int]] = {}
+        for index in range(num_variants):
+            if index in fallback:
+                continue
+            delta = deltas[index]
+            if delta is None or delta.is_identity:
+                identity_indices.append(index)
+            else:
+                grouped.setdefault(delta.signature, []).append(index)
+
+        union_rows: List[int] = sorted(
+            {row for signature in grouped for row in signature[0]} |
+            {row for signature in grouped for row in signature[2]})
+        cols_union: List[int] = sorted(
+            {col for signature in grouped for col in signature[1]})
+        union_pos = {row: i for i, row in enumerate(union_rows)}
+        cols_pos = {col: i for i, col in enumerate(cols_union)}
+        num_cols = len(union_rows)
+
+        prepared = []
+        for (rows, cols, rhs_rows), indices in grouped.items():
+            group_deltas = [deltas[i] for i in indices]
+            prepared.append((
+                np.asarray(indices, dtype=int),
+                np.asarray([union_pos[r] for r in rows], dtype=int),
+                np.asarray([cols_pos[c] for c in cols], dtype=int),
+                np.asarray([union_pos[r] for r in rhs_rows], dtype=int),
+                np.stack([d.delta_g for d in group_deltas]),
+                np.stack([d.delta_b for d in group_deltas]),
+                np.stack([d.rhs_delta for d in group_deltas])
+                if rhs_rows else None,
+                len(rows)))
+
+        x_out = np.empty((num_variants, num_freqs), dtype=complex)
+        if prepared or identity_indices:
+            # Shared RHS: the stimulus vector plus one identity column
+            # per touched (matrix or RHS) row.
+            rhs_mat = np.zeros((dim, 1 + num_cols), dtype=complex)
+            rhs_mat[:, 0] = self._base_z_ac
+            for position, row in enumerate(union_rows):
+                rhs_mat[row, 1 + position] = 1.0
+            solver = self._nominal_solver()
+            s_all = 1j * TWO_PI * freqs
+            bytes_per_freq = 16 * dim * \
+                (dim if not solver.sparse else 4 * (1 + num_cols))
+            chunk = max(1, int(_STACK_MEMORY_BUDGET //
+                               max(1, bytes_per_freq)))
+            for start in range(0, num_freqs, chunk):
+                stop = min(start + chunk, num_freqs)
+                s_chunk = s_all[start:stop]
+                tick = time.perf_counter() if profiled else 0.0
+                solution = solver.solve(s_chunk, rhs_mat)
+                if profiled:
+                    now = time.perf_counter()
+                    factor_seconds += now - tick
+                    tick = now
+                chunks_solved += 1
+                y0_out = solution[:, out_index, 0]
+                w_out = solution[:, out_index, 1:]
+                y0_cols = solution[:, cols_union, 0]
+                w_cols = solution[:, cols_union, 1:]
+                if identity_indices:
+                    x_out[identity_indices, start:stop] = y0_out
+                for indices, rowsel, colsel, rhssel, mg, mb, dz, \
+                        rank in prepared:
+                    if dz is not None:
+                        y0v_out = y0_out[None, :] + np.einsum(
+                            "vR,fR->vf", dz, w_out[:, rhssel])
+                        y0v_cols = y0_cols[None, :, colsel] + np.einsum(
+                            "vR,fcR->vfc", dz,
+                            w_cols[:, colsel][:, :, rhssel])
+                    else:
+                        y0v_out = y0_out[None, :]
+                        y0v_cols = y0_cols[None, :, colsel]
+                    if rank == 0:
+                        # Pure RHS update (stimulus replacement): the
+                        # matrix is nominal, no capacitance solve.
+                        x_out[indices, start:stop] = y0v_out
+                        continue
+                    m_block = mg[:, None, :, :] + \
+                        s_chunk[None, :, None, None] * mb[:, None, :, :]
+                    s_block = w_cols[:, colsel][:, :, rowsel]
+                    cap = np.eye(rank) + m_block @ s_block[None]
+                    finite = np.isfinite(cap).all(axis=(-2, -1))
+                    if not finite.all():
+                        cap[~finite] = np.eye(rank)
+                    smax, smin = lowrank.singular_bounds(cap)
+                    bad = ~finite | (smin * self.cond_limit <=
+                                     np.maximum(smax, 1.0))
+                    if bad.any():
+                        cap[bad] = np.eye(rank)
+                        for local in np.nonzero(bad.any(axis=1))[0]:
+                            fallback.setdefault(int(indices[local]),
+                                                "conditioning")
+                    rhs_small = m_block @ y0v_cols[..., None]
+                    t_small = lowrank.solve_capacitance(cap, rhs_small)
+                    corr = np.einsum("fr,vfr->vf", w_out[:, rowsel],
+                                     t_small)
+                    x_out[indices, start:stop] = y0v_out - corr
+                if profiled:
+                    update_seconds += time.perf_counter() - tick
+
+        # A finite capacitance matrix can still overflow downstream;
+        # route any non-finite low-rank row to the dense path too.
+        for indices, *_ in prepared:
+            for index in indices:
+                index = int(index)
+                if index not in fallback and \
+                        not np.all(np.isfinite(x_out[index])):
+                    fallback[index] = "nonfinite"
+
+        values = x_out / phasors[:, None]
+        fallback_indices = sorted(fallback)
+        if fallback_indices:
+            dense_block = BatchedMnaEngine.transfer_block(
+                self, output_node, freqs,
+                [variants[i] for i in fallback_indices], input_source)
+            values[fallback_indices] = dense_block.values
+
+        updates = sum(
+            1 for indices, *_ in prepared for index in indices
+            if int(index) not in fallback)
+        self.lowrank_updates += updates
+        reason_counts = {"conditioning": 0, "rank": 0, "nonfinite": 0}
+        for reason in fallback.values():
+            reason_counts[reason] += 1
+        for reason, count in reason_counts.items():
+            self.lowrank_fallbacks[reason] += count
+
+        if profiled:
+            solver = self._solver
+            profiling.profile_event(
+                "engine.factor", factor_seconds, engine="factored",
+                mode="sparse" if solver is not None and solver.sparse
+                else "dense",
+                freqs=num_freqs, rhs_columns=1 + num_cols)
+            profiling.profile_event(
+                "engine.lowrank", update_seconds, engine="factored",
+                updates=updates, fallbacks=len(fallback),
+                fallback_conditioning=reason_counts["conditioning"],
+                fallback_rank=reason_counts["rank"],
+                fallback_nonfinite=reason_counts["nonfinite"])
+            profiling.profile_event(
+                "engine.solve", time.perf_counter() - total_start,
+                engine="factored", variants=num_variants,
                 freqs=num_freqs, chunks=chunks_solved)
         return ResponseBlock(freqs, values, labels, output_node)
 
@@ -511,5 +815,7 @@ def make_engine(circuit: Circuit, kind: str = "batched",
         return BatchedMnaEngine(circuit, gmin=gmin)
     if kind == "scalar":
         return ScalarMnaEngine(circuit, gmin=gmin)
+    if kind == "factored":
+        return FactoredMnaEngine(circuit, gmin=gmin)
     raise SimulationError(
         f"engine kind must be one of {ENGINE_KINDS}, got {kind!r}")

@@ -1,0 +1,269 @@
+"""Low-rank delta factorisation + factor-once nominal solves.
+
+Support machinery for :class:`~repro.sim.engine.FactoredMnaEngine`:
+
+* :func:`variant_delta` turns a variant's replacement stamp-ops into a
+  :class:`LowRankDelta` -- the dense ``(r, c)`` blocks ``delta_g`` /
+  ``delta_b`` such that the variant's MNA matrix is
+  ``A_v(s) = A(s) + E_rows @ (delta_g + s * delta_b) @ E_cols.T``
+  (``E_*`` are identity-column selections). Single-component faults
+  touch 1-4 rows/columns, so the blocks are tiny.
+* :class:`NominalFactorSolver` factors the *nominal* ``A(s) = G + s B``
+  once per frequency and solves a shared multi-column right-hand side
+  (the stimulus vector plus one identity column per touched row) --
+  either with one batched dense LAPACK call per frequency chunk, or
+  through :func:`scipy.sparse.linalg.splu` when scipy is importable and
+  the circuit is large enough for sparsity to pay.
+
+The module deliberately knows nothing about circuits or engines: it
+consumes :class:`~repro.sim.mna.ComponentOps` streams and numpy arrays,
+so it is unit-testable in isolation and free of import cycles.
+
+scipy is **optional**: every entry point degrades to the numpy dense
+path when it is absent (the CI tier runs without scipy to pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError, SingularCircuitError
+from .mna import ComponentOps
+
+__all__ = [
+    "LowRankDelta",
+    "NominalFactorSolver",
+    "scipy_sparse",
+    "singular_bounds",
+    "solve_capacitance",
+    "variant_delta",
+]
+
+
+def scipy_sparse():
+    """The ``scipy.sparse`` module, or ``None`` when scipy is absent.
+
+    Import is attempted lazily on every call (cheap: ``sys.modules``
+    hit after the first) so tests can simulate a scipy-less install by
+    patching this function rather than the import machinery.
+    """
+    try:
+        import scipy.sparse  # noqa: PLC0415
+        import scipy.sparse.linalg  # noqa: PLC0415
+    except Exception:
+        return None
+    return scipy.sparse
+
+
+@dataclass(frozen=True)
+class LowRankDelta:
+    """One variant's MNA perturbation as dense blocks on a tiny support.
+
+    ``rows`` / ``cols`` index the touched matrix entries;
+    ``delta_g[i, j]`` / ``delta_b[i, j]`` are the exact changes to
+    ``G[rows[i], cols[j]]`` / ``B[rows[i], cols[j]]``. ``rhs_rows`` /
+    ``rhs_delta`` carry changes to the AC right-hand side (stimulus
+    source replacements). Entries whose net change is exactly zero are
+    dropped, so the support is the *numerically* touched set.
+    """
+
+    rows: Tuple[int, ...]
+    cols: Tuple[int, ...]
+    delta_g: np.ndarray
+    delta_b: np.ndarray
+    rhs_rows: Tuple[int, ...]
+    rhs_delta: np.ndarray
+
+    @property
+    def rank(self) -> int:
+        """Upper bound on the update rank (support size)."""
+        return max(len(self.rows), len(self.cols))
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the replacement changes nothing at all."""
+        return not self.rows and not self.rhs_rows
+
+    @property
+    def signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...],
+                                 Tuple[int, ...]]:
+        """Support key -- same-signature variants batch into one solve."""
+        return (self.rows, self.cols, self.rhs_rows)
+
+
+def variant_delta(nominal_ops: Mapping[str, ComponentOps],
+                  replaced: Mapping[str, ComponentOps]) -> LowRankDelta:
+    """Exact stamp delta of a replacement set vs the nominal ops.
+
+    Both mappings must hold structurally identical op streams per
+    component (the engine validates this before calling); the delta of
+    an entry is then the position-wise sum of ``new - old`` values, and
+    contributions from untouched components cancel exactly.
+    """
+    matrix: Dict[Tuple[str, int, int], complex] = {}
+    rhs: Dict[int, complex] = {}
+    for name, new_ops in replaced.items():
+        old_ops = nominal_ops[name]
+        for (target, row, col, new_value), (_, _, _, old_value) in \
+                zip(new_ops.matrix_ops, old_ops.matrix_ops):
+            change = complex(new_value) - complex(old_value)
+            if change != 0:
+                key = (target, row, col)
+                matrix[key] = matrix.get(key, 0j) + change
+        for (target, row, new_value), (_, _, old_value) in \
+                zip(new_ops.rhs_ops, old_ops.rhs_ops):
+            if target != "ac":
+                continue
+            change = complex(new_value) - complex(old_value)
+            if change != 0:
+                rhs[row] = rhs.get(row, 0j) + change
+    # Net-zero entries (e.g. a replacement with the nominal value)
+    # shrink the support back out.
+    matrix = {key: value for key, value in matrix.items() if value != 0}
+    rhs = {row: value for row, value in rhs.items() if value != 0}
+
+    rows = tuple(sorted({key[1] for key in matrix}))
+    cols = tuple(sorted({key[2] for key in matrix}))
+    row_pos = {row: i for i, row in enumerate(rows)}
+    col_pos = {col: j for j, col in enumerate(cols)}
+    delta_g = np.zeros((len(rows), len(cols)), dtype=complex)
+    delta_b = np.zeros((len(rows), len(cols)), dtype=complex)
+    for (target, row, col), value in matrix.items():
+        block = delta_g if target == "g" else delta_b
+        block[row_pos[row], col_pos[col]] += value
+    rhs_rows = tuple(sorted(rhs))
+    rhs_delta = np.array([rhs[row] for row in rhs_rows], dtype=complex)
+    return LowRankDelta(rows, cols, delta_g, delta_b, rhs_rows,
+                        rhs_delta)
+
+
+def singular_bounds(cap: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(smax, smin)`` of each trailing ``r x r`` block of ``cap``.
+
+    Ranks 1 and 2 -- the overwhelmingly common capacitance sizes for
+    single-component faults -- use closed forms (``smax*smin = |det|``
+    and ``smax^2+smin^2 = ||.||_F^2``), avoiding one LAPACK SVD call
+    per tiny matrix; larger blocks fall back to batched
+    ``np.linalg.svd``. Inputs must be finite.
+    """
+    rank = cap.shape[-1]
+    if rank == 1:
+        magnitude = np.abs(cap[..., 0, 0])
+        return magnitude, magnitude
+    if rank == 2:
+        frob2 = np.abs(cap[..., 0, 0]) ** 2 + \
+            np.abs(cap[..., 0, 1]) ** 2 + \
+            np.abs(cap[..., 1, 0]) ** 2 + np.abs(cap[..., 1, 1]) ** 2
+        absdet = np.abs(cap[..., 0, 0] * cap[..., 1, 1] -
+                        cap[..., 0, 1] * cap[..., 1, 0])
+        disc = np.sqrt(np.maximum(frob2 * frob2 - 4.0 * absdet * absdet,
+                                  0.0))
+        smax = np.sqrt((frob2 + disc) / 2.0)
+        # smin from the product identity: exact and immune to the
+        # cancellation the subtractive form suffers when smin << smax.
+        smin = np.divide(absdet, smax, out=np.zeros_like(absdet),
+                         where=smax > 0.0)
+        return smax, smin
+    singulars = np.linalg.svd(cap, compute_uv=False)
+    return singulars[..., 0], singulars[..., -1]
+
+
+def solve_capacitance(cap: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve each ``(r, r)`` block against its ``(r, 1)`` column.
+
+    Returns shape ``(..., r)``. Ranks 1 and 2 use division / Cramer's
+    rule (the conditioning guard has already bounded ``cond(cap)``, so
+    the closed forms are as accurate as an LU here); larger blocks use
+    batched ``np.linalg.solve``.
+    """
+    rank = cap.shape[-1]
+    if rank == 1:
+        return rhs[..., 0] / cap[..., 0]
+    if rank == 2:
+        a = cap[..., 0, 0]
+        b = cap[..., 0, 1]
+        c = cap[..., 1, 0]
+        d = cap[..., 1, 1]
+        r0 = rhs[..., 0, 0]
+        r1 = rhs[..., 1, 0]
+        det = a * d - b * c
+        return np.stack(((d * r0 - b * r1) / det,
+                         (a * r1 - c * r0) / det), axis=-1)
+    return np.linalg.solve(cap, rhs)[..., 0]
+
+
+class NominalFactorSolver:
+    """Factor ``A(s) = G + s B`` once per frequency, solve many columns.
+
+    ``solve`` returns the ``(F, n, m)`` solution of the *nominal*
+    system against a shared ``(n, m)`` right-hand-side block. The dense
+    path issues one batched LAPACK call (one LU per frequency amortised
+    over all ``m`` columns -- the factor-once economy the engine is
+    built on); the sparse path assembles ``scipy.sparse`` CSC matrices
+    once and runs ``splu`` per frequency so factorisation cost scales
+    with nonzeros instead of ``n^2``.
+    """
+
+    def __init__(self, g: np.ndarray, b: np.ndarray, *,
+                 sparse: bool = False, label: str = "circuit") -> None:
+        self.label = label
+        self.sparse = bool(sparse)
+        if self.sparse:
+            sp = scipy_sparse()
+            if sp is None:
+                raise SimulationError(
+                    f"{label}: sparse nominal factorisation requested "
+                    "but scipy is not installed")
+            self._g_sp = sp.csc_matrix(g)
+            self._b_sp = sp.csc_matrix(b)
+            self._splu = sp.linalg.splu
+        else:
+            self._g = np.asarray(g, dtype=complex)
+            self._b = np.asarray(b, dtype=complex)
+
+    def solve(self, s_values: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A(s) x = rhs`` for every ``s``; returns ``(F, n, m)``."""
+        s_values = np.asarray(s_values, dtype=complex)
+        rhs = np.asarray(rhs, dtype=complex)
+        if self.sparse:
+            out = self._solve_sparse(s_values, rhs)
+        else:
+            out = self._solve_dense(s_values, rhs)
+        if not np.all(np.isfinite(out)):
+            raise SingularCircuitError(
+                f"{self.label}: non-finite nominal solution in AC "
+                "sweep; check for floating nodes, voltage-source loops "
+                "or op-amps without feedback")
+        return out
+
+    def _solve_dense(self, s_values: np.ndarray,
+                     rhs: np.ndarray) -> np.ndarray:
+        stack = self._g[None, :, :] + \
+            s_values[:, None, None] * self._b[None, :, :]
+        rhs_stack = np.ascontiguousarray(np.broadcast_to(
+            rhs[None, :, :], (s_values.size,) + rhs.shape))
+        try:
+            return np.linalg.solve(stack, rhs_stack)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(
+                f"{self.label}: nominal MNA matrix singular in AC "
+                "sweep; check for floating nodes, voltage-source loops "
+                "or op-amps without feedback") from exc
+
+    def _solve_sparse(self, s_values: np.ndarray,
+                      rhs: np.ndarray) -> np.ndarray:
+        out = np.empty((s_values.size,) + rhs.shape, dtype=complex)
+        for index, s in enumerate(s_values):
+            matrix = (self._g_sp + s * self._b_sp).tocsc()
+            try:
+                factor = self._splu(matrix)
+            except (RuntimeError, ValueError) as exc:
+                raise SingularCircuitError(
+                    f"{self.label}: nominal MNA matrix singular at "
+                    f"s={s!r}; check for floating nodes, voltage-source "
+                    "loops or op-amps without feedback") from exc
+            out[index] = factor.solve(rhs)
+        return out

@@ -22,7 +22,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
-import scipy.linalg
+
+try:  # scipy is optional everywhere in repro (see repro.sim.lowrank)
+    import scipy.linalg as _scipy_linalg
+except ImportError:  # pragma: no cover - the scipy-free CI leg
+    _scipy_linalg = None
 
 from ..circuits.components import CurrentSource, VoltageSource
 from ..circuits.netlist import Circuit
@@ -243,9 +247,22 @@ class TransientAnalysis:
         b = self.system.b_matrix.real
         left = g + (2.0 / dt) * b
         right = (2.0 / dt) * b - g
+        # Factor the constant step matrix once: scipy's LU when
+        # available, an explicit inverse otherwise (`left` is the
+        # well-conditioned trapezoidal matrix G + (2/dt)B, so the
+        # inverse-based fallback loses nothing measurable).
         try:
-            lu = scipy.linalg.lu_factor(left)
-        except (ValueError, scipy.linalg.LinAlgError) as exc:
+            if _scipy_linalg is not None:
+                lu = _scipy_linalg.lu_factor(left)
+
+                def step_solve(vector):
+                    return _scipy_linalg.lu_solve(lu, vector)
+            else:
+                inv_left = np.linalg.inv(left)
+
+                def step_solve(vector):
+                    return inv_left @ vector
+        except (ValueError, np.linalg.LinAlgError) as exc:
             raise SingularCircuitError(
                 f"{self.circuit.name}: transient system matrix is "
                 "singular") from exc
@@ -263,7 +280,7 @@ class TransientAnalysis:
 
         for n in range(steps):
             vector = rhs[n + 1] + rhs[n] + right @ states[n]
-            states[n + 1] = scipy.linalg.lu_solve(lu, vector)
+            states[n + 1] = step_solve(vector)
         if not np.all(np.isfinite(states)):
             raise SimulationError(
                 f"{self.circuit.name}: transient diverged (non-finite "

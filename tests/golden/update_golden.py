@@ -17,6 +17,7 @@ then review the diff like any other code change.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 
@@ -42,10 +43,18 @@ CONFIG = PipelineConfig(dictionary_points=48,
                         ga=GAConfig(population_size=10, generations=3))
 
 
-def generate_golden(circuit_name: str) -> dict:
-    """One circuit's golden record (deterministic in SEED/CONFIG)."""
+def generate_golden(circuit_name: str, engine: str = None) -> dict:
+    """One circuit's golden record (deterministic in SEED/CONFIG).
+
+    ``engine`` overrides the pipeline's simulation engine; the golden
+    files are pinned under the default, and the regression test replays
+    them under every engine kind to prove the alternatives reproduce
+    the same diagnosis behaviour.
+    """
+    config = CONFIG if engine is None else \
+        dataclasses.replace(CONFIG, engine=engine)
     info = get_benchmark(circuit_name)
-    result = FaultTrajectoryATPG(info, CONFIG).run(seed=SEED)
+    result = FaultTrajectoryATPG(info, config).run(seed=SEED)
     freqs = np.array(sorted(result.test_vector_hz), dtype=float)
 
     labels = []

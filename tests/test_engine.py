@@ -6,11 +6,15 @@ scalar path (one `MnaSystem` + `solve_frequencies` per faulty circuit)
 helper only as documentation of the acceptance bound.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import (
     BatchedMnaEngine,
+    FactoredMnaEngine,
     PipelineConfig,
     ScalarMnaEngine,
     make_engine,
@@ -20,6 +24,7 @@ from repro import (
 )
 from repro.circuits.library import BENCHMARK_CIRCUITS
 from repro.errors import ReproError, SimulationError
+from repro.sim import lowrank
 from repro.faults import FaultDictionary, catastrophic_universe
 from repro.faults.universe import parametric_universe as build_universe
 from repro.ga import GeneticAlgorithm
@@ -486,3 +491,311 @@ class TestEvaluateClassifierBatched:
             assert got.true_component == expected.true_component
             assert got.true_deviation == expected.true_deviation
             assert np.array_equal(got.point, expected.point)
+
+
+def _assert_block_close(got, expected, *, rtol, context=""):
+    """Scaled-error comparison for the factored engine's contract.
+
+    The Sherman-Morrison-Woodbury correction is computed against the
+    *nominal* solution, so its error is naturally bounded relative to
+    the largest response in the block, not point-by-point -- the atol
+    below anchors the comparison to that scale.
+    """
+    got = np.asarray(got)
+    expected = np.asarray(expected)
+    scale = float(np.max(np.abs(expected))) if expected.size else 0.0
+    np.testing.assert_allclose(got, expected, rtol=rtol,
+                               atol=rtol * max(scale, 1e-30),
+                               err_msg=context)
+
+
+class TestFactoredEquivalence:
+    """FactoredMnaEngine vs the scalar reference: tight tolerance.
+
+    Unlike batched<->scalar (bitwise), the low-rank path is a different
+    floating-point computation; the contract is agreement within
+    ~1e-9 scaled on parametric faults and ~1e-6 on catastrophic
+    extremes (where the dense fallback handles the genuinely
+    ill-conditioned updates).
+    """
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_CIRCUITS))
+    def test_tight_tolerance_on_library(self, name):
+        info = BENCHMARK_CIRCUITS[name]()
+        universe = build_universe(info.circuit,
+                                  components=info.faultable,
+                                  deviations=_DEVIATIONS)
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 31)
+        engine = FactoredMnaEngine(info.circuit)
+        variants = (VariantSpec(name=info.circuit.name),) + \
+            universe.variants()
+        block = engine.transfer_block(info.output_node, grid, variants,
+                                      info.input_source)
+        reference = _scalar_reference(info, universe, grid)
+        assert len(block) == len(reference)
+        for index, expected in enumerate(reference):
+            _assert_block_close(
+                block.values[index], expected.values, rtol=1e-9,
+                context=f"{name} variant {index}")
+        # Parametric deviations really exercise the low-rank path.
+        assert engine.lowrank_updates > 0
+
+    def test_macromodel_and_catastrophic_within_tolerance(self):
+        """Op-amp macro parameters and open/short extremes stay within
+        tolerance; the extremes route through the conditioning
+        fallback rather than producing garbage."""
+        info = tow_thomas_biquad(ideal_opamps=False)
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 21)
+        parametric = build_universe(info.circuit,
+                                    components=info.faultable,
+                                    deviations=(-0.3, 0.3),
+                                    include_opamp_params=True)
+        hard = catastrophic_universe(info.circuit,
+                                     components=("R1", "C1"))
+        for universe, rtol in ((parametric, 1e-9), (hard, 1e-6)):
+            engine = FactoredMnaEngine(info.circuit)
+            block = engine.transfer_block(
+                info.output_node, grid,
+                (VariantSpec(name=info.circuit.name),) +
+                universe.variants(),
+                info.input_source)
+            reference = _scalar_reference(info, universe, grid)
+            for index, expected in enumerate(reference):
+                _assert_block_close(block.values[index],
+                                    expected.values, rtol=rtol,
+                                    context=f"variant {index}")
+            if universe is hard:
+                assert engine.lowrank_fallbacks["conditioning"] > 0
+
+    def test_conditioning_fallback_is_bitwise_dense(self):
+        """A near-singular update (R1 scaled by 1e-12) is detected by
+        the conditioning guard and recomputed on the dense path --
+        the fallback rows equal BatchedMnaEngine exactly."""
+        info = rc_lowpass()
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 15)
+        r1 = info.circuit["R1"]
+        variants = (VariantSpec(name="nominal"),
+                    VariantSpec((r1.with_value(r1.value * 1e-12),),
+                                name="R1:short"),
+                    VariantSpec((r1.with_value(r1.value * 1.1),),
+                                name="R1:+10%"))
+        engine = FactoredMnaEngine(info.circuit)
+        block = engine.transfer_block(info.output_node, grid, variants,
+                                      info.input_source)
+        assert engine.lowrank_fallbacks["conditioning"] == 1
+        assert engine.lowrank_updates == 1
+        dense = BatchedMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        assert np.array_equal(block.values[1], dense.values[1])
+        _assert_block_close(block.values, dense.values, rtol=1e-9)
+
+    def test_cond_limit_one_forces_dense_everywhere(self):
+        """cond_limit=1.0 flags every update as ill-conditioned, so the
+        whole block equals the batched engine bitwise -- the fallback
+        is a true superset path, not an approximation."""
+        info = tow_thomas_biquad()
+        universe = build_universe(info.circuit,
+                                  components=("R1", "C1"),
+                                  deviations=(-0.2, 0.2))
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 11)
+        variants = (VariantSpec(name=info.circuit.name),) + \
+            universe.variants()
+        engine = FactoredMnaEngine(info.circuit, cond_limit=1.0)
+        block = engine.transfer_block(info.output_node, grid, variants,
+                                      info.input_source)
+        assert engine.lowrank_updates == 0
+        assert engine.lowrank_fallbacks["conditioning"] == \
+            len(variants) - 1
+        dense = BatchedMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        assert np.array_equal(block.values, dense.values)
+        assert block.labels == dense.labels
+
+    def test_rank_overflow_falls_back(self):
+        """Support wider than max_rank is decided upfront ('rank'
+        reason) and still matches the dense path bitwise."""
+        info = tow_thomas_biquad()
+        grid = np.array([300.0, 900.0])
+        r1 = info.circuit["R1"]
+        c1 = info.circuit["C1"]
+        spec = VariantSpec((r1.with_value(r1.value * 1.07),
+                            c1.with_value(c1.value * 0.93)),
+                           name="pair")
+        engine = FactoredMnaEngine(info.circuit, max_rank=1)
+        block = engine.transfer_block(info.output_node, grid, [spec],
+                                      info.input_source)
+        assert engine.lowrank_fallbacks["rank"] == 1
+        dense = BatchedMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, [spec], info.input_source)
+        assert np.array_equal(block.values, dense.values)
+
+    def test_stimulus_replacement_rides_the_lowrank_path(self):
+        """Changing the input source's AC magnitude/phase is a pure
+        RHS delta -- handled low-rank (no fallback), matching the
+        batched engine."""
+        info = rc_lowpass()
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 9)
+        source = info.circuit[info.input_source]
+        boosted = dataclasses.replace(
+            source, ac_magnitude=source.ac_magnitude * 2.0,
+            ac_phase_deg=30.0)
+        variants = (VariantSpec(name="nominal"),
+                    VariantSpec((boosted,), name="boosted"))
+        engine = FactoredMnaEngine(info.circuit)
+        block = engine.transfer_block(info.output_node, grid, variants,
+                                      info.input_source)
+        assert engine.lowrank_updates == 1
+        assert sum(engine.lowrank_fallbacks.values()) == 0
+        dense = BatchedMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        _assert_block_close(block.values, dense.values, rtol=1e-12)
+
+    def test_freq_chunked_path_matches(self, monkeypatch):
+        """A tiny stack budget forces several frequency chunks through
+        the factored solver; results match the unchunked run."""
+        import repro.sim.engine as engine_module
+        info = tow_thomas_biquad(ideal_opamps=False)
+        universe = build_universe(info.circuit,
+                                  components=("R1", "C1"),
+                                  deviations=(-0.2, 0.2))
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 37)
+        variants = (VariantSpec(name=info.circuit.name),) + \
+            universe.variants()
+        reference = FactoredMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        dim = BatchedMnaEngine(info.circuit).system.dim
+        monkeypatch.setattr(engine_module, "_STACK_MEMORY_BUDGET",
+                            8 * 16 * dim * dim)
+        chunked = FactoredMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        _assert_block_close(chunked.values, reference.values,
+                            rtol=1e-12)
+
+    def test_ground_output_short_circuits_to_zero(self):
+        info = rc_lowpass()
+        grid = np.array([100.0, 1000.0])
+        block = FactoredMnaEngine(info.circuit).transfer_block(
+            "0", grid, [VariantSpec(name="nominal")],
+            info.input_source)
+        assert np.array_equal(block.values,
+                              np.zeros((1, 2), dtype=complex))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_variants_match_batched(self, data):
+        """Hypothesis: any random multi-component VariantSpec agrees
+        with the batched engine within tolerance (or falls back to it
+        exactly)."""
+        info = tow_thomas_biquad()
+        names = sorted(info.faultable)
+        chosen = data.draw(st.lists(st.sampled_from(names),
+                                    min_size=1, max_size=3,
+                                    unique=True))
+        replacements = []
+        for name in chosen:
+            log2_scale = data.draw(st.floats(min_value=-6.0,
+                                             max_value=6.0,
+                                             allow_nan=False))
+            component = info.circuit[name]
+            replacements.append(component.with_value(
+                component.value * 2.0 ** log2_scale))
+        spec = VariantSpec(tuple(replacements), name="random")
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 7)
+        variants = (VariantSpec(name=info.circuit.name), spec)
+        factored = FactoredMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        batched = BatchedMnaEngine(info.circuit).transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        _assert_block_close(factored.values, batched.values, rtol=1e-8,
+                            context=f"components {chosen}")
+
+
+class TestFactoredSparsePath:
+    def test_sparse_and_dense_factorisations_agree(self):
+        """With scipy present the large-circuit sparse path matches the
+        dense numpy path within tolerance."""
+        if lowrank.scipy_sparse() is None:
+            pytest.skip("scipy not available")
+        info = BENCHMARK_CIRCUITS["rc_ladder"]()
+        universe = build_universe(info.circuit,
+                                  components=info.faultable,
+                                  deviations=(-0.2, 0.2))
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 13)
+        variants = (VariantSpec(name=info.circuit.name),) + \
+            universe.variants()
+        sparse_engine = FactoredMnaEngine(info.circuit, sparse=True)
+        dense_engine = FactoredMnaEngine(info.circuit, sparse=False)
+        assert sparse_engine.uses_sparse
+        assert not dense_engine.uses_sparse
+        sparse_block = sparse_engine.transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        dense_block = dense_engine.transfer_block(
+            info.output_node, grid, variants, info.input_source)
+        _assert_block_close(sparse_block.values, dense_block.values,
+                            rtol=1e-9)
+
+    def test_auto_mode_keys_off_dimension(self):
+        if lowrank.scipy_sparse() is None:
+            pytest.skip("scipy not available")
+        small = rc_lowpass()
+        assert not FactoredMnaEngine(small.circuit).uses_sparse
+        assert FactoredMnaEngine(small.circuit,
+                                 sparse_min_dim=1).uses_sparse
+
+    def test_without_scipy_auto_falls_back_to_numpy(self, monkeypatch):
+        """No scipy: 'auto' quietly uses the dense numpy factorisation
+        and stays correct; explicit sparse=True fails loudly."""
+        monkeypatch.setattr(lowrank, "scipy_sparse", lambda: None)
+        info = rc_lowpass()
+        engine = FactoredMnaEngine(info.circuit, sparse_min_dim=1)
+        assert not engine.uses_sparse
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 9)
+        universe = build_universe(info.circuit, deviations=(-0.1, 0.1))
+        variants = (VariantSpec(name=info.circuit.name),) + \
+            universe.variants()
+        block = engine.transfer_block(info.output_node, grid, variants,
+                                      info.input_source)
+        reference = _scalar_reference(info, universe, grid)
+        for index, expected in enumerate(reference):
+            _assert_block_close(block.values[index], expected.values,
+                                rtol=1e-9)
+        with pytest.raises(SimulationError, match="scipy"):
+            FactoredMnaEngine(info.circuit, sparse=True)
+
+
+class TestFactoredSelection:
+    def test_make_engine_factored(self):
+        engine = make_engine(rc_lowpass().circuit, "factored")
+        assert isinstance(engine, FactoredMnaEngine)
+
+    def test_config_accepts_and_round_trips_factored(self):
+        config = PipelineConfig(engine="factored")
+        restored = PipelineConfig.from_json_dict(config.to_json_dict())
+        assert restored.engine == "factored"
+
+    def test_invalid_factored_knobs_rejected(self):
+        circuit = rc_lowpass().circuit
+        with pytest.raises(SimulationError, match="cond_limit"):
+            FactoredMnaEngine(circuit, cond_limit=0.0)
+        with pytest.raises(SimulationError, match="max_rank"):
+            FactoredMnaEngine(circuit, max_rank=0)
+        with pytest.raises(SimulationError, match="sparse"):
+            FactoredMnaEngine(circuit, sparse="always")
+
+    def test_factored_pipeline_agrees_with_batched(self):
+        from repro import FaultTrajectoryATPG
+        info = rc_lowpass()
+        results = {}
+        for kind in ("batched", "factored"):
+            config = PipelineConfig.quick()
+            config = PipelineConfig(
+                dictionary_points=64, ga=config.ga, engine=kind)
+            results[kind] = FaultTrajectoryATPG(info, config).run(seed=3)
+        batched, factored = results["batched"], results["factored"]
+        assert batched.test_vector_hz == factored.test_vector_hz
+        _assert_block_close(factored.dictionary.golden.values,
+                            batched.dictionary.golden.values,
+                            rtol=1e-9)
+        evaluation_b = batched.evaluate(deviations=(-0.25, 0.25))
+        evaluation_f = factored.evaluate(deviations=(-0.25, 0.25))
+        assert evaluation_b.accuracy == evaluation_f.accuracy

@@ -27,13 +27,28 @@ _spec = importlib.util.spec_from_file_location(
 golden_updater = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(golden_updater)
 
-#: Relative tolerance for float comparison. JSON round-trips floats
-#: exactly (repr form), so this only absorbs last-ulp library noise.
-RTOL = 1e-9
+#: Relative tolerance for float comparison, per engine. The golden
+#: files are generated under the batched engine; JSON round-trips
+#: floats exactly (repr form), so the batched tolerance only absorbs
+#: last-ulp library noise. The factored engine is a different
+#: floating-point computation (Sherman-Morrison-Woodbury low-rank
+#: updates) bounded to ~1e-9 scaled on the parametric golden grid, so
+#: it gets a correspondingly wider -- still tight -- band.
+RTOL = {"batched": 1e-9, "factored": 1e-7}
+
+#: Golden margins at or below this are *numerical ties*: two fault
+#: trajectories (symmetric components -- R3/R5 in the Tow-Thomas,
+#: L2/L4 in the LC ladder) sit at last-ulp-identical distance from the
+#: measured point, and which one wins depends on rounding noise. The
+#: batched engine reproduces the pinned winner bitwise; an engine with
+#: a different floating-point path (factored) may break such a tie the
+#: other way, which is accepted only below this threshold. Real
+#: margins in the golden set are >= ~9e-7, five orders above it.
+TIE_MARGIN = 1e-9
 
 
-def _approx(value):
-    return pytest.approx(value, rel=RTOL, abs=1e-12)
+def _approx(value, rtol=RTOL["batched"]):
+    return pytest.approx(value, rel=rtol, abs=1e-12)
 
 
 def test_golden_files_cover_every_circuit():
@@ -50,17 +65,20 @@ def test_golden_circuits_cover_the_whole_registry():
         "update_golden.CIRCUITS and regenerate")
 
 
+@pytest.mark.parametrize("engine", sorted(RTOL))
 @pytest.mark.parametrize("circuit_name", golden_updater.CIRCUITS)
-def test_diagnosis_outputs_match_golden(circuit_name):
+def test_diagnosis_outputs_match_golden(circuit_name, engine):
     golden = json.loads(
         (GOLDEN_DIR / f"{circuit_name}.json").read_text())
-    current = golden_updater.generate_golden(circuit_name)
+    current = golden_updater.generate_golden(circuit_name,
+                                             engine=engine)
+    rtol = RTOL[engine]
 
     assert current["circuit"] == golden["circuit"]
     assert current["seed"] == golden["seed"]
     assert current["fault_deviations"] == golden["fault_deviations"]
     assert current["test_vector_hz"] == _approx(
-        golden["test_vector_hz"]), \
+        golden["test_vector_hz"], rtol), \
         f"{circuit_name}: GA-selected test vector drifted"
 
     assert len(current["cases"]) == len(golden["cases"])
@@ -72,14 +90,25 @@ def test_diagnosis_outputs_match_golden(circuit_name):
             expected["injected_component"]
         assert case["injected_deviation"] == \
             expected["injected_deviation"]
-        assert case["predicted_component"] == \
-            expected["predicted_component"], \
-            f"{label}: predicted component changed"
+        if case["predicted_component"] != \
+                expected["predicted_component"]:
+            tied = expected["margin"] is not None and \
+                expected["margin"] <= TIE_MARGIN
+            assert engine != "batched" and tied, \
+                f"{label}: predicted component changed"
+            # A broken tie names the twin trajectory; its distance must
+            # still equal the pinned one (that is what "tie" means).
+            # The estimated deviation belongs to the other component,
+            # so it is not comparable.
+            assert case["distance"] == _approx(expected["distance"],
+                                               rtol), \
+                f"{label}: tied-flip distance drifted"
+            continue
         assert case["perpendicular"] == expected["perpendicular"], \
             f"{label}: perpendicular flag changed"
         for field in ("estimated_deviation", "distance", "margin"):
             if expected[field] is None:
                 assert case[field] is None, f"{label}: {field} changed"
             else:
-                assert case[field] == _approx(expected[field]), \
+                assert case[field] == _approx(expected[field], rtol), \
                     f"{label}: {field} drifted"

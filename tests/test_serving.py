@@ -289,6 +289,46 @@ class TestBackpressure:
 
 
 # ----------------------------------------------------------------------
+# Engine selection end to end (config -> service -> stats, CLI flag)
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_stats_report_active_engine_kind(self):
+        import dataclasses
+        from repro import DiagnosisService
+        for kind in ("batched", "scalar", "factored"):
+            config = dataclasses.replace(QUICK, engine=kind)
+            service = DiagnosisService(config=config, seed=3)
+            assert service.stats.snapshot()["engine_kind"] == kind
+
+    def test_factored_service_serves_diagnoses(self):
+        import dataclasses
+        from repro import DiagnosisService
+        config = dataclasses.replace(QUICK, engine="factored")
+        service = DiagnosisService(config=config, seed=3)
+        service.warm("rc_lowpass")
+        rows = measured_rows(service, "rc_lowpass", 2, seed=7)
+        diagnoses = service.submit("rc_lowpass", rows)
+        assert len(diagnoses) == 2
+        assert all(d.component for d in diagnoses)
+
+    def test_cli_engine_flag_overrides_config(self):
+        from repro.runtime.cli import build_parser, load_config
+        args = build_parser().parse_args(
+            ["--engine", "factored", "--config", "quick"])
+        assert load_config(args).engine == "factored"
+        # Without the flag the config's own engine field stands.
+        assert load_config(
+            build_parser().parse_args([])).engine == "batched"
+
+    def test_cli_engine_flag_documented_in_help(self):
+        from repro.runtime.cli import build_parser
+        help_text = build_parser().format_help()
+        assert "--engine" in help_text
+        for kind in ("scalar", "batched", "factored"):
+            assert kind in help_text
+
+
+# ----------------------------------------------------------------------
 # Burst batching (submit_many)
 # ----------------------------------------------------------------------
 class TestSubmitMany:
@@ -530,6 +570,8 @@ class TestHTTPServer:
                                               "/v1/stats")
                 assert status == 200
                 assert b"batch_size_histogram" in payload
+                assert json.loads(payload)["engine_kind"] == \
+                    warm_service.config.engine
 
                 status, payload = await _http(host, port, "GET",
                                               "/v1/circuits")

@@ -251,6 +251,70 @@ class TestProfilingBridge:
         assert families["repro_surface_rows_total"]["samples"] \
             [0][2] == 40
 
+    def test_lowrank_events_land_as_metric_families(self):
+        """The factored engine's event vocabulary maps onto the
+        ``repro_engine_lowrank_*`` families, exposition-conformant."""
+        registry = MetricsRegistry()
+        with ProfilingCollector(registry):
+            profiling.profile_event("engine.factor", 0.02,
+                                    engine="factored", mode="dense",
+                                    freqs=401, rhs_columns=5)
+            profiling.profile_event("engine.factor", 0.01,
+                                    engine="factored", mode="sparse",
+                                    freqs=401, rhs_columns=5)
+            profiling.profile_event("engine.lowrank", 0.005,
+                                    engine="factored", updates=36,
+                                    fallbacks=3,
+                                    fallback_conditioning=2,
+                                    fallback_rank=1,
+                                    fallback_nonfinite=0)
+        families = parse_exposition(registry.render())
+        assert families["repro_engine_lowrank_updates_total"] \
+            ["samples"][0][2] == 36
+        fallbacks = {labels["reason"]: value for _, labels, value in
+                     families["repro_engine_lowrank_fallbacks_total"]
+                     ["samples"]}
+        assert fallbacks == {"conditioning": 2, "rank": 1}
+        assert families["repro_engine_lowrank_factor_seconds"] \
+            ["type"] == "histogram"
+        modes = {labels["mode"] for _, labels, _ in
+                 families["repro_engine_lowrank_factor_seconds"]
+                 ["samples"] if "mode" in labels}
+        assert modes == {"dense", "sparse"}
+        counts = [value for name, _, value in
+                  families["repro_engine_lowrank_update_seconds"]
+                  ["samples"] if name.endswith("_count")]
+        assert sum(counts) == 1
+
+    def test_factored_engine_feeds_lowrank_metrics_end_to_end(self):
+        """A real FactoredMnaEngine solve under the collector books
+        updates, a dense-mode factorisation and a factored solve."""
+        import numpy as np
+        from repro import FactoredMnaEngine, rc_lowpass
+        from repro.sim import VariantSpec
+        info = rc_lowpass()
+        registry = MetricsRegistry()
+        engine = FactoredMnaEngine(info.circuit)
+        r1 = info.circuit["R1"]
+        variants = (VariantSpec(name="nominal"),
+                    VariantSpec((r1.with_value(r1.value * 1.2),),
+                                name="R1:+20%"))
+        with ProfilingCollector(registry):
+            engine.transfer_block(info.output_node,
+                                  np.array([100.0, 1000.0]), variants,
+                                  info.input_source)
+        families = parse_exposition(registry.render())
+        assert families["repro_engine_lowrank_updates_total"] \
+            ["samples"][0][2] == 1
+        modes = {labels.get("mode") for _, labels, _ in
+                 families["repro_engine_lowrank_factor_seconds"]
+                 ["samples"]}
+        assert "dense" in modes
+        engines = {labels["engine"] for _, labels, _ in
+                   families["repro_engine_solve_seconds"]["samples"]
+                   if "engine" in labels}
+        assert "factored" in engines
+
     def test_uninstall_detaches_the_sink(self):
         registry = MetricsRegistry()
         collector = ProfilingCollector(registry)
