@@ -14,7 +14,8 @@ including the analog simulation substrate it depends on:
 * :mod:`repro.ga` -- the paper's genetic test-vector search (roulette
   wheel, fitness 1/(1+I)) plus margin-based extensions;
 * :mod:`repro.diagnosis` -- the perpendicular nearest-segment classifier,
-  baselines and an evaluation harness;
+  baselines, an evaluation harness and a Monte-Carlo posterior tier
+  with expected-information-gain test selection;
 * :mod:`repro.core` -- the end-to-end ATPG pipeline;
 * :mod:`repro.runtime` -- the serving layer: batched diagnosis, parallel
   dictionary builds, a content-addressed artifact store, the
@@ -57,8 +58,12 @@ from .circuits import (
 )
 from .core import ATPGResult, FaultTrajectoryATPG, PipelineConfig
 from .diagnosis import (
+    FAULT_FREE_LABEL,
     Diagnosis,
     NearestNeighborClassifier,
+    PosteriorConfig,
+    PosteriorDiagnoser,
+    PosteriorDiagnosis,
     TrajectoryClassifier,
     ambiguity_groups,
     evaluate_classifier,
@@ -124,7 +129,7 @@ from .trajectory import (
 )
 from .units import db, format_frequency, log_frequency_grid, parse_value
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -184,6 +189,10 @@ __all__ = [
     # diagnosis
     "Diagnosis",
     "TrajectoryClassifier",
+    "FAULT_FREE_LABEL",
+    "PosteriorConfig",
+    "PosteriorDiagnoser",
+    "PosteriorDiagnosis",
     "NearestNeighborClassifier",
     "make_test_cases",
     "evaluate_classifier",

@@ -11,6 +11,12 @@ from .catastrophic import (
     HybridClassifier,
 )
 from .classifier import Diagnosis, TrajectoryClassifier
+from .posterior import (
+    FAULT_FREE_LABEL,
+    PosteriorConfig,
+    PosteriorDiagnoser,
+    PosteriorDiagnosis,
+)
 from .evaluate import (
     CaseResult,
     EvaluationResult,
@@ -24,6 +30,10 @@ from .evaluate import (
 __all__ = [
     "Diagnosis",
     "TrajectoryClassifier",
+    "FAULT_FREE_LABEL",
+    "PosteriorConfig",
+    "PosteriorDiagnoser",
+    "PosteriorDiagnosis",
     "CatastrophicDiagnosis",
     "CatastrophicScreen",
     "HybridClassifier",

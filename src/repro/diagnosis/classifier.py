@@ -58,6 +58,11 @@ class Diagnosis:
         if len(self.ranking) < 2:
             return False
         runner_up = self.ranking[1][1]
+        if not np.isfinite(runner_up):
+            # The runner-up component has no candidate segment under the
+            # perpendicular-foot rule: it cannot be confused with the
+            # winner, however large the winning distance.
+            return False
         return runner_up - self.distance <= max(0.1 * runner_up, 1e-9)
 
     def summary(self) -> str:
@@ -113,7 +118,12 @@ class TrajectoryClassifier:
         deviation = trajectory.interpolate_deviation(
             int(self._local_index[winner]), float(t_values[winner]))
 
-        ranking = self._component_ranking(distances)
+        # Rank components over the *same* masked distances the winner
+        # was chosen from (in the endpoint fallback the mask is all-ones
+        # and ``masked == distances``). Ranking the raw distances
+        # instead let a non-candidate segment outrank the winner and
+        # drove the reported margin negative.
+        ranking = self._component_ranking(masked)
         margin = self._margin(ranking, trajectory.component)
         return Diagnosis(
             component=trajectory.component,
@@ -143,7 +153,12 @@ class TrajectoryClassifier:
     # ------------------------------------------------------------------
     def _component_ranking(self, distances: np.ndarray
                            ) -> Tuple[Tuple[str, float], ...]:
-        """Best clamped distance per component, ascending."""
+        """Best candidate distance per component, ascending.
+
+        ``distances`` must be the candidate-masked array the winner was
+        picked from; components whose every segment is masked out rank
+        at ``inf``.
+        """
         best: Dict[str, float] = {}
         for index, trajectory in enumerate(self.trajectories.trajectories):
             mask = self._owners == index
@@ -161,7 +176,13 @@ class TrajectoryClassifier:
         if not others:
             return float("inf")
         winner_distance = dict(ranking)[winner]
-        return float(min(others) - winner_distance)
+        margin = float(min(others) - winner_distance)
+        if not margin >= 0.0:
+            raise DiagnosisError(
+                f"negative margin {margin!r} for winner {winner!r}: "
+                "ranking was not computed over the winner's candidate "
+                "distances")
+        return margin
 
     def is_fault_free(self, point: np.ndarray,
                       threshold: float) -> bool:

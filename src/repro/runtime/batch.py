@@ -148,11 +148,13 @@ class BatchDiagnoser:
 
     def _project(self, points: np.ndarray
                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
-                            np.ndarray]:
+                            np.ndarray, np.ndarray]:
         """Vectorised core: project N points onto all S segments.
 
-        Returns ``(distances, t_raw, has_perpendicular, winners)`` with
-        shapes (N, S), (N, S), (N,), (N,).
+        Returns ``(distances, t_raw, has_perpendicular, winners,
+        candidates)`` with shapes (N, S), (N, S), (N,), (N,), (N, S);
+        ``candidates`` is the interior-preferred masked distance array
+        the winner was picked from (non-candidate segments at ``inf``).
         """
         # The same reductions as project_point_onto_segments, batched
         # over N (bitwise-identical per row).
@@ -175,12 +177,12 @@ class BatchDiagnoser:
         candidates = np.where(has_perpendicular[:, None], masked,
                               distances)
         winners = np.argmin(candidates, axis=1)                # (N,)
-        return distances, t_raw, has_perpendicular, winners
+        return distances, t_raw, has_perpendicular, winners, candidates
 
     def classify_points(self, points: np.ndarray) -> List[Diagnosis]:
         """Diagnose an (N, D) batch of signature-space points."""
         points = self._check_points(points)
-        distances, t_raw, has_perpendicular, winners = \
+        distances, t_raw, has_perpendicular, winners, candidates = \
             self._project(points)
 
         rows = np.arange(points.shape[0])
@@ -190,10 +192,12 @@ class BatchDiagnoser:
         win_distances = distances[rows, winners]
         owners = self._owners[winners]
 
-        # Best clamped distance per component: exact minima over the
-        # contiguous owner groups.
+        # Best candidate distance per component: exact minima over the
+        # contiguous owner groups of the same masked array the winner
+        # was chosen from, mirroring the scalar classifier's ranking
+        # (non-candidate components rank at inf, margins stay >= 0).
         per_component = np.minimum.reduceat(
-            distances, self._group_offsets, axis=1)            # (N, T)
+            candidates, self._group_offsets, axis=1)           # (N, T)
 
         diagnoses: List[Diagnosis] = []
         for row in rows:
@@ -232,6 +236,6 @@ class BatchDiagnoser:
         :meth:`classify_points` exactly.
         """
         points = self._check_points(points)
-        _, _, _, winners = self._project(points)
+        _, _, _, winners, _ = self._project(points)
         owners = self._owners[winners]
         return tuple(self._components[int(owner)] for owner in owners)

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..core.config import PipelineConfig
+from ..diagnosis.posterior import PosteriorConfig
 from ..errors import ReproError
 from .backends import InMemoryBackend, LocalDirBackend, ShardedBackend
 from .cluster import LISTENING_PREFIX, WORKER_DEFAULTS, ClusterService
@@ -109,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
                         default=WORKER_DEFAULTS["overflow"],
                         help="behaviour past --max-pending "
                              "(default: %(default)s)")
+    parser.add_argument("--posterior-samples", type=int,
+                        default=WORKER_DEFAULTS["posterior_samples"],
+                        help="Monte-Carlo worlds per posterior build "
+                             "(POST /v1/diagnose-posterior; default: "
+                             "%(default)s)")
+    parser.add_argument("--posterior-tolerance", type=float,
+                        default=WORKER_DEFAULTS["posterior_tolerance"],
+                        help="relative component tolerance for the "
+                             "posterior sampling (0.05 = 5%%; "
+                             "default: %(default)s)")
     parser.add_argument("--warm", action="append", default=[],
                         metavar="CIRCUIT",
                         help="circuit to warm at startup (repeatable)")
@@ -187,7 +198,11 @@ async def _amain(args: argparse.Namespace) -> None:
         service = DiagnosisService(config=load_config(args),
                                    store=make_store(args),
                                    max_engines=args.max_engines,
-                                   seed=args.seed)
+                                   seed=args.seed,
+                                   posterior=PosteriorConfig(
+                                       n_samples=args.posterior_samples,
+                                       tolerance=args.posterior_tolerance,
+                                       seed=args.seed))
         front = AsyncDiagnosisService(
             service, window_seconds=args.window_ms / 1e3,
             max_batch=args.max_batch, max_pending=args.max_pending,
@@ -203,7 +218,9 @@ async def _amain(args: argparse.Namespace) -> None:
             shards=args.shards, config=load_config(args),
             seed=args.seed, max_engines=args.max_engines,
             window_ms=args.window_ms, max_batch=args.max_batch,
-            max_pending=args.max_pending, overflow=args.overflow)
+            max_pending=args.max_pending, overflow=args.overflow,
+            posterior_samples=args.posterior_samples,
+            posterior_tolerance=args.posterior_tolerance)
         if args.health_interval > 0:
             health_task = asyncio.ensure_future(
                 front.run_health_loop(args.health_interval))

@@ -49,6 +49,7 @@ from typing import (Awaitable, Callable, Dict, FrozenSet, List,
 
 from ..circuits.library import BENCHMARK_CIRCUITS
 from ..diagnosis.classifier import Diagnosis
+from ..diagnosis.posterior import PosteriorDiagnosis
 from ..errors import (ClusterError, ReplicaTimeoutError,
                       ReplicaUnavailableError, ServiceError, StoreError)
 from . import codec, telemetry
@@ -76,6 +77,8 @@ WORKER_DEFAULTS = {
     "max_pending": 1024,
     "overflow": "wait",
     "shards": 2,
+    "posterior_samples": 64,
+    "posterior_tolerance": 0.05,
 }
 
 
@@ -154,6 +157,21 @@ class Replica(abc.ABC):
     @abc.abstractmethod
     async def aclose(self) -> None: ...
 
+    # Concrete (not abstract) so transports predating the
+    # probabilistic tier keep working; they refuse with a
+    # request-level error the cluster will not fail over on.
+    async def submit_posterior(self, circuit_name: str,
+                               responses: ResponseBatch
+                               ) -> List[PosteriorDiagnosis]:
+        raise ServiceError(
+            f"replica {self.name} does not serve posterior diagnosis")
+
+    async def submit_posterior_many(
+            self, requests: Sequence[Tuple[str, ResponseBatch]]
+    ) -> List[List[PosteriorDiagnosis]]:
+        raise ServiceError(
+            f"replica {self.name} does not serve posterior diagnosis")
+
     # Optional surface, used for best-effort introspection only.
     async def metrics_text(self) -> str:
         """The replica's Prometheus exposition text (empty when the
@@ -197,6 +215,19 @@ class InProcessReplica(Replica):
                           ) -> List[List[Diagnosis]]:
         self._check_alive()
         return await self.front.submit_many(requests)
+
+    async def submit_posterior(self, circuit_name: str,
+                               responses: ResponseBatch
+                               ) -> List[PosteriorDiagnosis]:
+        self._check_alive()
+        return await self.front.submit_posterior(circuit_name,
+                                                 responses)
+
+    async def submit_posterior_many(
+            self, requests: Sequence[Tuple[str, ResponseBatch]]
+    ) -> List[List[PosteriorDiagnosis]]:
+        self._check_alive()
+        return await self.front.submit_posterior_many(requests)
 
     async def warm(self, circuit_name: str) -> None:
         self._check_alive()
@@ -443,6 +474,26 @@ class HTTPReplica(Replica):
             self._raise_for_error(status, payload)
         return codec.decode_response_many(payload)
 
+    async def submit_posterior(self, circuit_name: str,
+                               responses: ResponseBatch
+                               ) -> List[PosteriorDiagnosis]:
+        status, payload = await self._request(
+            "POST", "/v1/diagnose-posterior",
+            codec.encode_request(circuit_name, responses))
+        if status != 200:
+            self._raise_for_error(status, payload)
+        return codec.decode_posterior_response(payload)
+
+    async def submit_posterior_many(
+            self, requests: Sequence[Tuple[str, ResponseBatch]]
+    ) -> List[List[PosteriorDiagnosis]]:
+        status, payload = await self._request(
+            "POST", "/v1/diagnose-posterior",
+            codec.encode_request_many(requests))
+        if status != 200:
+            self._raise_for_error(status, payload)
+        return codec.decode_posterior_response_many(payload)
+
     async def warm(self, circuit_name: str) -> None:
         await self.test_vector_hz(circuit_name)
 
@@ -554,6 +605,10 @@ class SpawnedReplica(HTTPReplica):
                     max_batch: int = WORKER_DEFAULTS["max_batch"],
                     max_pending: int = WORKER_DEFAULTS["max_pending"],
                     overflow: str = WORKER_DEFAULTS["overflow"],
+                    posterior_samples: int =
+                    WORKER_DEFAULTS["posterior_samples"],
+                    posterior_tolerance: float =
+                    WORKER_DEFAULTS["posterior_tolerance"],
                     start_timeout: float = 120.0,
                     **kwargs) -> "SpawnedReplica":
         """Start one worker and wait for its listening announcement.
@@ -574,7 +629,9 @@ class SpawnedReplica(HTTPReplica):
                 "--max-batch", str(max_batch),
                 "--max-pending", str(max_pending),
                 "--overflow", overflow,
-                "--backend", backend, "--shards", str(shards)]
+                "--backend", backend, "--shards", str(shards),
+                "--posterior-samples", str(posterior_samples),
+                "--posterior-tolerance", str(posterior_tolerance)]
         if store_root is not None:
             argv += ["--store-root", str(store_root)]
         if config is not None:
@@ -625,7 +682,8 @@ class ClusterService:
 
     Exposes the same serving surface as
     :class:`~repro.runtime.server.AsyncDiagnosisService` (``submit``,
-    ``submit_many``, ``warm``, ``test_vector_hz``, ``stats_snapshot``,
+    ``submit_many``, ``submit_posterior``, ``submit_posterior_many``,
+    ``warm``, ``test_vector_hz``, ``stats_snapshot``,
     ``known_circuits``, ``warmed_circuits``, ``queue_depth``,
     ``aclose``), so :class:`~repro.runtime.server.DiagnosisHTTPServer`
     can front a whole cluster unchanged.
@@ -731,6 +789,10 @@ class ClusterService:
                     max_batch: int = WORKER_DEFAULTS["max_batch"],
                     max_pending: int = WORKER_DEFAULTS["max_pending"],
                     overflow: str = WORKER_DEFAULTS["overflow"],
+                    posterior_samples: int =
+                    WORKER_DEFAULTS["posterior_samples"],
+                    posterior_tolerance: float =
+                    WORKER_DEFAULTS["posterior_tolerance"],
                     warm: Sequence[str] = (),
                     vnodes: int = 64, **kwargs) -> "ClusterService":
         """Spawn N ``repro-serve`` worker processes and front them.
@@ -749,7 +811,9 @@ class ClusterService:
                 backend=backend, shards=shards, config=config,
                 seed=seed, max_engines=max_engines,
                 window_ms=window_ms, max_batch=max_batch,
-                max_pending=max_pending, overflow=overflow, **kwargs)
+                max_pending=max_pending, overflow=overflow,
+                posterior_samples=posterior_samples,
+                posterior_tolerance=posterior_tolerance, **kwargs)
               for index in range(n_replicas)),
             return_exceptions=True)
         failures = [o for o in outcomes if isinstance(o, BaseException)]
@@ -837,6 +901,17 @@ class ClusterService:
             circuit_name,
             lambda replica: replica.submit(circuit_name, responses))
 
+    async def submit_posterior(self, circuit_name: str,
+                               responses: ResponseBatch
+                               ) -> List[PosteriorDiagnosis]:
+        """Probabilistic diagnosis on the circuit's owning replica."""
+        self.requests += 1
+        self._m_requests.inc()
+        return await self._call(
+            circuit_name,
+            lambda replica: replica.submit_posterior(circuit_name,
+                                                     responses))
+
     async def submit_many(self, requests: Sequence[Tuple[str,
                                                          ResponseBatch]]
                           ) -> List[List[Diagnosis]]:
@@ -847,6 +922,22 @@ class ClusterService:
         classify per circuit); answers come back in input order. A
         replica dying mid-burst re-routes only its share.
         """
+        return await self._burst(
+            requests, lambda replica, share: replica.submit_many(share))
+
+    async def submit_posterior_many(
+            self, requests: Sequence[Tuple[str, ResponseBatch]]
+    ) -> List[List[PosteriorDiagnosis]]:
+        """Posterior burst: same per-replica grouping and failover as
+        :meth:`submit_many`, answered with posterior probabilities."""
+        return await self._burst(
+            requests,
+            lambda replica, share: replica.submit_posterior_many(share))
+
+    async def _burst(self, requests: Sequence[Tuple[str, ResponseBatch]],
+                     send) -> List[List]:
+        """Group a burst by owning replica, forward each share through
+        ``send(replica, share)``, and reassemble in input order."""
         if self._closed:
             raise ServiceError("cluster is closed")
         if not requests:
@@ -855,7 +946,7 @@ class ClusterService:
         self.bursts += 1
         self._m_requests.inc(len(requests))
         self._m_bursts.inc()
-        results: List[Optional[List[Diagnosis]]] = [None] * len(requests)
+        results: List[Optional[List]] = [None] * len(requests)
         pending: List[Tuple[int, Tuple[str, ResponseBatch]]] = \
             list(enumerate(requests))
         slow: Set[str] = set()   # timed out: reroute burst-locally only
@@ -868,7 +959,8 @@ class ClusterService:
                 groups.setdefault(name, []).append((index, request))
             pending = []
             outcomes = await asyncio.gather(
-                *(self._timed(name, self.replicas[name].submit_many(
+                *(self._timed(name, send(
+                    self.replicas[name],
                     [request for _, request in items]))
                   for name, items in groups.items()),
                 return_exceptions=True)

@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Union
 import numpy as np
 
 from ..diagnosis.classifier import Diagnosis
+from ..diagnosis.posterior import PosteriorDiagnosis
 from ..errors import CodecError
 
 __all__ = [
@@ -35,6 +36,13 @@ __all__ = [
     "encode_response_many",
     "diagnosis_to_dict",
     "diagnosis_from_dict",
+    "decode_posterior_request",
+    "decode_posterior_response",
+    "encode_posterior_response",
+    "decode_posterior_response_many",
+    "encode_posterior_response_many",
+    "posterior_to_dict",
+    "posterior_from_dict",
     "encode_error",
     "encode_stats",
 ]
@@ -55,8 +63,56 @@ def _loads(payload: Payload) -> object:
 
 
 def _dumps(obj: object) -> bytes:
-    return json.dumps(obj, separators=(",", ":"),
-                      allow_nan=False).encode("utf-8")
+    try:
+        return json.dumps(obj, separators=(",", ":"),
+                          allow_nan=False).encode("utf-8")
+    except ValueError as exc:
+        raise CodecError(
+            f"payload contains a non-finite float outside a tokenised "
+            f"field: {exc}") from exc
+
+
+# Non-finite floats have no JSON literal. Fields that may legitimately
+# carry them (margins, ranking distances) ride as explicit string
+# tokens, so an infinite margin and a missing one are distinguishable
+# on the wire. NaN is *rejected at encode time* -- a NaN margin is a
+# bug upstream, and silently shipping it previously round-tripped into
+# "infinitely confident" (null -> +inf). The decoder still accepts a
+# "nan" token (and legacy null as +inf) from other producers.
+_NONFINITE_TOKENS = {
+    "inf": float("inf"),
+    "+inf": float("inf"),
+    "-inf": float("-inf"),
+    "nan": float("nan"),
+}
+
+
+def _float_to_wire(value: float, field: str) -> Union[float, str]:
+    value = float(value)
+    if np.isnan(value):
+        raise CodecError(
+            f"{field} is NaN; refusing to encode (upstream bug)")
+    if np.isinf(value):
+        return "inf" if value > 0.0 else "-inf"
+    return value
+
+
+def _float_from_wire(value: object, field: str) -> float:
+    if value is None:
+        # Legacy encoders shipped null for any non-finite value.
+        return float("inf")
+    if isinstance(value, str):
+        try:
+            return _NONFINITE_TOKENS[value.lower()]
+        except KeyError:
+            raise CodecError(
+                f"{field} has unknown non-finite token {value!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CodecError(
+            f"{field} must be a number or a non-finite token, got "
+            f"{type(value).__name__}")
+    return float(value)
 
 
 # ----------------------------------------------------------------------
@@ -165,18 +221,23 @@ def decode_request_many(payload: Payload) -> List[DiagnoseRequest]:
 # Responses
 # ----------------------------------------------------------------------
 def diagnosis_to_dict(diagnosis: Diagnosis) -> Dict[str, object]:
-    """JSON-ready dict for one diagnosis (bitwise round-trippable)."""
-    # A single-trajectory set has an infinite margin; JSON has no inf,
-    # so it rides as null and decodes back to inf.
-    margin = diagnosis.margin if np.isfinite(diagnosis.margin) else None
+    """JSON-ready dict for one diagnosis (bitwise round-trippable).
+
+    Margins and ranking distances can be legitimately infinite (a
+    single-trajectory set; components masked out by the
+    perpendicular-foot rule), so they ride as explicit ``"inf"`` /
+    ``"-inf"`` tokens; a NaN in either is rejected with
+    :class:`CodecError` rather than silently shipped.
+    """
     return {
         "component": diagnosis.component,
         "estimated_deviation": diagnosis.estimated_deviation,
         "distance": diagnosis.distance,
         "perpendicular": diagnosis.perpendicular,
-        "margin": margin,
+        "margin": _float_to_wire(diagnosis.margin, "margin"),
         "point": list(diagnosis.point),
-        "ranking": [[name, distance]
+        "ranking": [[name, _float_to_wire(distance,
+                                          f"ranking[{name}]")]
                     for name, distance in diagnosis.ranking],
     }
 
@@ -184,16 +245,17 @@ def diagnosis_to_dict(diagnosis: Diagnosis) -> Dict[str, object]:
 def diagnosis_from_dict(obj: Dict[str, object]) -> Diagnosis:
     """Rebuild a :class:`Diagnosis` from its wire dict."""
     try:
-        margin = obj["margin"]
         return Diagnosis(
             component=str(obj["component"]),
             estimated_deviation=float(obj["estimated_deviation"]),
             distance=float(obj["distance"]),
             perpendicular=bool(obj["perpendicular"]),
-            margin=float("inf") if margin is None else float(margin),
+            margin=_float_from_wire(obj["margin"], "margin"),
             point=tuple(float(x) for x in obj["point"]),
-            ranking=tuple((str(name), float(distance))
-                          for name, distance in obj["ranking"]),
+            ranking=tuple(
+                (str(name), _float_from_wire(distance,
+                                             f"ranking[{name}]"))
+                for name, distance in obj["ranking"]),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CodecError(f"malformed diagnosis dict: {exc}") from exc
@@ -233,6 +295,107 @@ def decode_response_many(payload: Payload) -> List[List[Diagnosis]]:
             not all(isinstance(batch, list) for batch in batches):
         raise CodecError("'batches' must be a list of lists")
     return [[diagnosis_from_dict(item) for item in batch]
+            for batch in batches]
+
+
+# ----------------------------------------------------------------------
+# Posterior (probabilistic tier)
+# ----------------------------------------------------------------------
+def decode_posterior_request(payload: Payload
+                             ) -> tuple:
+    """Parse a ``/v1/diagnose-posterior`` body.
+
+    Accepts the single-request shape (``{"circuit", "magnitudes_db"}``,
+    byte-compatible with ``encode_request``) and the burst shape
+    (``{"requests": [...]}``, byte-compatible with
+    ``encode_request_many``). Returns ``(requests, is_burst)``.
+    """
+    obj = _loads(payload)
+    if not isinstance(obj, dict):
+        raise CodecError("request must be a JSON object")
+    if "requests" in obj:
+        items = obj["requests"]
+        if not isinstance(items, list) or not items:
+            raise CodecError("burst needs a non-empty 'requests' list")
+        return [_request_from_obj(item) for item in items], True
+    return [_request_from_obj(obj)], False
+
+
+def posterior_to_dict(diagnosis: PosteriorDiagnosis
+                      ) -> Dict[str, object]:
+    """JSON-ready dict for one posterior diagnosis (bitwise
+    round-trippable; probabilities/gains are always finite)."""
+    return {
+        "component": diagnosis.component,
+        "probabilities": [[name, probability]
+                          for name, probability
+                          in diagnosis.probabilities],
+        "entropy_bits": diagnosis.entropy_bits,
+        "expected_deviation": diagnosis.expected_deviation,
+        "test_ranking": [[freq_hz, gain_bits]
+                         for freq_hz, gain_bits
+                         in diagnosis.test_ranking],
+        "n_samples": diagnosis.n_samples,
+    }
+
+
+def posterior_from_dict(obj: Dict[str, object]) -> PosteriorDiagnosis:
+    """Rebuild a :class:`PosteriorDiagnosis` from its wire dict."""
+    try:
+        return PosteriorDiagnosis(
+            component=str(obj["component"]),
+            probabilities=tuple(
+                (str(name), float(probability))
+                for name, probability in obj["probabilities"]),
+            entropy_bits=float(obj["entropy_bits"]),
+            expected_deviation=float(obj["expected_deviation"]),
+            test_ranking=tuple(
+                (float(freq_hz), float(gain_bits))
+                for freq_hz, gain_bits in obj["test_ranking"]),
+            n_samples=int(obj["n_samples"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(
+            f"malformed posterior diagnosis dict: {exc}") from exc
+
+
+def encode_posterior_response(
+        diagnoses: Sequence[PosteriorDiagnosis]) -> bytes:
+    """Serialise a list of posterior diagnoses to the wire form."""
+    return _dumps({"posteriors": [posterior_to_dict(d)
+                                  for d in diagnoses]})
+
+
+def decode_posterior_response(payload: Payload
+                              ) -> List[PosteriorDiagnosis]:
+    """Parse a posterior response payload back into objects."""
+    obj = _loads(payload)
+    if not isinstance(obj, dict) or "posteriors" not in obj:
+        raise CodecError("response must be an object with 'posteriors'")
+    items = obj["posteriors"]
+    if not isinstance(items, list):
+        raise CodecError("'posteriors' must be a list")
+    return [posterior_from_dict(item) for item in items]
+
+
+def encode_posterior_response_many(
+        batches: Sequence[Sequence[PosteriorDiagnosis]]) -> bytes:
+    """Serialise one posterior list per burst request."""
+    return _dumps({"batches": [[posterior_to_dict(d) for d in batch]
+                               for batch in batches]})
+
+
+def decode_posterior_response_many(payload: Payload
+                                   ) -> List[List[PosteriorDiagnosis]]:
+    """Parse a posterior burst response into per-request lists."""
+    obj = _loads(payload)
+    if not isinstance(obj, dict) or "batches" not in obj:
+        raise CodecError("response must be an object with 'batches'")
+    batches = obj["batches"]
+    if not isinstance(batches, list) or \
+            not all(isinstance(batch, list) for batch in batches):
+        raise CodecError("'batches' must be a list of lists")
+    return [[posterior_from_dict(item) for item in batch]
             for batch in batches]
 
 

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..diagnosis.classifier import Diagnosis
+from ..diagnosis.posterior import PosteriorDiagnosis
 from ..errors import (ClusterError, CodecError, ServiceError,
                       ServiceOverloadedError)
 from . import codec, telemetry
@@ -58,6 +59,11 @@ from .service import DiagnosisService
 __all__ = ["AsyncDiagnosisService", "DiagnosisHTTPServer", "serve"]
 
 _OVERFLOW_KINDS = ("wait", "reject")
+
+#: Queue-key prefix separating posterior batches from hard-classifier
+#: batches: both tiers share the coalescing machinery but must never
+#: share a flush ("\x00" cannot appear in a circuit name).
+_POSTERIOR_PREFIX = "posterior\x00"
 
 
 def _count_rows(responses: ResponseBatch) -> int:
@@ -239,26 +245,68 @@ class AsyncDiagnosisService:
         rows = _count_rows(responses)
         with telemetry.TRACER.span("service.submit",
                                    circuit=circuit_name, rows=rows):
-            await self._admit()
-            loop = asyncio.get_running_loop()
-            item = _Pending(responses, rows, loop.create_future())
-            queue = self._queues.get(circuit_name)
-            if queue is None:
-                queue = self._queues.setdefault(circuit_name,
-                                                _CircuitQueue())
-            queue.items.append(item)
-            queue.rows += rows
-            stats = self.service.stats
-            stats.gauge_queue_depth(self._pending)
-            if self._pending > stats.peak_queue_depth:
-                # lock only on a new peak
-                stats.observe_queue_depth(self._pending)
-            if queue.rows >= self.max_batch:
-                self._start_flush(circuit_name)
-            elif queue.timer is None:
-                queue.timer = loop.create_task(
-                    self._window_timer(circuit_name))
-            return await item.future
+            return await self._enqueue(circuit_name, responses, rows)
+
+    async def submit_posterior(self, circuit_name: str,
+                               responses: ResponseBatch
+                               ) -> List[PosteriorDiagnosis]:
+        """Probabilistic diagnosis of a batch of responses (awaitable).
+
+        The async face of
+        :meth:`DiagnosisService.diagnose_posterior`: concurrent
+        posterior submits for the same circuit coalesce into one
+        ``diagnose_points`` call (posterior batches never share a flush
+        with hard-classifier batches). Diagnosis is row-independent, so
+        results are bitwise-identical to sequential calls.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        if not self.service.has_circuit(circuit_name):
+            raise ServiceError(
+                f"unknown circuit {circuit_name!r}; register() it "
+                f"first")
+        rows = _count_rows(responses)
+        with telemetry.TRACER.span("service.submit_posterior",
+                                   circuit=circuit_name, rows=rows):
+            return await self._enqueue(
+                _POSTERIOR_PREFIX + circuit_name, responses, rows)
+
+    async def submit_posterior_many(
+            self, requests: Sequence[Tuple[str, ResponseBatch]]
+    ) -> List[List[PosteriorDiagnosis]]:
+        """Posterior burst; one diagnosis list per request (see
+        :meth:`submit_many` for the coalescing/failure contract)."""
+        outcomes = await asyncio.gather(
+            *(self.submit_posterior(circuit_name, responses)
+              for circuit_name, responses in requests),
+            return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(outcomes)
+
+    async def _enqueue(self, queue_key: str, responses: ResponseBatch,
+                       rows: int):
+        """Admit one request into a coalescing queue; await its result."""
+        await self._admit()
+        loop = asyncio.get_running_loop()
+        item = _Pending(responses, rows, loop.create_future())
+        queue = self._queues.get(queue_key)
+        if queue is None:
+            queue = self._queues.setdefault(queue_key, _CircuitQueue())
+        queue.items.append(item)
+        queue.rows += rows
+        stats = self.service.stats
+        stats.gauge_queue_depth(self._pending)
+        if self._pending > stats.peak_queue_depth:
+            # lock only on a new peak
+            stats.observe_queue_depth(self._pending)
+        if queue.rows >= self.max_batch:
+            self._start_flush(queue_key)
+        elif queue.timer is None:
+            queue.timer = loop.create_task(
+                self._window_timer(queue_key))
+        return await item.future
 
     async def submit_many(self, requests: Sequence[Tuple[str,
                                                          ResponseBatch]]
@@ -310,8 +358,8 @@ class AsyncDiagnosisService:
     # ------------------------------------------------------------------
     # Flushing
     # ------------------------------------------------------------------
-    async def _window_timer(self, circuit_name: str) -> None:
-        queue = self._queues.get(circuit_name)
+    async def _window_timer(self, queue_key: str) -> None:
+        queue = self._queues.get(queue_key)
         if queue is None:
             return
         try:
@@ -333,11 +381,11 @@ class AsyncDiagnosisService:
                 await asyncio.sleep(self.window_seconds)
         except asyncio.CancelledError:
             return
-        self._start_flush(circuit_name, from_timer=True)
+        self._start_flush(queue_key, from_timer=True)
 
-    def _start_flush(self, circuit_name: str, *,
+    def _start_flush(self, queue_key: str, *,
                      from_timer: bool = False) -> None:
-        queue = self._queues.get(circuit_name)
+        queue = self._queues.get(queue_key)
         if queue is None:
             return
         timer, queue.timer = queue.timer, None
@@ -346,8 +394,12 @@ class AsyncDiagnosisService:
         if not queue.items:
             return
         items, queue.items, queue.rows = queue.items, [], 0
-        task = asyncio.get_running_loop().create_task(
-            self._run_batch(circuit_name, items))
+        if queue_key.startswith(_POSTERIOR_PREFIX):
+            circuit_name = queue_key[len(_POSTERIOR_PREFIX):]
+            coroutine = self._run_posterior_batch(circuit_name, items)
+        else:
+            coroutine = self._run_batch(queue_key, items)
+        task = asyncio.get_running_loop().create_task(coroutine)
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
@@ -446,15 +498,69 @@ class AsyncDiagnosisService:
         finally:
             await self._settle(len(items))
 
+    async def _run_posterior_batch(self, circuit_name: str,
+                                   items: List[_Pending]) -> None:
+        """Flush one coalesced posterior batch (probabilistic tier)."""
+        loop = asyncio.get_running_loop()
+        try:
+            try:
+                engine = self.service._engine_if_warm(circuit_name)
+                posterior = None if engine is None else engine.posterior
+                if posterior is None:
+                    # Cold miss on the engine or its posterior tier: the
+                    # pipeline build / Monte-Carlo sweep must not block
+                    # the loop.
+                    engine, posterior = await loop.run_in_executor(
+                        None, self.service._posterior, circuit_name)
+            except Exception as exc:     # noqa: BLE001 -- shared fault
+                for item in items:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            live, stacked = self._stack_signatures(engine.diagnoser,
+                                                   items)
+            if not live:
+                return
+            try:
+                if self._executor is None:
+                    results = posterior.diagnose_points(stacked)
+                else:
+                    results = await loop.run_in_executor(
+                        self._executor, posterior.diagnose_points,
+                        stacked)
+            except Exception as exc:     # noqa: BLE001 -- shared fault
+                for item in live:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            finished = time.perf_counter()
+            offset = 0
+            records: List[Tuple[int, float]] = []
+            for item in live:
+                part = results[offset:offset + item.rows]
+                offset += item.rows
+                if not item.future.done():
+                    item.future.set_result(part)
+                records.append((item.rows, finished - item.enqueued_at))
+            self.service.stats.record_posterior(
+                circuit_name, records,
+                [result.entropy_bits for result in results])
+        finally:
+            await self._settle(len(items))
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def flush(self, circuit_name: Optional[str] = None) -> None:
-        """Force pending batches out immediately (skip the window)."""
-        names = [circuit_name] if circuit_name is not None \
-            else list(self._queues)
-        for name in names:
-            self._start_flush(name)
+        """Force pending batches out immediately (skip the window).
+
+        A circuit name flushes both its hard-classifier and posterior
+        queues.
+        """
+        keys = [circuit_name, _POSTERIOR_PREFIX + circuit_name] \
+            if circuit_name is not None else list(self._queues)
+        for key in keys:
+            self._start_flush(key)
 
     async def drain(self) -> None:
         """Flush everything and wait until no request is in flight.
@@ -546,6 +652,10 @@ class DiagnosisHTTPServer:
     * ``POST /v1/diagnose-many`` -- a mixed-circuit burst
       (``{"requests": [...]}``); answers one diagnosis list per
       request (coalesced per circuit).
+    * ``POST /v1/diagnose-posterior`` -- probabilistic tier: accepts
+      the single-request *or* burst body shape and answers calibrated
+      posterior fault probabilities plus an information-gain ranking
+      of candidate measurement frequencies per row.
     * ``GET /v1/stats`` -- :meth:`ServiceStats.snapshot`.
     * ``GET /v1/metrics`` -- Prometheus text exposition 0.0.4 (see
       :mod:`repro.runtime.telemetry`).
@@ -936,6 +1046,16 @@ class DiagnosisHTTPServer:
                 [(request.circuit, request.magnitudes_db)
                  for request in requests])
             return 200, codec.encode_response_many(batches)
+        if path == "/v1/diagnose-posterior":
+            if method != "POST":
+                return 405, codec.encode_error("use POST")
+            requests, is_burst = codec.decode_posterior_request(body)
+            batches = await self.service.submit_posterior_many(
+                [(request.circuit, request.magnitudes_db)
+                 for request in requests])
+            if is_burst:
+                return 200, codec.encode_posterior_response_many(batches)
+            return 200, codec.encode_posterior_response(batches[0])
         if path == "/v1/stats" and method == "GET":
             return 200, codec.encode_stats(
                 await self.service.stats_snapshot())

@@ -38,6 +38,8 @@ from ..circuits.library import BENCHMARK_CIRCUITS, CircuitInfo, \
 from ..core.atpg import ATPGResult, FaultTrajectoryATPG
 from ..core.config import PipelineConfig
 from ..diagnosis.classifier import Diagnosis
+from ..diagnosis.posterior import (PosteriorConfig, PosteriorDiagnoser,
+                                   PosteriorDiagnosis)
 from ..errors import ServiceError
 from . import telemetry
 from .backends import StorageBackend
@@ -116,6 +118,14 @@ class ServiceStats:
     coalesced_requests: int = 0
     #: Requests refused by backpressure (``overflow="reject"``).
     rejections: int = 0
+    #: Completed posterior (probabilistic) diagnosis requests.
+    posterior_requests: int = 0
+    #: Response rows answered with posterior probabilities.
+    posterior_rows: int = 0
+    #: Posterior diagnoser builds (Monte-Carlo sweeps).
+    posterior_builds: int = 0
+    #: Engine variants simulated across all posterior builds.
+    posterior_samples: int = 0
     #: Highest queued-request count the async front ever observed.
     peak_queue_depth: int = 0
     #: Coalesced batch sizes (rows), bucketed to powers of two.
@@ -171,6 +181,28 @@ class ServiceStats:
         self._m_peak_queue_depth = reg.gauge(
             "repro_service_peak_queue_depth",
             "Highest queued-request count ever observed.")
+        self._m_posterior_requests = reg.counter(
+            "repro_posterior_requests_total",
+            "Completed probabilistic-diagnosis requests.", ("circuit",))
+        self._m_posterior_rows = reg.counter(
+            "repro_posterior_rows_total",
+            "Response rows answered with posterior probabilities.",
+            ("circuit",))
+        self._m_posterior_samples = reg.counter(
+            "repro_posterior_samples_total",
+            "Monte-Carlo engine variants simulated by posterior builds.",
+            ("circuit",))
+        self._m_posterior_build = reg.histogram(
+            "repro_posterior_build_seconds",
+            "Posterior diagnoser build time (Monte-Carlo sweep).")
+        self._m_posterior_latency = reg.histogram(
+            "repro_posterior_request_seconds",
+            "End-to-end posterior request latency inside the service.")
+        self._m_posterior_entropy = reg.histogram(
+            "repro_posterior_entropy_bits",
+            "Posterior entropy per diagnosed row (bits).",
+            buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5,
+                     2.0, 3.0, 4.0, 6.0))
 
     def for_circuit(self, name: str) -> CircuitStats:
         return self.per_circuit.setdefault(name, CircuitStats())
@@ -216,6 +248,35 @@ class ServiceStats:
             self._m_batch_rows.observe(n_rows)
             for n_responses, latency in request_latencies:
                 self._record_one(circuit_name, n_responses, latency)
+
+    def record_posterior(self, circuit_name: str,
+                         request_latencies: Sequence[Tuple[int, float]],
+                         entropies: Sequence[float]) -> None:
+        """Record posterior requests answered by one diagnose call.
+
+        ``request_latencies`` holds ``(n_rows, latency_seconds)`` per
+        client request; ``entropies`` the per-row posterior entropies
+        (bits) of the whole call.
+        """
+        with self._lock:
+            for n_rows, latency in request_latencies:
+                self.posterior_requests += 1
+                self.posterior_rows += n_rows
+                self._m_posterior_requests.labels(circuit_name).inc()
+                self._m_posterior_rows.labels(circuit_name).inc(n_rows)
+                self._m_posterior_latency.observe(latency)
+            for entropy in entropies:
+                self._m_posterior_entropy.observe(entropy)
+
+    def record_posterior_build(self, circuit_name: str,
+                               n_samples: int,
+                               build_seconds: float) -> None:
+        """Record one posterior diagnoser build (Monte-Carlo sweep)."""
+        with self._lock:
+            self.posterior_builds += 1
+            self.posterior_samples += n_samples
+            self._m_posterior_samples.labels(circuit_name).inc(n_samples)
+            self._m_posterior_build.observe(build_seconds)
 
     def record_warm_load(self, circuit_name: str) -> None:
         with self._lock:
@@ -281,6 +342,10 @@ class ServiceStats:
                 "coalesced_batches": self.coalesced_batches,
                 "coalesced_requests": self.coalesced_requests,
                 "rejections": self.rejections,
+                "posterior_requests": self.posterior_requests,
+                "posterior_rows": self.posterior_rows,
+                "posterior_builds": self.posterior_builds,
+                "posterior_samples": self.posterior_samples,
                 "peak_queue_depth": self.peak_queue_depth,
                 "batch_size_histogram": dict(sorted(
                     self.batch_size_histogram.items())),
@@ -301,10 +366,15 @@ class ServiceStats:
 
 @dataclass
 class _Engine:
-    """One warmed circuit: the pipeline result + its batch diagnoser."""
+    """One warmed circuit: the pipeline result + its batch diagnoser.
+
+    ``posterior`` is the lazily built probabilistic tier (None until the
+    first posterior request; guarded by the circuit's build lock).
+    """
 
     result: ATPGResult
     diagnoser: BatchDiagnoser
+    posterior: Optional[PosteriorDiagnoser] = None
 
 
 class DiagnosisService:
@@ -330,12 +400,18 @@ class DiagnosisService:
         Metrics registry backing this service's :class:`ServiceStats`;
         defaults to a fresh one per service (see
         :meth:`metrics_text`).
+    posterior:
+        Tolerance model / sampling knobs for the probabilistic tier
+        (:meth:`diagnose_posterior`). Defaults to
+        ``PosteriorConfig(seed=seed)`` so replicas sharing a GA seed
+        also share their Monte-Carlo worlds.
     """
 
     def __init__(self, config: Optional[PipelineConfig] = None,
                  store: StoreLike = None,
                  max_engines: int = 4, seed: int = 0,
                  registry: Optional[telemetry.MetricsRegistry] = None,
+                 posterior: Optional[PosteriorConfig] = None,
                  ) -> None:
         if max_engines < 1:
             raise ServiceError("max_engines must be >= 1")
@@ -343,6 +419,10 @@ class DiagnosisService:
         self.store = as_store(store)
         self.max_engines = max_engines
         self.seed = seed
+        # Same GA seed by default so every replica of a cluster samples
+        # identical Monte-Carlo worlds (bitwise-reproducible posteriors
+        # regardless of which replica answers).
+        self.posterior_config = posterior or PosteriorConfig(seed=seed)
         self.stats = ServiceStats(registry=registry,
                                   engine_kind=self.config.engine)
         self._circuits: Dict[str, CircuitInfo] = {}
@@ -516,6 +596,59 @@ class DiagnosisService:
                 records.append((n_rows, finished - started))
             self.stats.record_coalesced(circuit_name, records,
                                         n_rows=int(stacked.shape[0]))
+        return results
+
+    # ------------------------------------------------------------------
+    # Probabilistic tier
+    # ------------------------------------------------------------------
+    def _posterior(self, circuit_name: str
+                   ) -> Tuple[_Engine, PosteriorDiagnoser]:
+        """The warmed engine plus its (lazily built) posterior tier.
+
+        The Monte-Carlo sweep runs at most once per warmed engine, under
+        the same per-circuit build lock as warm-ups, so racing posterior
+        requests never duplicate the sampling.
+        """
+        engine = self._engine(circuit_name)
+        if engine.posterior is not None:
+            return engine, engine.posterior
+        with self._lock:
+            build_lock = self._build_locks.setdefault(
+                circuit_name, threading.Lock())
+        with build_lock:
+            if engine.posterior is not None:   # built while we waited
+                return engine, engine.posterior
+            started = time.perf_counter()
+            with telemetry.TRACER.span("service.posterior_build",
+                                       circuit=circuit_name):
+                posterior = PosteriorDiagnoser.from_atpg(
+                    engine.result, self.posterior_config)
+            engine.posterior = posterior
+            self.stats.record_posterior_build(
+                circuit_name, posterior.samples_simulated,
+                time.perf_counter() - started)
+        return engine, posterior
+
+    def diagnose_posterior(self, circuit_name: str,
+                           responses: ResponseBatch
+                           ) -> List[PosteriorDiagnosis]:
+        """Probabilistic diagnosis of a batch of measured responses.
+
+        ``responses`` is accepted exactly as in :meth:`submit`; each row
+        is answered with calibrated posterior fault probabilities and an
+        information-gain ranking of candidate measurement frequencies
+        instead of a single hard label. The signature transform is
+        shared with the hard tier (the engine's batch diagnoser), so
+        both tiers see identical points.
+        """
+        started = time.perf_counter()
+        engine, posterior = self._posterior(circuit_name)
+        points = engine.diagnoser.signatures(responses)
+        results = posterior.diagnose_points(points)
+        elapsed = time.perf_counter() - started
+        self.stats.record_posterior(
+            circuit_name, [(len(results), elapsed)],
+            [result.entropy_bits for result in results])
         return results
 
     def test_vector_hz(self, circuit_name: str) -> Tuple[float, ...]:

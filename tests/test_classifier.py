@@ -58,8 +58,17 @@ class TestClassifyPoint:
         assert diagnosis.estimated_deviation == pytest.approx(0.2)
 
     def test_ranking_contains_all_components(self, xy_classifier):
+        # The point sits exactly on X's vertex (t = 1 boundary, so no
+        # interior foot on X) while Y offers a perpendicular: Y wins,
+        # and the ranking is over the same candidate distances -- the
+        # masked-out component ranks at inf rather than outranking the
+        # winner with a distance the paper's rule already rejected.
         diagnosis = xy_classifier.classify_point(np.array([0.1, 0.05]))
-        assert [c for c, _ in diagnosis.ranking] == ["X", "Y"]
+        assert diagnosis.component == "Y"
+        assert [c for c, _ in diagnosis.ranking] == ["Y", "X"]
+        assert diagnosis.ranking[1][1] == float("inf")
+        assert diagnosis.margin == float("inf")
+        assert not diagnosis.ambiguous
 
     def test_margin_positive_for_clear_case(self, xy_classifier):
         diagnosis = xy_classifier.classify_point(np.array([0.15, 0.01]))
@@ -67,8 +76,10 @@ class TestClassifyPoint:
         assert not diagnosis.ambiguous
 
     def test_diagonal_point_is_ambiguous(self, xy_classifier):
+        # Off-vertex so both trajectories offer interior feet and the
+        # runner-up distance is genuinely comparable.
         diagnosis = xy_classifier.classify_point(
-            np.array([0.1, 0.100001]))
+            np.array([0.13, 0.130001]))
         assert diagnosis.ambiguous
 
     def test_dimension_mismatch(self, xy_classifier):
@@ -160,3 +171,67 @@ class TestFaultFree:
         classifier = TrajectoryClassifier(trajectories)
         with pytest.raises(DiagnosisError):
             classifier.is_fault_free(np.array([0.0, 0.0]), 0.01)
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro import FaultTrajectoryATPG, PipelineConfig  # noqa: E402
+from repro.circuits.library import get_benchmark  # noqa: E402
+from repro.ga import GAConfig  # noqa: E402
+
+#: Circuits spanning the library's shapes: single pole, a perfect
+#: R1/R2 ambiguity group (coincident trajectories -- the historic
+#: negative-margin trigger), a 2nd-order active filter, the paper CUT.
+MARGIN_CIRCUITS = ("rc_lowpass", "voltage_divider",
+                   "sallen_key_lowpass", "tow_thomas_biquad")
+
+
+@pytest.fixture(scope="module")
+def library_results():
+    """Quick ATPG run per margin-property circuit, built once."""
+    config = PipelineConfig(dictionary_points=32,
+                            deviations=(-0.2, 0.2),
+                            ga=GAConfig(population_size=8,
+                                        generations=2))
+    return {name: FaultTrajectoryATPG(get_benchmark(name),
+                                      config).run(seed=7)
+            for name in MARGIN_CIRCUITS}
+
+
+class TestMarginProperty:
+    """margin >= 0 must hold for *any* signature point.
+
+    The regression this guards: ``_margin`` used to rank on unmasked
+    distances while the winner came from masked ones, so a point whose
+    nearest unmasked segment belonged to the winning component produced
+    a negative margin. Coincident trajectories (voltage_divider) pin
+    the margin at exactly zero.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_margin_non_negative_across_library(self, library_results,
+                                                data):
+        name = data.draw(st.sampled_from(MARGIN_CIRCUITS))
+        result = library_results[name]
+        classifier = result.classifier
+        dim = result.trajectories.dimension
+        coords = data.draw(st.lists(
+            st.floats(min_value=-5.0, max_value=5.0,
+                      allow_nan=False),
+            min_size=dim, max_size=dim))
+        point = np.array(coords)
+
+        scalar = classifier.classify_point(point)
+        assert scalar.margin >= 0.0
+        masked = dict(scalar.ranking)
+        assert scalar.distance == min(masked.values())
+
+        batched = result.batch_diagnoser().classify_points(
+            point[None, :])[0]
+        assert batched.margin >= 0.0
+        assert batched.component == scalar.component
+        assert batched.margin == pytest.approx(scalar.margin,
+                                               rel=1e-9, abs=1e-12)

@@ -460,6 +460,52 @@ class TestCodec:
             codec.encode_response([diagnosis]))
         assert decoded == [diagnosis]
 
+    @settings(max_examples=60, deadline=None)
+    @given(margin=st.one_of(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.sampled_from([math.inf, -math.inf])),
+        runner_up=st.one_of(
+            st.floats(min_value=0.0, allow_nan=False,
+                      allow_infinity=False),
+            st.just(math.inf)))
+    def test_margin_and_ranking_round_trip_property(self, margin,
+                                                    runner_up):
+        """Every finite or infinite margin (and ranking distance)
+        survives the wire bitwise -- inf is encoded distinguishably,
+        never collapsed to null."""
+        diagnosis = Diagnosis(component="R1", estimated_deviation=0.1,
+                              distance=0.5, perpendicular=True,
+                              margin=margin, point=(1.0, 2.0),
+                              ranking=(("R1", 0.5),
+                                       ("R2", runner_up)))
+        payload = codec.encode_response([diagnosis])
+        assert b"null" not in payload
+        decoded = codec.decode_response(payload)
+        assert decoded == [diagnosis]
+
+    def test_nan_margin_rejected_at_encode(self):
+        diagnosis = Diagnosis(component="R1", estimated_deviation=0.1,
+                              distance=0.5, perpendicular=True,
+                              margin=math.nan, point=(1.0, 2.0),
+                              ranking=(("R1", 0.5),))
+        with pytest.raises(CodecError, match="margin"):
+            codec.encode_response([diagnosis])
+
+    def test_nan_token_and_legacy_null_decode(self):
+        """The decoder still understands an explicit "nan" token and
+        the legacy null-means-infinity encoding of old peers."""
+        template = {"component": "R1", "estimated_deviation": 0.1,
+                    "distance": 0.5, "perpendicular": True,
+                    "point": [1.0, 2.0], "ranking": [["R1", 0.5]]}
+        nan_payload = json.dumps(
+            {"diagnoses": [dict(template, margin="nan")]}).encode()
+        decoded = codec.decode_response(nan_payload)
+        assert math.isnan(decoded[0].margin)
+        null_payload = json.dumps(
+            {"diagnoses": [dict(template, margin=None)]}).encode()
+        decoded = codec.decode_response(null_payload)
+        assert decoded[0].margin == math.inf
+
     @pytest.mark.parametrize("payload", [
         b"not json",
         b"[]",
