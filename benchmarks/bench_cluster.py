@@ -57,6 +57,7 @@ from repro import (
     DiagnosisService,
     PipelineConfig,
 )
+from _helpers import check_environment, environment_info
 from _helpers import noisy_golden_rows as request_rows
 from repro.circuits.library import BENCHMARK_CIRCUITS
 from repro.ga import GAConfig
@@ -284,6 +285,7 @@ def run(quick: bool) -> dict:
     return {
         "benchmark": "T-CLUSTER",
         "quick": quick,
+        "environment": environment_info(),
         "circuits": list(CIRCUITS),
         "concurrency": CONCURRENCY,
         "scenarios": {
@@ -316,6 +318,7 @@ def run(quick: bool) -> dict:
 
 def check(report: dict, quick: bool) -> None:
     """Validate the report structure (the CI smoke contract)."""
+    check_environment(report, "BENCH_cluster.json")
     for scenario in SCENARIOS:
         if scenario not in report["scenarios"]:
             raise SystemExit(f"BENCH_cluster.json missing scenario "

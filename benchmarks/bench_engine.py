@@ -64,6 +64,8 @@ from repro.ga.encoding import FrequencySpace
 from repro.sim import VariantSpec
 from repro.units import log_frequency_grid
 
+from _helpers import check_environment, environment_info
+
 SEED = 2005
 
 REQUIRED_KEYS = {
@@ -311,6 +313,7 @@ def run(quick: bool) -> dict:
     report = {
         "benchmark": "T-ENGINE",
         "quick": quick,
+        "environment": environment_info(),
         "circuit": info.circuit.name,
         "n_faults": len(universe),
         "dictionary_build": {
@@ -351,6 +354,7 @@ def run(quick: bool) -> dict:
 
 def check(report: dict) -> None:
     """Validate the report structure (the CI smoke contract)."""
+    check_environment(report, "BENCH_engine.json")
     for key, fields in REQUIRED_KEYS.items():
         section = report[key]
         for field in fields:

@@ -45,6 +45,8 @@ from repro.circuits.library import get_benchmark
 from repro.diagnosis import PosteriorConfig, PosteriorDiagnoser
 from repro.runtime import codec
 
+from _helpers import check_environment, environment_info
+
 SEED = 2005  # the paper's publication year
 
 CIRCUIT = "tow_thomas_biquad"
@@ -140,6 +142,7 @@ def run(quick: bool = False) -> dict:
     return {
         "benchmark": "T-POSTERIOR",
         "quick": quick,
+        "environment": environment_info(),
         "circuit": CIRCUIT,
         "n_faults": len(result.universe.faults),
         "build": {
@@ -169,6 +172,7 @@ def run(quick: bool = False) -> dict:
 
 def check(report: dict) -> None:
     """Validate the report structure (the CI smoke contract)."""
+    check_environment(report, "BENCH_posterior.json")
     for key, fields in REQUIRED_KEYS.items():
         section = report[key]
         for field in fields:

@@ -44,6 +44,7 @@ from repro import (
 )
 from repro.ga import GAConfig
 
+from _helpers import check_environment, environment_info
 from _helpers import noisy_golden_rows as request_rows
 
 SEED = 2005
@@ -182,6 +183,7 @@ def run(quick: bool) -> dict:
     return {
         "benchmark": "T-SERVING",
         "quick": quick,
+        "environment": environment_info(),
         "circuits": list(CIRCUITS),
         "concurrency": CONCURRENCY,
         "scenarios": scenarios,
@@ -204,6 +206,7 @@ def run(quick: bool) -> dict:
 
 def check(report: dict, quick: bool) -> None:
     """Validate the report structure (the CI smoke contract)."""
+    check_environment(report, "BENCH_serving.json")
     for key, fields in REQUIRED_KEYS.items():
         section = report[key]
         for field in fields:

@@ -129,7 +129,7 @@ from .trajectory import (
 )
 from .units import db, format_frequency, log_frequency_grid, parse_value
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

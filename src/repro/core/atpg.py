@@ -298,8 +298,10 @@ class FaultTrajectoryATPG:
                                    self.config.num_frequencies)
             surface = ResponseSurface(dictionary)
             fitness = self.make_fitness(surface)
-            ga = GeneticAlgorithm(space, fitness, self.config.ga,
-                                  n_workers=self.config.n_workers)
+            ga = GeneticAlgorithm(
+                space, fitness, self.config.ga,
+                n_workers=self.config.effective_ga_workers,
+                executor=self.config.ga_executor)
             with profiling.profiled("pipeline.ga_search",
                                     circuit=self.info.circuit.name):
                 ga_result = ga.run(seed=seed)

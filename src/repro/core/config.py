@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import ReproError
 from ..faults.models import paper_deviation_grid
@@ -50,11 +50,17 @@ class PipelineConfig:
         population-level GA evaluation. 0 or 1 keep the serial paths;
         >= 2 fans dictionary variant blocks out over a
         ``concurrent.futures`` pool (see ``repro.runtime.parallel``)
-        and uncached GA individuals over a thread pool.
+        and uncached GA individuals over the GA pool.
     executor:
         Pool kind for parallel dictionary builds: ``"process"`` or
-        ``"thread"`` (GA evaluation always uses threads so the fitness
-        memo cache stays shared).
+        ``"thread"``.
+    ga_workers / ga_executor:
+        GA population-scoring pool. ``ga_workers`` of None inherits
+        ``n_workers``; ``ga_executor`` picks ``"thread"`` (shared memo
+        cache, wins only where BLAS drops the GIL) or ``"process"``
+        (response surface published zero-copy into shared memory,
+        shards scored across real cores -- bitwise-identical results
+        either way; see ``repro.runtime.shm``).
     engine:
         Simulation engine for every fault-simulation stage:
         ``"batched"`` (default; stamp-once/solve-many
@@ -83,6 +89,8 @@ class PipelineConfig:
     ambiguity_threshold: float = 0.01
     n_workers: int = 0
     executor: str = "process"
+    ga_workers: Optional[int] = None
+    ga_executor: str = "thread"
     engine: str = "batched"
 
     def __post_init__(self) -> None:
@@ -105,10 +113,24 @@ class PipelineConfig:
             raise ReproError(
                 f"executor must be one of {_EXECUTOR_KINDS}, "
                 f"got {self.executor!r}")
+        if self.ga_workers is not None and self.ga_workers < 0:
+            raise ReproError("ga_workers must be >= 0 (or None to "
+                             "inherit n_workers)")
+        if self.ga_executor not in _EXECUTOR_KINDS:
+            raise ReproError(
+                f"ga_executor must be one of {_EXECUTOR_KINDS}, "
+                f"got {self.ga_executor!r}")
         if self.engine not in ENGINE_KINDS:
             raise ReproError(
                 f"engine must be one of {ENGINE_KINDS}, "
                 f"got {self.engine!r}")
+
+    @property
+    def effective_ga_workers(self) -> int:
+        """The GA pool size: ``ga_workers``, or ``n_workers`` when
+        unset."""
+        return self.n_workers if self.ga_workers is None \
+            else self.ga_workers
 
     @classmethod
     def paper(cls) -> "PipelineConfig":

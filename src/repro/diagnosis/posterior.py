@@ -47,7 +47,10 @@ All sampling happens once at build time; a diagnosis request is pure
 from __future__ import annotations
 
 import math
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -56,7 +59,8 @@ from ..circuits.library import CircuitInfo
 from ..errors import DiagnosisError
 from ..faults.models import ParametricFault
 from ..faults.universe import FaultUniverse
-from ..sim.engine import SimulationEngine, VariantSpec, make_engine
+from ..sim.engine import (SimulationEngine, VariantSpec, engine_kind,
+                          make_engine)
 from ..trajectory.geometry import _EPS
 from ..trajectory.mapping import SignatureMapper
 from ..units import db_to_linear
@@ -96,6 +100,13 @@ class PosteriorConfig:
     circuit's band are ranked (together with the test vector itself) by
     expected information gain. ``samples_per_block`` bounds how many
     Monte-Carlo worlds share one engine ``transfer_block`` call.
+
+    ``n_workers`` >= 2 fans the sample blocks out over a worker pool
+    during the build; ``executor`` picks ``"process"`` (workers write
+    disjoint slices of a shared-memory result tensor -- true
+    multi-core; degrades to threads when shared memory is unavailable)
+    or ``"thread"``. Every tolerance draw comes from the root seed up
+    front, so pooled builds stay bitwise-identical to serial ones.
     """
 
     n_samples: int = 64
@@ -105,6 +116,8 @@ class PosteriorConfig:
     n_candidates: int = 12
     samples_per_block: int = 32
     seed: int = 0
+    n_workers: int = 0
+    executor: str = "process"
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
@@ -127,6 +140,13 @@ class PosteriorConfig:
             raise DiagnosisError(
                 f"samples_per_block must be >= 1, "
                 f"got {self.samples_per_block}")
+        if self.n_workers < 0:
+            raise DiagnosisError(
+                f"n_workers must be >= 0, got {self.n_workers}")
+        if self.executor not in ("process", "thread"):
+            raise DiagnosisError(
+                f"executor must be 'process' or 'thread', "
+                f"got {self.executor!r}")
 
 
 @dataclass(frozen=True)
@@ -162,6 +182,120 @@ class PosteriorDiagnosis:
         return (f"posterior [{top}] entropy {self.entropy_bits:.3f} b, "
                 f"next measure {best_freq:.4g} Hz "
                 f"(+{best_gain:.3f} b expected)")
+
+
+@dataclass
+class _WorldSpec:
+    """Everything a build worker needs to simulate sample blocks.
+
+    Shipped once per worker via the pool initializer (the heavy part,
+    ``out``, is a shared-memory handle); per-task payloads are just the
+    ``(start, stop)`` sample range. The same spec drives the serial
+    path so pooled and serial builds run literally the same code.
+    """
+
+    circuit: object
+    output_node: str
+    input_source: Optional[str]
+    grid: np.ndarray
+    engine_kind: str
+    targets: Tuple[str, ...]
+    nominal: Dict[str, object]
+    fault_repl: Tuple[object, ...]
+    fault_labels: Tuple[str, ...]
+    eps: np.ndarray
+    out: object = None  # SharedArray or a .array namespace
+
+
+def _world_variant(spec: _WorldSpec, fault_index: Optional[int],
+                   sample: int) -> VariantSpec:
+    """World ``sample`` with fault ``fault_index`` applied
+    (``None`` = the world's fault-free circuit)."""
+    base = dict(spec.nominal)
+    extra = None
+    if fault_index is not None:
+        faulty = spec.fault_repl[fault_index]
+        if faulty.name in base:
+            base[faulty.name] = faulty
+        else:
+            extra = faulty
+    parts = [base[name].with_value(
+                 base[name].value * (1.0 + spec.eps[sample, j]))
+             for j, name in enumerate(spec.targets)]
+    if extra is not None:
+        parts.append(extra)
+    label = FAULT_FREE_LABEL if fault_index is None else \
+        spec.fault_labels[fault_index]
+    return VariantSpec(
+        tuple(parts),
+        name=f"{spec.circuit.name}#posterior:{label}:s{sample}")
+
+
+def _run_world_block(spec: _WorldSpec, engine: SimulationEngine,
+                     start: int, stop: int) -> Optional[np.ndarray]:
+    """Simulate samples ``[start, stop)`` into ``spec.out``.
+
+    One ``transfer_block`` call per block; per world, the fault-free
+    circuit plus every fault. The nominal (tolerance-free) reference
+    rides the first block and is returned as the golden row.
+    """
+    samples = range(start, stop)
+    include_nominal = start == 0
+    n_faults = len(spec.fault_repl)
+    variants: List[VariantSpec] = []
+    if include_nominal:
+        variants.append(VariantSpec(name=spec.circuit.name))
+    for sample in samples:
+        variants.append(_world_variant(spec, None, sample))
+        variants.extend(_world_variant(spec, index, sample)
+                        for index in range(n_faults))
+    block = engine.transfer_block(spec.output_node, spec.grid, variants,
+                                  spec.input_source)
+    values = block.magnitude_db()
+    rows_per_sample = 1 + n_faults
+    out = spec.out.array
+    offset = 1 if include_nominal else 0
+    for position, sample in enumerate(samples):
+        out[:, sample, :] = values[
+            offset + position * rows_per_sample:
+            offset + (position + 1) * rows_per_sample]
+    return values[0].copy() if include_nominal else None
+
+
+#: Per-process worker state installed by the pool initializer.
+_POOL_WORKER: Dict[str, object] = {}
+
+
+def _init_posterior_worker(spec: _WorldSpec) -> None:
+    """Process-pool initializer: adopt the spec (attaching its shared
+    output tensor) and stamp this worker's engine once."""
+    _POOL_WORKER["spec"] = spec
+    _POOL_WORKER["engine"] = make_engine(spec.circuit, spec.engine_kind)
+
+
+def _posterior_pool_block(start: int, stop: int) -> Optional[np.ndarray]:
+    """Per-task entry point in a worker process."""
+    spec = _POOL_WORKER.get("spec")
+    if spec is None:
+        raise DiagnosisError(
+            "posterior pool worker used without its initializer")
+    return _run_world_block(spec, _POOL_WORKER["engine"], start, stop)
+
+
+class _ThreadWorldRunner:
+    """Thread-pool fallback: same block body, one engine per thread."""
+
+    def __init__(self, spec: _WorldSpec) -> None:
+        self.spec = spec
+        self._local = threading.local()
+
+    def __call__(self, start: int, stop: int) -> Optional[np.ndarray]:
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = make_engine(self.spec.circuit,
+                                 self.spec.engine_kind)
+            self._local.engine = engine
+        return _run_world_block(self.spec, engine, start, stop)
 
 
 class PosteriorDiagnoser:
@@ -249,56 +383,31 @@ class PosteriorDiagnoser:
                       for fault in self._faults]
         n_faults = len(self._faults)
 
-        def variant(fault_index: Optional[int], sample: int
-                    ) -> VariantSpec:
-            """World ``sample`` with fault ``fault_index`` applied
-            (``None`` = the world's fault-free circuit)."""
-            base = dict(nominal)
-            extra = None
-            if fault_index is not None:
-                faulty = fault_repl[fault_index]
-                if faulty.name in base:
-                    base[faulty.name] = faulty
-                else:
-                    extra = faulty
-            parts = [base[name].with_value(
-                         base[name].value * (1.0 + eps[sample, j]))
-                     for j, name in enumerate(targets)]
-            if extra is not None:
-                parts.append(extra)
-            label = FAULT_FREE_LABEL if fault_index is None else \
-                self._faults[fault_index].label
-            return VariantSpec(
-                tuple(parts),
-                name=f"{circuit.name}#posterior:{label}:s{sample}")
-
-        # One ResponseBlock per sample batch; per world, the fault-free
-        # circuit plus every fault. The nominal (tolerance-free)
-        # reference rides the first block.
         rows_per_sample = 1 + n_faults
-        mag_db = np.empty((rows_per_sample, config.n_samples, grid.size))
-        golden_db: Optional[np.ndarray] = None
-        for start in range(0, config.n_samples, config.samples_per_block):
-            chunk = range(start,
-                          min(start + config.samples_per_block,
+        kind = engine_kind(self._engine)
+        spec = _WorldSpec(
+            circuit=circuit, output_node=info.output_node,
+            input_source=info.input_source, grid=grid,
+            engine_kind=kind or "batched", targets=targets,
+            nominal=nominal, fault_repl=tuple(fault_repl),
+            fault_labels=tuple(fault.label for fault in self._faults),
+            eps=eps)
+        blocks = [(start, min(start + config.samples_per_block,
                               config.n_samples))
-            variants: List[VariantSpec] = []
-            if start == 0:
-                variants.append(VariantSpec(name=circuit.name))
-            for sample in chunk:
-                variants.append(variant(None, sample))
-                variants.extend(variant(index, sample)
-                                for index in range(n_faults))
-            block = self._engine.transfer_block(
-                info.output_node, grid, variants, info.input_source)
-            values = block.magnitude_db()
-            offset = 1 if start == 0 else 0
-            if start == 0:
-                golden_db = values[0]
-            for position, sample in enumerate(chunk):
-                mag_db[:, sample, :] = values[
-                    offset + position * rows_per_sample:
-                    offset + (position + 1) * rows_per_sample]
+                  for start in range(0, config.n_samples,
+                                     config.samples_per_block)]
+        if config.n_workers > 1 and len(blocks) > 1 and kind is not None:
+            mag_db, golden_db = self._sample_worlds_pooled(
+                spec, blocks, rows_per_sample, grid.size)
+        else:
+            spec.out = SimpleNamespace(array=np.empty(
+                (rows_per_sample, config.n_samples, grid.size)))
+            golden_db = None
+            for start, stop in blocks:
+                row = _run_world_block(spec, self._engine, start, stop)
+                if row is not None:
+                    golden_db = row
+            mag_db = spec.out.array
         assert golden_db is not None
         #: Engine variants simulated during the build (telemetry).
         self.samples_simulated = rows_per_sample * config.n_samples + 1
@@ -338,6 +447,58 @@ class PosteriorDiagnoser:
         self._gh_nodes = math.sqrt(2.0) * nodes
         self._gh_weights = weights / math.sqrt(math.pi)
         self._bandwidth = floor
+
+    def _sample_worlds_pooled(self, spec: _WorldSpec,
+                              blocks: List[Tuple[int, int]],
+                              rows_per_sample: int, grid_size: int
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fan the sample blocks out over a worker pool.
+
+        Process pools write disjoint ``[start, stop)`` sample slices of
+        a shared-memory tensor (zero-copy reassembly); the thread
+        fallback writes a local tensor directly. Both reuse the serial
+        block body, and every tolerance draw was made up front from the
+        root seed, so the result is bitwise-identical to the serial
+        build regardless of executor or worker count.
+        """
+        from ..runtime import shm
+        config = self.config
+        executor = shm.resolve_executor(config.executor)
+        n_workers = min(config.n_workers, len(blocks))
+        shm.record_pool_tasks("posterior", len(blocks))
+        shape = (rows_per_sample, config.n_samples, grid_size)
+        if executor == "process":
+            out = shm.SharedArray.zeros(shape)
+            spec.out = out
+            try:
+                with shm.timed_pool(
+                        "posterior",
+                        lambda: ProcessPoolExecutor(
+                            max_workers=n_workers,
+                            initializer=_init_posterior_worker,
+                            initargs=(spec,))) as pool:
+                    futures = [pool.submit(_posterior_pool_block,
+                                           start, stop)
+                               for start, stop in blocks]
+                    # Submission order: the first future carries the
+                    # golden row; sample slices are disjoint by range.
+                    results = [future.result() for future in futures]
+                mag_db = np.array(out.array, copy=True)
+            finally:
+                out.unlink()
+        else:
+            spec.out = SimpleNamespace(array=np.empty(shape))
+            runner = _ThreadWorldRunner(spec)
+            with shm.timed_pool(
+                    "posterior",
+                    lambda: ThreadPoolExecutor(
+                        max_workers=n_workers,
+                        thread_name_prefix="posterior")) as pool:
+                futures = [pool.submit(runner, start, stop)
+                           for start, stop in blocks]
+                results = [future.result() for future in futures]
+            mag_db = spec.out.array
+        return mag_db, results[0]
 
     def _assemble_segments(self, anchors: np.ndarray) -> None:
         """Per-world trajectory polylines as flat segment tensors.

@@ -60,6 +60,17 @@ class ResponseSurface:
     def num_rows(self) -> int:
         return self._matrix_db.shape[0]
 
+    @property
+    def log_freqs(self) -> np.ndarray:
+        """The log10 frequency grid the interpolation brackets against
+        (publishable into shared memory; see ``repro.runtime.shm``)."""
+        return self._log_f
+
+    @property
+    def matrix_db(self) -> np.ndarray:
+        """The dense dB-magnitude matrix, golden row first."""
+        return self._matrix_db
+
     def sample_db(self, freqs_hz: Sequence[float] | np.ndarray,
                   rows: Optional[np.ndarray] = None) -> np.ndarray:
         """dB magnitudes at the query frequencies.

@@ -12,7 +12,8 @@ reproduces the same search trajectory.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import (Executor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -79,22 +80,34 @@ class GeneticAlgorithm:
     supports it (``score_population``, as every
     :class:`~repro.ga.fitness.TrajectoryFitness` does): the whole
     generation becomes one call that samples the shared response surface
-    once and optionally fans the uncached individuals out over a thread
-    pool of ``n_workers`` (threads, not processes, so the fitness memo
-    cache stays shared). Scores -- and therefore the whole search
-    trajectory for a given seed -- are identical to per-individual
-    evaluation.
+    once and fans the uncached individuals out over ``n_workers``.
+
+    ``executor`` picks the pool kind. ``"thread"`` (default) shares the
+    fitness and its memo cache directly -- it only wins where BLAS
+    drops the GIL. ``"process"`` publishes the response surface into
+    shared memory once (``repro.runtime.shm``), ships each worker a
+    fitness clone that attaches zero-copy, and scores contiguous
+    population shards in worker processes, reassembled in submission
+    order -- true multi-core scaling. Either way, scores -- and
+    therefore the whole search trajectory for a given seed -- are
+    bitwise-identical to serial per-individual evaluation. When shared
+    memory is unavailable the process request falls back to threads.
     """
 
     def __init__(self, space: FrequencySpace, fitness: FitnessFunction,
                  config: Optional[GAConfig] = None,
-                 n_workers: int = 0) -> None:
+                 n_workers: int = 0, executor: str = "thread") -> None:
         self.space = space
         self.fitness = fitness
         self.config = config or GAConfig.paper()
         if n_workers < 0:
             raise GAError("n_workers must be >= 0")
+        if executor not in ("thread", "process"):
+            raise GAError(
+                f"executor must be 'thread' or 'process', "
+                f"got {executor!r}")
         self.n_workers = int(n_workers)
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def _evaluate(self, population: np.ndarray,
@@ -148,17 +161,57 @@ class GeneticAlgorithm:
         started = time.perf_counter()
 
         pool: Optional[Executor] = None
+        shared_surface = None
         if self.n_workers > 1 and \
                 hasattr(self.fitness, "score_population"):
-            pool = ThreadPoolExecutor(max_workers=self.n_workers,
-                                      thread_name_prefix="ga-eval")
+            if self.executor == "process":
+                pool, shared_surface = self._start_process_pool()
+            if pool is None:
+                pool = ThreadPoolExecutor(max_workers=self.n_workers,
+                                          thread_name_prefix="ga-eval")
         try:
             return self._run_generations(rng, config, select, crossover,
                                          population, history, evaluations,
                                          started, pool)
         finally:
             if pool is not None:
-                pool.shutdown()
+                if shared_surface is not None:
+                    from ..runtime import shm
+                    stopping = time.perf_counter()
+                    pool.shutdown()
+                    shm.observe_worker_shutdown(
+                        "ga", time.perf_counter() - stopping)
+                else:
+                    pool.shutdown()
+            if shared_surface is not None:
+                shared_surface.unlink()
+
+    def _start_process_pool(self):
+        """Publish the surface into shared memory and fork the scoring
+        pool, or ``(None, None)`` to fall back to threads (no shm, or a
+        fitness without process-clone support)."""
+        if not hasattr(self.fitness, "process_clone"):
+            return None, None
+        from ..runtime import shm
+        if not shm.shm_available():
+            return None, None
+        shared_surface = shm.SharedSurface.publish(self.fitness.surface)
+        try:
+            from .fitness import _pool_worker_init
+            clone = self.fitness.process_clone(shared_surface)
+            started = time.perf_counter()
+            pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_pool_worker_init, initargs=(clone,))
+            # Warm-up barrier: force the first fork so startup latency
+            # lands in the startup histogram, not the first generation.
+            pool.submit(shm._noop).result()
+            shm.observe_worker_start(
+                "ga", time.perf_counter() - started)
+        except Exception:
+            shared_surface.unlink()
+            raise
+        return pool, shared_surface
 
     def _run_generations(self, rng, config, select, crossover, population,
                          history, evaluations, started,

@@ -7,6 +7,11 @@ Turns the paper reproduction into an engine fit for heavy traffic:
   scalar :class:`~repro.diagnosis.classifier.TrajectoryClassifier`);
 * :mod:`repro.runtime.parallel` -- fault-dictionary builds fanned out
   over a ``concurrent.futures`` pool, deterministic entry order;
+* :mod:`repro.runtime.shm` -- zero-copy shared memory for process
+  pools: :class:`SharedArray` / :class:`SharedSurface` (pickle-by-
+  handle views over ``multiprocessing.shared_memory``, deterministic
+  create/attach/unlink lifecycle, thread fallback when shm is
+  unavailable) plus the ``repro_pool_*`` telemetry families;
 * :mod:`repro.runtime.backends` -- pluggable artifact storage:
   :class:`LocalDirBackend` (on-disk, byte-compatible with pre-backend
   store roots), :class:`InMemoryBackend`, and :class:`ShardedBackend`
@@ -43,6 +48,8 @@ from .cluster import (CircuitRouter, ClusterService, HTTPReplica,
                       InProcessReplica, Replica, SpawnedReplica)
 from .parallel import build_dictionary_parallel
 from .server import AsyncDiagnosisService, DiagnosisHTTPServer, serve
+from .shm import SharedArray, SharedSurface, resolve_executor, \
+    shm_available
 from .service import CircuitStats, DiagnosisService, ServiceStats
 from .store import (ArtifactStore, StoreStats, as_store, derive_key,
                     ga_search_key, problem_key, trajectory_key)
@@ -92,4 +99,8 @@ __all__ = [
     "ProfilingCollector",
     "new_request_id",
     "current_request_id",
+    "SharedArray",
+    "SharedSurface",
+    "shm_available",
+    "resolve_executor",
 ]

@@ -94,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "ill-conditioned faults); overrides the "
                              "--config/--config-json engine field "
                              "(default: use the config's engine)")
+    parser.add_argument("--ga-workers", type=int, default=None,
+                        help="GA population-scoring pool size for "
+                             "circuit warm-ups; overrides the config's "
+                             "ga_workers field (default: use the "
+                             "config; 0/1 = serial)")
+    parser.add_argument("--executor", choices=("process", "thread"),
+                        default=None,
+                        help="worker-pool kind for GA scoring and "
+                             "parallel dictionary builds: 'process' "
+                             "(zero-copy shared-memory response "
+                             "surface, true multi-core; degrades to "
+                             "threads without shm) or 'thread'; "
+                             "overrides the config's executor fields "
+                             "(default: use the config)")
     parser.add_argument("--window-ms", type=float,
                         default=WORKER_DEFAULTS["window_ms"],
                         help="coalescing window in milliseconds "
@@ -170,6 +184,12 @@ def load_config(args: argparse.Namespace) -> PipelineConfig:
             else PipelineConfig.quick()
     if getattr(args, "engine", None):
         config = dataclasses.replace(config, engine=args.engine)
+    if getattr(args, "ga_workers", None) is not None:
+        config = dataclasses.replace(config,
+                                     ga_workers=args.ga_workers)
+    if getattr(args, "executor", None):
+        config = dataclasses.replace(config, executor=args.executor,
+                                     ga_executor=args.executor)
     return config
 
 

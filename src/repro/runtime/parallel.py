@@ -3,13 +3,14 @@
 Faults are independent, so a dictionary build is embarrassingly
 parallel. This module shards the fault universe into *variant blocks* --
 contiguous chunks of delta-stamped variants -- over a
-``concurrent.futures`` pool (process or thread). Each worker stamps the
-nominal circuit once with its own
-:class:`~repro.sim.engine.BatchedMnaEngine` and solves its whole block
-batched, then the parent reassembles the entries in universe order. The
-result is *identical* to the serial build (same delta-stamps, same
-per-matrix LAPACK solves, deterministic ordering regardless of
-completion order).
+``concurrent.futures`` pool (process or thread). The build context
+(circuit, output node, frequency grid, engine kind) ships **once per
+worker** through the pool initializer; each task payload is just its
+fault slice. Every worker stamps the nominal circuit once with its own
+engine and solves whole blocks batched, then the parent reassembles the
+entries in universe order. The result is *identical* to the serial
+build (same delta-stamps, same per-matrix LAPACK solves, deterministic
+ordering regardless of completion order).
 
 The pipeline reaches this through ``PipelineConfig.n_workers`` /
 ``PipelineConfig.executor``; it can also be called directly.
@@ -18,8 +19,9 @@ The pipeline reaches this through ``PipelineConfig.n_workers`` /
 from __future__ import annotations
 
 import math
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,20 +31,20 @@ from ..faults.dictionary import DictionaryEntry, FaultDictionary
 from ..faults.models import Fault
 from ..faults.universe import FaultUniverse
 from ..sim.ac import FrequencyResponse
-from ..sim.engine import VariantSpec, make_engine
+from ..sim.engine import SimulationEngine, VariantSpec, make_engine
+from . import shm
 
 __all__ = ["build_dictionary_parallel"]
 
-_EXECUTORS = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}
+_EXECUTOR_KINDS = ("process", "thread")
 
 
-def _simulate_block(circuit: Circuit, faults: Sequence[Fault],
-                    output_node: str, freqs: np.ndarray,
-                    input_source: Optional[str],
-                    engine_kind: str) -> List[FrequencyResponse]:
-    """Solve one variant block; top-level so process pools can pickle
-    it. Returns the same responses the serial build produces."""
-    engine = make_engine(circuit, engine_kind)
+def _simulate_with(engine: SimulationEngine, circuit: Circuit,
+                   faults: Sequence[Fault], output_node: str,
+                   freqs: np.ndarray, input_source: Optional[str]
+                   ) -> List[FrequencyResponse]:
+    """Solve one variant block on an already-stamped engine. Returns
+    the same responses the serial build produces."""
     variants = tuple(
         VariantSpec((fault.replacement_component(circuit),),
                     name=f"{circuit.name}#{fault.label}")
@@ -50,6 +52,60 @@ def _simulate_block(circuit: Circuit, faults: Sequence[Fault],
     block = engine.transfer_block(output_node, freqs, variants,
                                   input_source)
     return [block.response(index) for index in range(len(faults))]
+
+
+#: Per-process build context installed by the pool initializer; the
+#: engine is stamped once per worker and reused across every block the
+#: worker receives.
+_BUILD_WORKER: Dict[str, object] = {}
+
+
+def _init_build_worker(circuit: Circuit, output_node: str,
+                       freqs: np.ndarray, input_source: Optional[str],
+                       engine_kind: str) -> None:
+    _BUILD_WORKER["circuit"] = circuit
+    _BUILD_WORKER["output_node"] = output_node
+    _BUILD_WORKER["freqs"] = freqs
+    _BUILD_WORKER["input_source"] = input_source
+    _BUILD_WORKER["engine"] = make_engine(circuit, engine_kind)
+
+
+def _simulate_faults(faults: Sequence[Fault]) -> List[FrequencyResponse]:
+    """Process-pool task: only the fault slice rides the pickle."""
+    engine = _BUILD_WORKER.get("engine")
+    if engine is None:
+        raise DictionaryError(
+            "dictionary pool worker used without its initializer")
+    return _simulate_with(engine, _BUILD_WORKER["circuit"], faults,
+                          _BUILD_WORKER["output_node"],
+                          _BUILD_WORKER["freqs"],
+                          _BUILD_WORKER["input_source"])
+
+
+class _ThreadBlockRunner:
+    """Thread-pool variant of the worker context: per-thread engines
+    (stamped once per thread, no cross-thread engine sharing), no
+    module-global state so concurrent builds cannot interfere."""
+
+    def __init__(self, circuit: Circuit, output_node: str,
+                 freqs: np.ndarray, input_source: Optional[str],
+                 engine_kind: str) -> None:
+        self.circuit = circuit
+        self.output_node = output_node
+        self.freqs = freqs
+        self.input_source = input_source
+        self.engine_kind = engine_kind
+        self._local = threading.local()
+
+    def __call__(self, faults: Sequence[Fault]
+                 ) -> List[FrequencyResponse]:
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = make_engine(self.circuit, self.engine_kind)
+            self._local.engine = engine
+        return _simulate_with(engine, self.circuit, faults,
+                              self.output_node, self.freqs,
+                              self.input_source)
 
 
 def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
@@ -66,19 +122,17 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
     :meth:`FaultDictionary.build`. The result is equal to the serial
     build entry-for-entry (asserted in the test suite): workers
     delta-stamp the exact same variants and the blocks are reassembled
-    in universe order. ``engine_kind`` selects the per-worker engine
+    in submission order. ``engine_kind`` selects the per-worker engine
     (``"batched"`` default, ``"scalar"`` reference).
     """
     if n_workers <= 1:
         return FaultDictionary.build(
             universe, output_node, freqs_hz, input_source=input_source,
             engine=make_engine(universe.circuit, engine_kind))
-    try:
-        pool_cls = _EXECUTORS[executor]
-    except KeyError:
+    if executor not in _EXECUTOR_KINDS:
         raise DictionaryError(
-            f"executor must be one of {sorted(_EXECUTORS)}, "
-            f"got {executor!r}") from None
+            f"executor must be one of {sorted(_EXECUTOR_KINDS)}, "
+            f"got {executor!r}")
 
     FaultDictionary.simulations_run += 1
     freqs = np.asarray(freqs_hz, dtype=float)
@@ -93,11 +147,20 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
     chunks = [faults[index:index + chunk_size]
               for index in range(0, len(faults), chunk_size)]
 
-    with pool_cls(max_workers=n_workers) as pool:
-        futures = [pool.submit(_simulate_block, circuit, chunk,
-                               output_node, freqs, input_source,
-                               engine_kind)
-                   for chunk in chunks]
+    if executor == "process":
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers, initializer=_init_build_worker,
+            initargs=(circuit, output_node, freqs, input_source,
+                      engine_kind))
+        task = _simulate_faults
+    else:
+        pool = ThreadPoolExecutor(max_workers=n_workers,
+                                  thread_name_prefix="dict-build")
+        task = _ThreadBlockRunner(circuit, output_node, freqs,
+                                  input_source, engine_kind)
+    with pool:
+        futures = [pool.submit(task, chunk) for chunk in chunks]
+        shm.record_pool_tasks("dictionary", len(chunks))
         # Collect in submission order, not completion order: entry
         # ordering must match the universe exactly.
         chunk_responses = [future.result() for future in futures]

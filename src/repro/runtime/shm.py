@@ -1,0 +1,473 @@
+"""Zero-copy shared memory for process-pool evaluation.
+
+Thread pools only help the engine where BLAS drops the GIL; everything
+else in the hot paths (trajectory assembly, conflict counting, python
+orchestration) serialises on one core. Process pools fix that, but
+naively they re-pickle the response surface -- easily megabytes -- into
+every worker for every task. This module provides the missing piece:
+
+* :class:`SharedArray` -- a numpy array backed by
+  ``multiprocessing.shared_memory``. Created once by the parent,
+  *pickled by handle* (segment name + shape + dtype, a few hundred
+  bytes), attached zero-copy by every worker. Deterministic lifecycle:
+  the creating side owns the segment and must :meth:`~SharedArray.unlink`
+  it (context manager and GC finalizer both do); attaching sides only
+  ever close their mapping.
+* :class:`SharedSurface` -- a :class:`~repro.faults.surface.ResponseSurface`
+  whose dense magnitude matrix and log-frequency grid live in shared
+  segments. It *is a* ``ResponseSurface`` (same interpolation code on
+  the same bytes), so sampling through it is bitwise-identical to the
+  original surface.
+* a **thread fallback**: when shared memory is unavailable (platform
+  without ``/dev/shm``, sandboxed container, ``REPRO_DISABLE_SHM=1``),
+  :func:`shm_available` reports False, :class:`SharedArray` degrades to
+  a by-value wrapper and callers route work to thread pools instead --
+  slower, never wrong.
+
+CPython quirk worth knowing: ``SharedMemory`` registers every segment
+with the ``resource_tracker`` even on *attach* (bpo-38119). Workers must
+therefore never unlink or unregister -- under the default fork start
+method parent and children share one tracker process, and the parent's
+explicit ``unlink()`` clears the (deduplicated) entry for everyone while
+keeping the tracker's crash safety net intact.
+
+The ``repro_pool_*`` telemetry families (task counts, shm bytes,
+worker startup/shutdown latency) also live here so every pool consumer
+(GA scoring, posterior builds, dictionary builds) reports through one
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..faults.models import Fault
+from ..faults.surface import ResponseSurface
+
+__all__ = [
+    "shm_available",
+    "SharedArray",
+    "SharedSurface",
+    "resolve_executor",
+    "record_pool_tasks",
+    "observe_worker_start",
+    "observe_worker_shutdown",
+    "timed_pool",
+]
+
+#: Environment switch forcing the no-shm fallback path (used by the CI
+#: no-shm leg and the fallback tests).
+DISABLE_ENV = "REPRO_DISABLE_SHM"
+
+_PROBED: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works here.
+
+    Probes once per process by creating (and immediately unlinking) a
+    tiny segment; ``REPRO_DISABLE_SHM=1`` forces False, which routes
+    every pool consumer onto its thread fallback.
+    """
+    global _PROBED
+    if os.environ.get(DISABLE_ENV, "").strip() not in ("", "0"):
+        return False
+    if _PROBED is None:
+        try:
+            from multiprocessing import shared_memory
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _PROBED = True
+        except Exception:
+            _PROBED = False
+    return _PROBED
+
+
+def _close_quietly(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # numpy views still alive; the mapping is freed at process
+        # exit and the name (if any) was already unlinked.
+        pass
+    except OSError:
+        pass
+
+
+def _finalize_segment(shm, owner: bool) -> None:
+    """GC backstop: owners unlink, attachers only close."""
+    if owner:
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    _close_quietly(shm)
+
+
+class SharedArray:
+    """A numpy array in a shared-memory segment, pickled by handle.
+
+    Owner side::
+
+        shared = SharedArray.create(matrix)        # copies once
+        pool.submit(task, shared)                  # ships ~100 bytes
+        ...
+        shared.unlink()                            # deterministic free
+
+    Worker side: unpickling attaches to the existing segment and
+    ``shared.array`` is a zero-copy view. Workers never unlink.
+
+    When shared memory is unavailable the constructor degrades to a
+    plain by-value wrapper (same API, pickles the data itself) so every
+    caller keeps working -- the thread fallback path.
+    """
+
+    def __init__(self, shm, shape: Tuple[int, ...], dtype: np.dtype,
+                 owner: bool, readonly: bool,
+                 fallback: Optional[np.ndarray] = None) -> None:
+        self._shm = shm
+        self._shape = tuple(int(dim) for dim in shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = bool(owner)
+        self._readonly = bool(readonly)
+        self._dead = False
+        if shm is not None:
+            self._array = np.ndarray(self._shape, dtype=self._dtype,
+                                     buffer=shm.buf)
+            self._finalizer = weakref.finalize(
+                self, _finalize_segment, shm, owner)
+        else:
+            assert fallback is not None
+            self._array = fallback
+            self._finalizer = None
+        if readonly:
+            self._array.flags.writeable = False
+        if owner and shm is not None:
+            _segments_gauge().inc()
+            _bytes_gauge().inc(float(self.nbytes))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, array: np.ndarray, readonly: bool = True
+               ) -> "SharedArray":
+        """Copy ``array`` into a new shared segment (owner side)."""
+        source = np.ascontiguousarray(array)
+        if shm_available():
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, source.nbytes))
+            staging = np.ndarray(source.shape, dtype=source.dtype,
+                                 buffer=shm.buf)
+            staging[...] = source
+            return cls(shm, source.shape, source.dtype, owner=True,
+                       readonly=readonly)
+        return cls(None, source.shape, source.dtype, owner=True,
+                   readonly=readonly, fallback=source.copy())
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...], dtype=np.float64
+              ) -> "SharedArray":
+        """A writable all-zeros shared array (e.g. a pool output
+        buffer every worker fills a disjoint slice of)."""
+        shape = tuple(int(dim) for dim in shape)
+        dtype = np.dtype(dtype)
+        if shm_available():
+            from multiprocessing import shared_memory
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, nbytes))
+            out = cls(shm, shape, dtype, owner=True, readonly=False)
+            out.array[...] = 0
+            return out
+        return cls(None, shape, dtype, owner=True, readonly=False,
+                   fallback=np.zeros(shape, dtype=dtype))
+
+    @classmethod
+    def _attach(cls, name: str, shape: Tuple[int, ...], dtype_str: str,
+                readonly: bool) -> "SharedArray":
+        """Unpickle target: attach to an existing segment by name."""
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, shape, np.dtype(dtype_str), owner=False,
+                   readonly=readonly)
+
+    @classmethod
+    def _from_value(cls, array: np.ndarray, readonly: bool
+                    ) -> "SharedArray":
+        """Unpickle target for the no-shm by-value fallback."""
+        return cls(None, array.shape, array.dtype, owner=False,
+                   readonly=readonly, fallback=array)
+
+    def __reduce__(self):
+        if self._shm is None:
+            data = self._array
+            if self._readonly:
+                data = np.asarray(data)
+            return (SharedArray._from_value, (data, self._readonly))
+        if self._dead:
+            raise ReproError("cannot pickle an unlinked SharedArray")
+        return (SharedArray._attach,
+                (self._shm.name, self._shape, self._dtype.str,
+                 self._readonly))
+
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        if self._dead:
+            raise ReproError("SharedArray used after unlink/close")
+        return self._array
+
+    @property
+    def name(self) -> Optional[str]:
+        """Segment name (None on the by-value fallback)."""
+        return None if self._shm is None else self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self._shape, dtype=np.int64)) * \
+            self._dtype.itemsize
+
+    @property
+    def is_shared(self) -> bool:
+        return self._shm is not None
+
+    def close(self) -> None:
+        """Release this process's mapping (never removes the segment)."""
+        if self._dead or self._shm is None:
+            self._dead = True
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._dead = True
+        _close_quietly(self._shm)
+
+    def unlink(self) -> None:
+        """Remove the segment (owner side). Idempotent."""
+        if self._dead:
+            return
+        self._dead = True
+        if self._shm is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            _segments_gauge().inc(-1.0)
+            _bytes_gauge().inc(-float(self.nbytes))
+        _close_quietly(self._shm)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+# ----------------------------------------------------------------------
+# Shared response surface
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SharedEntry:
+    """Dictionary-entry stand-in carrying only the fault metadata the
+    trajectory builder reads when signatures are injected."""
+
+    fault: Fault
+
+
+class _SharedDictionary:
+    """Lightweight fault-dictionary proxy behind a shared surface.
+
+    Exposes exactly what downstream surface consumers touch without the
+    per-entry response payloads: ``entries`` (fault metadata only),
+    ``labels`` and the frequency grid.
+    """
+
+    def __init__(self, faults: Tuple[Fault, ...],
+                 freqs_hz: np.ndarray) -> None:
+        self.entries: Tuple[_SharedEntry, ...] = tuple(
+            _SharedEntry(fault) for fault in faults)
+        self.freqs_hz = freqs_hz
+        self.labels: Tuple[str, ...] = tuple(
+            fault.label for fault in faults)
+
+
+class SharedSurface(ResponseSurface):
+    """A response surface whose dense tensors live in shared memory.
+
+    ``SharedSurface.publish(surface)`` copies the magnitude matrix and
+    log-frequency grid into shared segments once; pickling ships only
+    the segment handles plus the (small) fault metadata, and workers
+    attach zero-copy. Because this *is a* ``ResponseSurface`` running
+    the inherited interpolation over the same bytes, ``sample_db`` /
+    ``golden_db`` / ``signatures`` results are bitwise-identical to the
+    published surface.
+    """
+
+    def __init__(self, log_f: SharedArray, matrix: SharedArray,
+                 labels: Tuple[str, ...], faults: Tuple[Fault, ...],
+                 freqs_hz: np.ndarray) -> None:
+        # Deliberately no super().__init__: the parent constructor
+        # derives these tensors from a full FaultDictionary; here they
+        # arrive precomputed in shared segments.
+        self._shared_log_f = log_f
+        self._shared_matrix = matrix
+        self._log_f = log_f.array
+        self._matrix_db = matrix.array
+        self._labels = tuple(labels)
+        self._faults = tuple(faults)
+        self._freqs_hz = np.asarray(freqs_hz, dtype=float)
+        self.dictionary = _SharedDictionary(self._faults, self._freqs_hz)
+
+    @classmethod
+    def publish(cls, surface: ResponseSurface) -> "SharedSurface":
+        """Copy ``surface``'s tensors into shared memory (owner side)."""
+        log_f = SharedArray.create(surface.log_freqs, readonly=True)
+        matrix = SharedArray.create(surface.matrix_db, readonly=True)
+        faults = tuple(entry.fault
+                       for entry in surface.dictionary.entries)
+        return cls(log_f, matrix, surface.labels, faults,
+                   np.asarray(surface.dictionary.freqs_hz, dtype=float))
+
+    def __reduce__(self):
+        return (SharedSurface,
+                (self._shared_log_f, self._shared_matrix, self._labels,
+                 self._faults, self._freqs_hz))
+
+    @property
+    def nbytes(self) -> int:
+        return self._shared_log_f.nbytes + self._shared_matrix.nbytes
+
+    @property
+    def is_shared(self) -> bool:
+        return self._shared_matrix.is_shared
+
+    def close(self) -> None:
+        """Worker side: drop this process's mappings."""
+        self._shared_log_f.close()
+        self._shared_matrix.close()
+
+    def unlink(self) -> None:
+        """Owner side: remove the segments. Idempotent."""
+        self._shared_log_f.unlink()
+        self._shared_matrix.unlink()
+
+    def __enter__(self) -> "SharedSurface":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+# ----------------------------------------------------------------------
+# Executor resolution + pool telemetry
+# ----------------------------------------------------------------------
+def resolve_executor(executor: str) -> str:
+    """Map a requested executor kind onto what this host supports.
+
+    ``"process"`` needs working shared memory (the zero-copy surface
+    and shared output buffers are what make processes pay off -- and
+    under fork a by-value output buffer would silently go copy-on-write
+    and lose worker writes), so without it the request degrades to
+    ``"thread"``.
+    """
+    if executor not in ("process", "thread"):
+        raise ReproError(
+            f"executor must be 'process' or 'thread', got {executor!r}")
+    if executor == "process" and not shm_available():
+        return "thread"
+    return executor
+
+
+_FAMILIES = None
+
+
+def _families():
+    """The ``repro_pool_*`` metric families on the process registry."""
+    global _FAMILIES
+    if _FAMILIES is None:
+        from .telemetry import DEFAULT_SECONDS_BUCKETS, REGISTRY
+        _FAMILIES = {
+            "tasks": REGISTRY.counter(
+                "repro_pool_tasks_total",
+                "Tasks submitted to worker pools.",
+                labelnames=("kind",)),
+            "segments": REGISTRY.gauge(
+                "repro_pool_shm_segments",
+                "Live shared-memory segments owned by this process."),
+            "bytes": REGISTRY.gauge(
+                "repro_pool_shm_bytes",
+                "Bytes in live shared-memory segments owned by this "
+                "process."),
+            "start": REGISTRY.histogram(
+                "repro_pool_worker_start_seconds",
+                "Pool construction + first-worker warm-up latency.",
+                labelnames=("kind",),
+                buckets=DEFAULT_SECONDS_BUCKETS),
+            "shutdown": REGISTRY.histogram(
+                "repro_pool_worker_shutdown_seconds",
+                "Pool shutdown latency.",
+                labelnames=("kind",),
+                buckets=DEFAULT_SECONDS_BUCKETS),
+        }
+    return _FAMILIES
+
+
+def _segments_gauge():
+    return _families()["segments"]
+
+
+def _bytes_gauge():
+    return _families()["bytes"]
+
+
+def record_pool_tasks(kind: str, count: int = 1) -> None:
+    _families()["tasks"].labels(kind).inc(float(count))
+
+
+def observe_worker_start(kind: str, seconds: float) -> None:
+    _families()["start"].labels(kind).observe(float(seconds))
+
+
+def observe_worker_shutdown(kind: str, seconds: float) -> None:
+    _families()["shutdown"].labels(kind).observe(float(seconds))
+
+
+def _noop() -> None:
+    """Warm-up barrier task (module-level so process pools pickle it)."""
+
+
+@contextmanager
+def timed_pool(kind: str, factory: Callable[[], object],
+               warmup: bool = True) -> Iterator[object]:
+    """Run an executor with startup/shutdown latency telemetry.
+
+    ``factory`` builds the executor; a no-op warm-up task forces the
+    first worker up so the recorded startup latency includes the
+    fork/spawn cost instead of charging it to the first real task.
+    """
+    started = time.perf_counter()
+    pool = factory()
+    if warmup:
+        pool.submit(_noop).result()
+    observe_worker_start(kind, time.perf_counter() - started)
+    try:
+        yield pool
+    finally:
+        stopping = time.perf_counter()
+        pool.shutdown()
+        observe_worker_shutdown(kind, time.perf_counter() - stopping)

@@ -9,6 +9,7 @@ from .engine import (
     ScalarMnaEngine,
     SimulationEngine,
     VariantSpec,
+    engine_kind,
     make_engine,
 )
 from .mna import ComponentOps, MnaSolution, MnaSystem
@@ -39,6 +40,7 @@ __all__ = [
     "ResponseBlock",
     "VariantSpec",
     "make_engine",
+    "engine_kind",
     "ACAnalysis",
     "FrequencyResponse",
     "DCAnalysis",

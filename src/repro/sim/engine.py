@@ -69,6 +69,7 @@ __all__ = [
     "BatchedMnaEngine",
     "FactoredMnaEngine",
     "make_engine",
+    "engine_kind",
     "ENGINE_KINDS",
 ]
 
@@ -819,3 +820,15 @@ def make_engine(circuit: Circuit, kind: str = "batched",
         return FactoredMnaEngine(circuit, gmin=gmin)
     raise SimulationError(
         f"engine kind must be one of {ENGINE_KINDS}, got {kind!r}")
+
+
+def engine_kind(engine: SimulationEngine) -> Optional[str]:
+    """The :func:`make_engine` kind string that reconstructs
+    ``engine``'s type, or None for foreign engine implementations
+    (pool workers need the kind to rebuild an equivalent engine)."""
+    kind = getattr(engine, "_kind", None)
+    if kind in ENGINE_KINDS:
+        return str(kind)
+    if isinstance(engine, ScalarMnaEngine):
+        return "scalar"
+    return None

@@ -1,0 +1,274 @@
+"""Shared-memory pool layer: lifecycle, fallback, leaks, bitwise GA.
+
+The load-bearing contracts:
+
+* :class:`SharedArray` pickles by handle, attaches zero-copy, and has
+  a deterministic owner-unlinks / attacher-closes lifecycle -- a full
+  run (including a simulated worker crash) leaves ``/dev/shm`` exactly
+  as it found it;
+* without working shared memory (``REPRO_DISABLE_SHM=1``) every entry
+  point degrades to the thread/by-value fallback instead of breaking;
+* a process-pool GA search is bitwise-identical to the serial search
+  on every tested registry circuit -- same test vector, same fitness,
+  same per-generation history.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+from concurrent.futures.process import (BrokenProcessPool,
+                                        ProcessPoolExecutor)
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (FaultTrajectoryATPG, PipelineConfig, ResponseSurface,
+                   parametric_universe)
+from repro.circuits.library import get_benchmark
+from repro.errors import ReproError
+from repro.faults import FaultDictionary
+from repro.ga import FrequencySpace, GAConfig, GeneticAlgorithm
+from repro.runtime import shm
+from repro.runtime.shm import (SharedArray, SharedSurface,
+                               resolve_executor, shm_available)
+from repro.units import log_frequency_grid
+
+QUICK = PipelineConfig(dictionary_points=32, deviations=(-0.2, 0.2),
+                       ga=GAConfig(population_size=12, generations=3))
+
+GA_CIRCUITS = ("rc_lowpass", "sallen_key_lowpass", "tow_thomas_biquad")
+
+needs_shm = pytest.mark.skipif(not shm_available(),
+                               reason="no working shared memory here")
+
+
+def _segments() -> set:
+    """Live POSIX shared-memory segment names (psm_* on Linux)."""
+    return {Path(p).name for p in glob.glob("/dev/shm/psm_*")}
+
+
+def _crash_worker() -> None:
+    """Module-level so a process pool can pickle it."""
+    os._exit(13)
+
+
+@pytest.fixture(scope="module")
+def ga_setup():
+    """Per-circuit staged GA inputs (dictionary simulated once)."""
+    cache = {}
+
+    def build(name):
+        if name not in cache:
+            info = get_benchmark(name)
+            atpg = FaultTrajectoryATPG(info, QUICK)
+            _, dictionary = atpg.build_dictionary()
+            surface = ResponseSurface(dictionary)
+            space = FrequencySpace(info.f_min_hz, info.f_max_hz,
+                                   QUICK.num_frequencies)
+            cache[name] = (atpg, surface, space)
+        return cache[name]
+
+    return build
+
+
+def _run_ga(ga_setup, name, n_workers, executor):
+    """One GA search with a fresh fitness (cold score cache)."""
+    atpg, surface, space = ga_setup(name)
+    fitness = atpg.make_fitness(surface)
+    ga = GeneticAlgorithm(space, fitness, QUICK.ga,
+                          n_workers=n_workers, executor=executor)
+    return ga.run(seed=7)
+
+
+class TestSharedArray:
+    @needs_shm
+    def test_pickle_by_handle_round_trip(self):
+        source = np.arange(12, dtype=float).reshape(3, 4)
+        with SharedArray.create(source) as shared:
+            assert shared.is_shared
+            assert shared.name is not None
+            payload = pickle.dumps(shared)
+            # By handle: orders of magnitude smaller than the data
+            # would be for big arrays; here just "no array bytes".
+            assert shared.name.encode() in payload
+            attached = pickle.loads(payload)
+            try:
+                assert attached.is_shared
+                assert np.array_equal(attached.array, source)
+                # Both views map the same bytes, not copies.
+                assert attached.name == shared.name
+                with pytest.raises(ValueError):
+                    attached.array[0, 0] = 99.0   # readonly view
+            finally:
+                attached.close()
+
+    @needs_shm
+    def test_zeros_is_writable_and_visible(self):
+        with SharedArray.zeros((4, 2)) as out:
+            assert out.is_shared
+            out.array[1, :] = 5.0
+            attached = pickle.loads(pickle.dumps(out))
+            try:
+                assert np.array_equal(attached.array, out.array)
+            finally:
+                attached.close()
+
+    @needs_shm
+    def test_unlink_is_idempotent_and_kills_access(self):
+        shared = SharedArray.create(np.ones(3))
+        name = shared.name
+        shared.unlink()
+        shared.unlink()                      # idempotent
+        assert name not in _segments()
+        with pytest.raises(ReproError):
+            _ = shared.array
+        with pytest.raises(ReproError):
+            pickle.dumps(shared)
+
+    @needs_shm
+    def test_context_manager_unlinks_segment(self):
+        before = _segments()
+        with SharedArray.create(np.ones(8)) as shared:
+            assert shared.name in _segments()
+        assert _segments() - before == set()
+
+    def test_fallback_by_value(self, monkeypatch):
+        monkeypatch.setenv(shm.DISABLE_ENV, "1")
+        assert not shm_available()
+        source = np.arange(6, dtype=float)
+        shared = SharedArray.create(source)
+        assert not shared.is_shared
+        assert shared.name is None
+        clone = pickle.loads(pickle.dumps(shared))
+        assert not clone.is_shared
+        assert np.array_equal(clone.array, source)
+        shared.unlink()                      # no-op, must not raise
+
+
+class TestResolveExecutor:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ReproError):
+            resolve_executor("gpu")
+
+    def test_thread_passes_through(self):
+        assert resolve_executor("thread") == "thread"
+
+    @needs_shm
+    def test_process_kept_when_shm_works(self):
+        assert resolve_executor("process") == "process"
+
+    def test_process_degrades_without_shm(self, monkeypatch):
+        monkeypatch.setenv(shm.DISABLE_ENV, "1")
+        assert resolve_executor("process") == "thread"
+
+
+class TestSharedSurface:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        info = get_benchmark("rc_lowpass")
+        universe = parametric_universe(info.circuit,
+                                       components=info.faultable,
+                                       deviations=(-0.2, 0.2))
+        grid = log_frequency_grid(info.f_min_hz, info.f_max_hz, 16)
+        dictionary = FaultDictionary.build(
+            universe, info.output_node, grid,
+            input_source=info.input_source)
+        return ResponseSurface(dictionary)
+
+    @needs_shm
+    def test_publish_is_bitwise_and_a_response_surface(self, surface):
+        freqs = np.geomspace(20.0, 2e4, 5)
+        with SharedSurface.publish(surface) as shared:
+            assert isinstance(shared, ResponseSurface)
+            assert shared.is_shared
+            assert shared.labels == surface.labels
+            assert np.array_equal(shared.sample_db(freqs),
+                                  surface.sample_db(freqs))
+            clone = pickle.loads(pickle.dumps(shared))
+            assert np.array_equal(clone.sample_db(freqs),
+                                  surface.sample_db(freqs))
+            clone.close()
+
+    @needs_shm
+    def test_unlink_leaves_no_residue(self, surface):
+        before = _segments()
+        shared = SharedSurface.publish(surface)
+        assert len(_segments() - before) == 2   # log_f + matrix
+        shared.unlink()
+        shared.unlink()                          # idempotent
+        assert _segments() - before == set()
+
+
+class TestPoolLeaks:
+    @needs_shm
+    def test_ga_process_pool_leaves_no_segments(self, ga_setup):
+        before = _segments()
+        _run_ga(ga_setup, "rc_lowpass", n_workers=2, executor="process")
+        assert _segments() - before == set()
+
+    @needs_shm
+    def test_worker_crash_leaves_no_segments(self, ga_setup):
+        """A dying worker must not orphan the published surface: only
+        the owner unlinks, and it does so even on the error path."""
+        _, surface, _ = ga_setup("rc_lowpass")
+        before = _segments()
+        shared = SharedSurface.publish(surface)
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                with pytest.raises(BrokenProcessPool):
+                    pool.submit(_crash_worker).result()
+        finally:
+            shared.unlink()
+        assert _segments() - before == set()
+
+
+class TestGAProcessPool:
+    @needs_shm
+    @pytest.mark.parametrize("circuit", GA_CIRCUITS)
+    def test_process_pool_bitwise_equals_serial(self, ga_setup, circuit):
+        serial = _run_ga(ga_setup, circuit, 1, "thread")
+        pooled = _run_ga(ga_setup, circuit, 2, "process")
+        assert pooled.best_freqs_hz == serial.best_freqs_hz
+        assert pooled.best_fitness == serial.best_fitness
+        assert pooled.history == serial.history
+        assert pooled.generations_run == serial.generations_run
+
+    def test_thread_pool_bitwise_equals_serial(self, ga_setup):
+        serial = _run_ga(ga_setup, "rc_lowpass", 1, "thread")
+        pooled = _run_ga(ga_setup, "rc_lowpass", 3, "thread")
+        assert pooled.best_freqs_hz == serial.best_freqs_hz
+        assert pooled.history == serial.history
+
+    def test_process_request_falls_back_without_shm(self, ga_setup,
+                                                    monkeypatch):
+        serial = _run_ga(ga_setup, "rc_lowpass", 1, "thread")
+        monkeypatch.setenv(shm.DISABLE_ENV, "1")
+        before = _segments()
+        pooled = _run_ga(ga_setup, "rc_lowpass", 2, "process")
+        assert _segments() - before == set()
+        assert pooled.best_freqs_hz == serial.best_freqs_hz
+        assert pooled.history == serial.history
+
+    def test_invalid_executor_rejected(self, ga_setup):
+        atpg, surface, space = ga_setup("rc_lowpass")
+        fitness = atpg.make_fitness(surface)
+        from repro.errors import GAError
+        with pytest.raises(GAError):
+            GeneticAlgorithm(space, fitness, QUICK.ga,
+                             n_workers=2, executor="gpu")
+
+
+class TestPoolTelemetry:
+    def test_families_registered_and_rendered(self):
+        shm.record_pool_tasks("test-kind", 2)
+        shm.observe_worker_start("test-kind", 0.01)
+        shm.observe_worker_shutdown("test-kind", 0.02)
+        from repro.runtime.telemetry import REGISTRY
+        text = REGISTRY.render()
+        assert "repro_pool_tasks_total" in text
+        assert "repro_pool_shm_segments" in text
+        assert "repro_pool_worker_start_seconds" in text
+        assert "repro_pool_worker_shutdown_seconds" in text
