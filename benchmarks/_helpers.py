@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import os
-import platform
-import sys
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
@@ -27,33 +24,10 @@ HELD_OUT = (-0.35, -0.25, -0.15, 0.15, 0.25, 0.35)
 SEED = 2005  # the paper's publication year
 
 
-def environment_info() -> dict:
-    """Hardware/runtime facts every ``BENCH_*.json`` records.
-
-    Speedup claims are only auditable next to the core count they were
-    measured on (a 1-core CI container honestly reports ~1x for any
-    parallel path); platform and python version pin the rest of the
-    variance.
-    """
-    return {
-        "cpu_count": os.cpu_count() or 1,
-        "platform": platform.platform(),
-        "python": sys.version.split()[0],
-        "numpy": np.__version__,
-    }
-
-
-def check_environment(report: dict, artefact: str) -> None:
-    """``--check`` validator for the shared ``environment`` section."""
-    env = report.get("environment")
-    if not isinstance(env, dict) or \
-            not isinstance(env.get("cpu_count"), int) or \
-            env["cpu_count"] < 1:
-        raise SystemExit(f"{artefact} missing a valid "
-                         "environment.cpu_count")
-    for key in ("platform", "python"):
-        if not env.get(key):
-            raise SystemExit(f"{artefact} missing environment.{key}")
+# The single implementation lives in the corpus runner; BENCH_* and
+# CORPUS_* artifacts share one environment-stamp format and validator.
+from repro.corpus.runner import check_environment, \
+    environment_info  # noqa: E402,F401
 
 
 def write_report(out_dir: Path, name: str, text: str) -> None:

@@ -41,8 +41,10 @@ Quickstart::
 
 from .circuits import (
     BENCHMARK_CIRCUITS,
+    CIRCUIT_FAMILIES,
     Circuit,
     CircuitInfo,
+    generate,
     get_benchmark,
     khn_state_variable,
     lc_ladder_lowpass5,
@@ -57,6 +59,7 @@ from .circuits import (
     voltage_divider,
 )
 from .core import ATPGResult, FaultTrajectoryATPG, PipelineConfig
+from .corpus import CorpusSpec, FamilySpec, run_corpus
 from .diagnosis import (
     FAULT_FREE_LABEL,
     Diagnosis,
@@ -69,7 +72,13 @@ from .diagnosis import (
     evaluate_classifier,
     make_test_cases,
 )
-from .errors import ReproError
+from . import errors
+from .errors import (
+    CorpusError,
+    FamilyError,
+    ReproDeprecationWarning,
+    ReproError,
+)
 from .faults import (
     CatastrophicFault,
     FaultDictionary,
@@ -80,7 +89,9 @@ from .faults import (
     catastrophic_universe,
     paper_deviation_grid,
     parametric_universe,
+    synthesize_universe,
 )
+from .parallelism import ParallelismConfig
 from .runtime import (
     ArtifactStore,
     AsyncDiagnosisService,
@@ -109,6 +120,7 @@ from .ga import (
 from .sim import (
     ACAnalysis,
     BatchedMnaEngine,
+    EngineSpec,
     FactoredMnaEngine,
     DCAnalysis,
     FrequencyResponse,
@@ -129,14 +141,35 @@ from .trajectory import (
 )
 from .units import db, format_frequency, log_frequency_grid, parse_value
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
+
+
+def run(info, config=None, seed=None, store=None) -> ATPGResult:
+    """One-call pipeline: build the dictionary, search the test vector,
+    return a diagnosis-ready :class:`ATPGResult`.
+
+    ``info`` is a :class:`CircuitInfo` -- or a benchmark name
+    (``repro.run("tow_thomas_biquad")``) or a ``(family, seed)`` pair
+    naming a generated circuit. ``config``/``seed``/``store`` forward
+    to :class:`FaultTrajectoryATPG` and its :meth:`~repro.core.atpg.
+    FaultTrajectoryATPG.run`.
+    """
+    if isinstance(info, str):
+        info = get_benchmark(info)
+    elif isinstance(info, tuple) and len(info) == 2 \
+            and isinstance(info[0], str):
+        info = generate(info[0], info[1])
+    return FaultTrajectoryATPG(info, config).run(seed=seed, store=store)
 
 __all__ = [
     "__version__",
+    "run",
     # circuits
     "Circuit",
     "CircuitInfo",
     "BENCHMARK_CIRCUITS",
+    "CIRCUIT_FAMILIES",
+    "generate",
     "get_benchmark",
     "tow_thomas_biquad",
     "sallen_key_lowpass",
@@ -162,6 +195,7 @@ __all__ = [
     "ScalarMnaEngine",
     "ResponseBlock",
     "VariantSpec",
+    "EngineSpec",
     "make_engine",
     # faults
     "ParametricFault",
@@ -171,6 +205,7 @@ __all__ = [
     "FaultUniverse",
     "parametric_universe",
     "catastrophic_universe",
+    "synthesize_universe",
     "FaultDictionary",
     "ResponseSurface",
     # trajectory
@@ -201,6 +236,11 @@ __all__ = [
     "FaultTrajectoryATPG",
     "ATPGResult",
     "PipelineConfig",
+    "ParallelismConfig",
+    # corpus
+    "CorpusSpec",
+    "FamilySpec",
+    "run_corpus",
     # runtime
     "BatchDiagnoser",
     "ArtifactStore",
@@ -217,7 +257,11 @@ __all__ = [
     "ClusterService",
     "build_dictionary_parallel",
     # misc
+    "errors",
     "ReproError",
+    "ReproDeprecationWarning",
+    "FamilyError",
+    "CorpusError",
     "parse_value",
     "format_frequency",
     "log_frequency_grid",

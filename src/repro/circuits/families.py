@@ -1,0 +1,336 @@
+"""Parameterised circuit-family generators for fleet-scale corpora.
+
+The paper validates on a handful of hand-built filters; the corpus
+runner (``repro.corpus``) instead enumerates *families* of generated
+circuits so every pipeline change is exercised across hundreds of
+topologies and sizes. Four families are provided:
+
+``rc_ladder``
+    Order-N series-R / shunt-C ladders with per-seed element spreads.
+``lc_ladder``
+    Doubly-terminated order-N Butterworth LC ladders (exact
+    ``g_k = 2 sin((2k-1) pi / 2N)`` prototype values), per-seed cutoff
+    and impedance level.
+``biquad_chain``
+    N cascaded unity-gain Sallen-Key biquad sections with per-seed
+    stage frequencies and Q factors.
+``random_topology``
+    Randomised R/C topologies emitted as SPICE netlist text and parsed
+    back through :func:`~repro.circuits.parser.parse_netlist` -- the
+    family that exercises the parser error paths. A guaranteed
+    resistive spine keeps every node DC-connected; candidate circuits
+    are validated by finite nominal solves at the band edges and
+    redrawn (deterministically, bounded) if ill-posed.
+
+Every generator is **deterministic per seed**: the same ``(family,
+seed, size)`` triple produces a circuit with an identical
+:meth:`~repro.circuits.netlist.Circuit.content_hash` in any process on
+any platform (``numpy.random.default_rng`` has a stable stream, and
+element values flow through the same repr-rendered canonical form).
+Failures raise :class:`~repro.errors.FamilyError` carrying the family
+name and seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import FamilyError
+from ..units import TWO_PI
+from .library import CircuitInfo
+from .netlist import Circuit
+
+__all__ = [
+    "CIRCUIT_FAMILIES",
+    "FAMILY_DEFAULT_SIZES",
+    "generate",
+    "rc_ladder_family",
+    "lc_ladder_family",
+    "biquad_chain_family",
+    "random_topology_family",
+    "butterworth_g_values",
+]
+
+#: How many deterministic redraws ``random_topology`` attempts before
+#: giving up on a seed. Redraw ``k`` uses the derived stream
+#: ``default_rng((seed, k))``, so the accepted circuit depends only on
+#: the seed, never on timing or draw order elsewhere.
+_MAX_REDRAWS = 16
+
+
+def _round_value(value: float) -> float:
+    """Quantise a drawn element value to 6 significant digits.
+
+    Keeps ``canonical_form()`` strings short and makes the per-seed
+    value set robust to tiny libm differences across platforms.
+    """
+    if value <= 0.0 or not math.isfinite(value):
+        raise FamilyError(f"drawn element value {value!r} is not usable")
+    return float(f"{value:.6g}")
+
+
+def butterworth_g_values(order: int) -> tuple:
+    """Normalised Butterworth prototype g-parameters for 1-ohm
+    terminations: ``g_k = 2 sin((2k - 1) pi / 2N)``."""
+    if order < 1:
+        raise FamilyError("butterworth order must be >= 1")
+    return tuple(
+        _round_value(2.0 * math.sin((2 * k - 1) * math.pi / (2 * order)))
+        for k in range(1, order + 1))
+
+
+def rc_ladder_family(seed: int, size: int = 5) -> CircuitInfo:
+    """Order-``size`` RC ladder with per-seed element spreads.
+
+    Each section's R is drawn log-uniform over half a decade around
+    1 kOhm and its C around the value placing the section pole near a
+    per-seed base frequency; distinct values keep the per-component
+    fault signatures separable.
+    """
+    if size < 1:
+        raise FamilyError("rc_ladder size must be >= 1",
+                          family="rc_ladder", seed=seed)
+    rng = np.random.default_rng((int(seed), 0x5C1A))
+    f0 = _round_value(10.0 ** rng.uniform(2.0, 4.0))      # 100 Hz..10 kHz
+    ckt = Circuit(f"rc_ladder_n{size}_s{seed}")
+    ckt.add_voltage_source("VIN", "in", "0", dc=0.0, ac=1.0)
+    previous = "in"
+    for index in range(1, size + 1):
+        node = f"n{index}"
+        r = _round_value(1e3 * 10.0 ** rng.uniform(-0.25, 0.25))
+        c = _round_value(10.0 ** rng.uniform(-0.25, 0.25)
+                         / (TWO_PI * f0 * r))
+        ckt.add_resistor(f"R{index}", previous, node, r)
+        ckt.add_capacitor(f"C{index}", node, "0", c)
+        previous = node
+    ckt.validate()
+    return CircuitInfo(
+        circuit=ckt, input_source="VIN", output_node=previous,
+        faultable=tuple(ckt.passive_names),
+        f0_hz=f0, f_min_hz=f0 / 1000.0, f_max_hz=f0 * 100.0,
+        description=(f"Generated RC ladder, {size} sections "
+                     f"(family rc_ladder, seed {seed})."))
+
+
+def lc_ladder_family(seed: int, size: int = 5) -> CircuitInfo:
+    """Doubly-terminated order-``size`` Butterworth LC ladder.
+
+    Exact prototype g-values denormalised to a per-seed cutoff
+    frequency and impedance level; shunt-C first, matched source and
+    load terminations (passband voltage gain 0.5).
+    """
+    if size < 1:
+        raise FamilyError("lc_ladder size must be >= 1",
+                          family="lc_ladder", seed=seed)
+    rng = np.random.default_rng((int(seed), 0x1CAD))
+    f0 = _round_value(10.0 ** rng.uniform(3.0, 5.0))      # 1 kHz..100 kHz
+    r0 = _round_value(10.0 ** rng.uniform(2.0, 3.0))      # 100..1000 ohm
+    w0 = TWO_PI * f0
+    g_values = butterworth_g_values(size)
+    ckt = Circuit(f"lc_ladder_n{size}_s{seed}")
+    ckt.add_voltage_source("VIN", "in", "0", dc=0.0, ac=1.0)
+    ckt.add_resistor("RS", "in", "n1", r0)
+    node = "n1"
+    faultable = []
+    for index, g in enumerate(g_values, start=1):
+        if index % 2 == 1:                          # shunt capacitor
+            name = f"C{index}"
+            ckt.add_capacitor(name, node, "0", _round_value(g / (w0 * r0)))
+        else:                                       # series inductor
+            name = f"L{index}"
+            next_node = f"n{index // 2 + 1}"
+            ckt.add_inductor(name, node, next_node,
+                             _round_value(g * r0 / w0))
+            node = next_node
+        faultable.append(name)
+    ckt.add_resistor("RL", node, "0", r0)
+    ckt.validate()
+    return CircuitInfo(
+        circuit=ckt, input_source="VIN", output_node=node,
+        faultable=tuple(faultable),
+        f0_hz=f0, f_min_hz=f0 / 100.0, f_max_hz=f0 * 100.0,
+        description=(f"Generated Butterworth LC ladder, order {size} "
+                     f"(family lc_ladder, seed {seed})."))
+
+
+def biquad_chain_family(seed: int, size: int = 2) -> CircuitInfo:
+    """``size`` cascaded unity-gain Sallen-Key low-pass sections.
+
+    Stage cutoffs spread geometrically over ~one octave around a
+    per-seed centre; stage Qs are drawn in [0.55, 2.0]. The op-amp
+    output of each stage drives the next section directly (ideal
+    op-amps, zero output impedance), so the cascade transfer function
+    is the product of the stages'.
+    """
+    if size < 1:
+        raise FamilyError("biquad_chain size must be >= 1",
+                          family="biquad_chain", seed=seed)
+    rng = np.random.default_rng((int(seed), 0xB1AD))
+    f_centre = 10.0 ** rng.uniform(2.5, 4.0)
+    ckt = Circuit(f"biquad_chain_n{size}_s{seed}")
+    ckt.add_voltage_source("VIN", "in", "0", dc=0.0, ac=1.0)
+    previous = "in"
+    faultable = []
+    for stage in range(1, size + 1):
+        f_stage = f_centre * 2.0 ** rng.uniform(-0.5, 0.5)
+        q = rng.uniform(0.55, 2.0)
+        r = _round_value(1e4 * 10.0 ** rng.uniform(-0.25, 0.25))
+        c2 = _round_value(1.0 / (TWO_PI * f_stage * r * 2.0 * q))
+        c1 = _round_value(4.0 * q * q * c2)
+        a, b, out = f"a{stage}", f"b{stage}", f"o{stage}"
+        ckt.add_resistor(f"R{stage}A", previous, a, r)
+        ckt.add_resistor(f"R{stage}B", a, b, r)
+        ckt.add_capacitor(f"C{stage}A", a, out, c1)
+        ckt.add_capacitor(f"C{stage}B", b, "0", c2)
+        ckt.add_ideal_opamp(f"OA{stage}", b, out, out)
+        faultable += [f"R{stage}A", f"R{stage}B",
+                      f"C{stage}A", f"C{stage}B"]
+        previous = out
+    ckt.validate()
+    f0 = _round_value(f_centre)
+    return CircuitInfo(
+        circuit=ckt, input_source="VIN", output_node=previous,
+        faultable=tuple(faultable),
+        f0_hz=f0, f_min_hz=f0 / 100.0, f_max_hz=f0 * 100.0,
+        description=(f"Generated Sallen-Key cascade, {size} stages "
+                     f"(family biquad_chain, seed {seed})."))
+
+
+def _random_topology_netlist(rng: np.random.Generator, size: int,
+                             name: str) -> str:
+    """Draw one candidate random-topology netlist (text form).
+
+    A resistive spine ``in -> n1 -> ... -> n<size>`` guarantees every
+    node a DC path to the driven input; random shunt (R or C to
+    ground) and bridge (R or C across non-adjacent spine nodes)
+    elements add topology variety on top.
+    """
+    lines = [f"* {name}", "VIN in 0 DC 0 AC 1"]
+    nodes = ["in"] + [f"n{i}" for i in range(1, size + 1)]
+    index = 0
+    for a, b in zip(nodes, nodes[1:]):
+        index += 1
+        r = 10.0 ** rng.uniform(2.5, 4.0)
+        lines.append(f"R{index} {a} {b} {r:.6g}")
+    # Shunt elements: one per internal node, R or C.
+    for position, node in enumerate(nodes[1:], start=1):
+        if rng.uniform() < 0.5:
+            index += 1
+            r = 10.0 ** rng.uniform(3.0, 5.0)
+            lines.append(f"RS{index} {node} 0 {r:.6g}")
+        else:
+            c = 10.0 ** rng.uniform(-9.0, -7.0)
+            lines.append(f"CS{position} {node} 0 {c:.6g}")
+    # Bridge elements across non-adjacent spine nodes.
+    n_bridges = int(rng.integers(1, max(2, size // 2) + 1))
+    for bridge in range(n_bridges):
+        a, b = sorted(rng.choice(len(nodes), size=2, replace=False))
+        if b - a < 2:
+            continue                      # adjacent: spine already has R
+        if rng.uniform() < 0.5:
+            r = 10.0 ** rng.uniform(3.0, 5.0)
+            lines.append(f"RB{bridge + 1} {nodes[a]} {nodes[b]} {r:.6g}")
+        else:
+            c = 10.0 ** rng.uniform(-9.0, -7.0)
+            lines.append(f"CB{bridge + 1} {nodes[a]} {nodes[b]} {c:.6g}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _well_posed(info: CircuitInfo) -> bool:
+    """Finite nominal solves at the band edges (and the centre)."""
+    from ..sim.ac import ACAnalysis
+    freqs = np.array([info.f_min_hz, info.f0_hz, info.f_max_hz])
+    try:
+        response = ACAnalysis(info.circuit).transfer(
+            info.output_node, freqs, input_source=info.input_source)
+    except Exception:
+        return False
+    return bool(np.all(np.isfinite(response.values)))
+
+
+def random_topology_family(seed: int, size: int = 6) -> CircuitInfo:
+    """Randomised R/C topology emitted through the netlist parser.
+
+    The candidate is rendered as SPICE text and parsed back via
+    :func:`~repro.circuits.parser.parse_netlist` -- the corpus-scale
+    exerciser of the parser error paths. Candidates failing the
+    well-posedness probe (finite nominal solves at the band edges) are
+    redrawn deterministically, up to ``_MAX_REDRAWS`` times per seed.
+    """
+    from .parser import parse_netlist
+    if size < 2:
+        raise FamilyError("random_topology size must be >= 2",
+                          family="random_topology", seed=seed)
+    last_error: Optional[Exception] = None
+    for redraw in range(_MAX_REDRAWS):
+        rng = np.random.default_rng((int(seed), 0x7090, redraw))
+        name = f"random_topology_n{size}_s{seed}"
+        text = _random_topology_netlist(rng, size, name)
+        try:
+            circuit = parse_netlist(text, name=name)
+        except Exception as exc:
+            raise FamilyError(
+                f"generated netlist failed to parse: {exc}",
+                family="random_topology", seed=seed) from exc
+        f0 = 1e3
+        info = CircuitInfo(
+            circuit=circuit, input_source="VIN",
+            output_node=f"n{size}",
+            faultable=tuple(circuit.passive_names),
+            f0_hz=f0, f_min_hz=f0 / 100.0, f_max_hz=f0 * 1000.0,
+            description=(f"Generated random R/C topology, {size} spine "
+                         f"nodes (family random_topology, seed {seed}, "
+                         f"redraw {redraw})."))
+        if _well_posed(info):
+            return info
+        last_error = None
+    raise FamilyError(
+        f"no well-posed topology within {_MAX_REDRAWS} redraws",
+        family="random_topology", seed=seed) from last_error
+
+
+#: Family-name registry: every generator maps ``(seed, size)`` to a
+#: :class:`CircuitInfo`, deterministically per seed.
+CIRCUIT_FAMILIES: Dict[str, Callable[..., CircuitInfo]] = {
+    "rc_ladder": rc_ladder_family,
+    "lc_ladder": lc_ladder_family,
+    "biquad_chain": biquad_chain_family,
+    "random_topology": random_topology_family,
+}
+
+#: Default ``size`` per family (used when a corpus spec leaves it out).
+FAMILY_DEFAULT_SIZES: Dict[str, int] = {
+    "rc_ladder": 5,
+    "lc_ladder": 5,
+    "biquad_chain": 2,
+    "random_topology": 6,
+}
+
+
+def generate(family: str, seed: int,
+             size: Optional[int] = None) -> CircuitInfo:
+    """Instantiate one generated circuit: ``(family, seed, size)``.
+
+    Deterministic: the same triple always yields a circuit with the
+    same :meth:`~repro.circuits.netlist.Circuit.content_hash`.
+    """
+    try:
+        generator = CIRCUIT_FAMILIES[family]
+    except KeyError:
+        raise FamilyError(
+            f"unknown circuit family {family!r}; "
+            f"available: {sorted(CIRCUIT_FAMILIES)}",
+            family=family, seed=seed) from None
+    if size is None:
+        size = FAMILY_DEFAULT_SIZES[family]
+    try:
+        return generator(seed, size=size)
+    except FamilyError:
+        raise
+    except Exception as exc:
+        raise FamilyError(f"generator failed: {exc}", family=family,
+                          seed=seed) from exc

@@ -26,7 +26,7 @@ import re
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from ..errors import NetlistParseError
+from ..errors import NetlistParseError, ReproError
 from ..units import format_value, parse_value
 from .components import (
     CCCS,
@@ -207,7 +207,16 @@ def parse_netlist(text: str, name: Optional[str] = None) -> Circuit:
             if name is None:
                 circuit_name = line
             continue
-        components.append(_parse_card(line, line_number))
+        try:
+            components.append(_parse_card(line, line_number))
+        except NetlistParseError:
+            raise
+        except (ReproError, ValueError) as exc:
+            # Bad element values (UnitError), invalid component
+            # definitions (ComponentError) and any stray ValueError
+            # surface as a parse error carrying the offending line, so
+            # generated-netlist failures are attributable to a card.
+            raise NetlistParseError(str(exc), line_number, line) from exc
 
     if not components:
         raise NetlistParseError("netlist contains no components")

@@ -4,17 +4,22 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..errors import ReproError
 from ..faults.models import paper_deviation_grid
 from ..ga.config import GAConfig
-from ..sim.engine import ENGINE_KINDS
+from ..parallelism import ParallelismConfig, install_legacy_kwargs
+from ..sim.engine import EngineSpec
 
 __all__ = ["PipelineConfig"]
 
 _FITNESS_KINDS = ("paper", "margin", "combined")
-_EXECUTOR_KINDS = ("process", "thread")
+
+# The flat worker keys are both the deprecated constructor spelling and
+# the stable JSON wire format (see to_json_dict).
+_LEGACY_PARALLELISM_KEYS = (
+    "n_workers", "executor", "ga_workers", "ga_executor")
 
 
 @dataclass(frozen=True)
@@ -45,34 +50,27 @@ class PipelineConfig:
     ambiguity_threshold:
         Trajectory separation (signature units) below which two
         components are reported as one ambiguity group.
-    n_workers:
-        Worker count for parallel fault-dictionary builds and for
-        population-level GA evaluation. 0 or 1 keep the serial paths;
-        >= 2 fans dictionary variant blocks out over a
-        ``concurrent.futures`` pool (see ``repro.runtime.parallel``)
-        and uncached GA individuals over the GA pool.
-    executor:
-        Pool kind for parallel dictionary builds: ``"process"`` or
-        ``"thread"``.
-    ga_workers / ga_executor:
-        GA population-scoring pool. ``ga_workers`` of None inherits
-        ``n_workers``; ``ga_executor`` picks ``"thread"`` (shared memo
-        cache, wins only where BLAS drops the GIL) or ``"process"``
-        (response surface published zero-copy into shared memory,
-        shards scored across real cores -- bitwise-identical results
-        either way; see ``repro.runtime.shm``).
+    parallelism:
+        Worker-pool sizing for every parallel kernel
+        (:class:`~repro.parallelism.ParallelismConfig`): dictionary
+        builds, GA population scoring, and (when inherited by
+        ``PosteriorConfig``) posterior Monte-Carlo sampling. The old
+        flat keywords (``n_workers=``, ``executor=``, ``ga_workers=``,
+        ``ga_executor=``) still work as deprecation shims that forward
+        onto this object; the matching read-only properties remain
+        stable API.
     engine:
-        Simulation engine for every fault-simulation stage:
-        ``"batched"`` (default; stamp-once/solve-many
-        :class:`~repro.sim.engine.BatchedMnaEngine`), ``"scalar"``
-        (one circuit assembly per variant -- the reference path, kept
-        for conservative deployments and equivalence testing) or
-        ``"factored"`` (:class:`~repro.sim.engine.FactoredMnaEngine`:
-        nominal system factored once per frequency, fault variants
-        solved via Sherman-Morrison-Woodbury low-rank updates with a
-        per-variant dense fallback). Batched and scalar produce
-        bitwise-identical responses; factored matches them within
-        tight tolerance (~1e-12 relative on the benchmark circuits).
+        Simulation engine for every fault-simulation stage, as an
+        :class:`~repro.sim.engine.EngineSpec` (a plain kind string such
+        as ``"batched"`` or a compact spec such as
+        ``"factored:cond_limit=1e6,sparse=true"`` are coerced).
+        ``"batched"`` (default) is the stamp-once/solve-many
+        :class:`~repro.sim.engine.BatchedMnaEngine`; ``"scalar"`` is
+        the reference path; ``"factored"`` solves fault variants via
+        Sherman-Morrison-Woodbury low-rank updates. Batched and scalar
+        produce bitwise-identical responses; factored matches them
+        within tight tolerance (~1e-12 relative on the benchmark
+        circuits).
     """
 
     deviations: Tuple[float, ...] = field(
@@ -87,13 +85,14 @@ class PipelineConfig:
     margin_scale: float = 1.0
     ga: GAConfig = field(default_factory=GAConfig.paper)
     ambiguity_threshold: float = 0.01
-    n_workers: int = 0
-    executor: str = "process"
-    ga_workers: Optional[int] = None
-    ga_executor: str = "thread"
-    engine: str = "batched"
+    parallelism: ParallelismConfig = field(
+        default_factory=ParallelismConfig)
+    engine: Union[EngineSpec, str] = "batched"
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "parallelism", ParallelismConfig.coerce(self.parallelism))
+        object.__setattr__(self, "engine", EngineSpec.coerce(self.engine))
         if self.fitness not in _FITNESS_KINDS:
             raise ReproError(
                 f"fitness must be one of {_FITNESS_KINDS}, "
@@ -107,30 +106,32 @@ class PipelineConfig:
             raise ReproError("deviation grid is empty")
         if self.ambiguity_threshold < 0.0:
             raise ReproError("ambiguity_threshold must be >= 0")
-        if self.n_workers < 0:
-            raise ReproError("n_workers must be >= 0")
-        if self.executor not in _EXECUTOR_KINDS:
-            raise ReproError(
-                f"executor must be one of {_EXECUTOR_KINDS}, "
-                f"got {self.executor!r}")
-        if self.ga_workers is not None and self.ga_workers < 0:
-            raise ReproError("ga_workers must be >= 0 (or None to "
-                             "inherit n_workers)")
-        if self.ga_executor not in _EXECUTOR_KINDS:
-            raise ReproError(
-                f"ga_executor must be one of {_EXECUTOR_KINDS}, "
-                f"got {self.ga_executor!r}")
-        if self.engine not in ENGINE_KINDS:
-            raise ReproError(
-                f"engine must be one of {ENGINE_KINDS}, "
-                f"got {self.engine!r}")
+
+    # ------------------------------------------------------------------
+    # Stable flat views of the parallelism object (read-only; the
+    # deprecated *constructor* spellings warn, these accessors do not).
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self.parallelism.n_workers
+
+    @property
+    def executor(self) -> str:
+        return self.parallelism.executor
+
+    @property
+    def ga_workers(self) -> Optional[int]:
+        return self.parallelism.ga_workers
+
+    @property
+    def ga_executor(self) -> str:
+        return self.parallelism.ga_executor
 
     @property
     def effective_ga_workers(self) -> int:
         """The GA pool size: ``ga_workers``, or ``n_workers`` when
         unset."""
-        return self.n_workers if self.ga_workers is None \
-            else self.ga_workers
+        return self.parallelism.effective_ga_workers
 
     @classmethod
     def paper(cls) -> "PipelineConfig":
@@ -145,22 +146,43 @@ class PipelineConfig:
     # ------------------------------------------------------------------
     # JSON round-trip (spawned cluster workers receive their config
     # over the command line; see repro.runtime.cli / cluster).
+    #
+    # The wire format keeps the original flat worker keys and the
+    # engine-as-string spelling, so configs persisted before the
+    # ParallelismConfig/EngineSpec consolidation round-trip unchanged.
     # ------------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, object]:
         """A JSON-ready dict that :meth:`from_json_dict` restores
         exactly (tuples ride as lists)."""
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        out.update(out.pop("parallelism"))
+        out["engine"] = self.engine.to_json_value()
+        return out
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "PipelineConfig":
         """Rebuild a config from :meth:`to_json_dict` output (or any
-        subset of its keys -- omitted fields keep their defaults)."""
+        subset of its keys -- omitted fields keep their defaults).
+
+        Accepts both the flat wire format (``n_workers``/``executor``/
+        ``ga_workers``/``ga_executor`` keys, engine as a string) and
+        the nested object forms, without deprecation warnings: the wire
+        format is stable API, not a legacy spelling.
+        """
         payload = dict(data)
         try:
             if isinstance(payload.get("ga"), dict):
                 payload["ga"] = GAConfig(**payload["ga"])
             if "deviations" in payload:
                 payload["deviations"] = tuple(payload["deviations"])
+            flat = {key: payload.pop(key)
+                    for key in _LEGACY_PARALLELISM_KEYS if key in payload}
+            if flat:
+                base = ParallelismConfig.coerce(payload.get("parallelism"))
+                payload["parallelism"] = dataclasses.replace(base, **flat)
             return cls(**payload)
         except TypeError as exc:
             raise ReproError(f"bad pipeline-config dict: {exc}") from exc
+
+
+install_legacy_kwargs(PipelineConfig, _LEGACY_PARALLELISM_KEYS)

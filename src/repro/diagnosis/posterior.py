@@ -46,6 +46,7 @@ All sampling happens once at build time; a diagnosis request is pure
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -56,11 +57,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..circuits.library import CircuitInfo
-from ..errors import DiagnosisError
+from ..errors import DiagnosisError, ReproError
 from ..faults.models import ParametricFault
 from ..faults.universe import FaultUniverse
-from ..sim.engine import (SimulationEngine, VariantSpec, engine_kind,
-                          make_engine)
+from ..parallelism import ParallelismConfig, install_legacy_kwargs
+from ..sim.engine import (EngineSpec, SimulationEngine, VariantSpec,
+                          engine_spec, make_engine)
 from ..trajectory.geometry import _EPS
 from ..trajectory.mapping import SignatureMapper
 from ..units import db_to_linear
@@ -101,12 +103,21 @@ class PosteriorConfig:
     expected information gain. ``samples_per_block`` bounds how many
     Monte-Carlo worlds share one engine ``transfer_block`` call.
 
-    ``n_workers`` >= 2 fans the sample blocks out over a worker pool
-    during the build; ``executor`` picks ``"process"`` (workers write
+    ``parallelism`` (a :class:`~repro.parallelism.ParallelismConfig`)
+    sizes the build pool: ``n_workers`` >= 2 fans the sample blocks out
+    over a worker pool, ``executor`` picks ``"process"`` (workers write
     disjoint slices of a shared-memory result tensor -- true
     multi-core; degrades to threads when shared memory is unavailable)
-    or ``"thread"``. Every tolerance draw comes from the root seed up
-    front, so pooled builds stay bitwise-identical to serial ones.
+    or ``"thread"``. The old flat ``n_workers=``/``executor=`` keywords
+    still work as deprecation shims. Every tolerance draw comes from
+    the root seed up front, so pooled builds stay bitwise-identical to
+    serial ones.
+
+    ``engine`` optionally pins the simulation engine
+    (:class:`~repro.sim.engine.EngineSpec`, or a spec string such as
+    ``"factored:cond_limit=1e6"``); ``None`` inherits the engine the
+    diagnoser was handed (the pipeline's warm engine via
+    :meth:`PosteriorDiagnoser.from_atpg`, else batched).
     """
 
     n_samples: int = 64
@@ -116,10 +127,16 @@ class PosteriorConfig:
     n_candidates: int = 12
     samples_per_block: int = 32
     seed: int = 0
-    n_workers: int = 0
-    executor: str = "process"
+    parallelism: ParallelismConfig = dataclasses.field(
+        default_factory=ParallelismConfig)
+    engine: Optional[EngineSpec] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "parallelism", ParallelismConfig.coerce(self.parallelism))
+        if self.engine is not None:
+            object.__setattr__(self, "engine",
+                               EngineSpec.coerce(self.engine))
         if self.n_samples < 1:
             raise DiagnosisError(
                 f"n_samples must be >= 1, got {self.n_samples}")
@@ -140,13 +157,47 @@ class PosteriorConfig:
             raise DiagnosisError(
                 f"samples_per_block must be >= 1, "
                 f"got {self.samples_per_block}")
-        if self.n_workers < 0:
-            raise DiagnosisError(
-                f"n_workers must be >= 0, got {self.n_workers}")
-        if self.executor not in ("process", "thread"):
-            raise DiagnosisError(
-                f"executor must be 'process' or 'thread', "
-                f"got {self.executor!r}")
+
+    # Stable flat views of the parallelism object (the deprecated
+    # *constructor* spellings warn; these accessors do not).
+    @property
+    def n_workers(self) -> int:
+        return self.parallelism.n_workers
+
+    @property
+    def executor(self) -> str:
+        return self.parallelism.executor
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the flat worker keys are the wire format, like
+    # PipelineConfig's).
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        parallel = out.pop("parallelism")
+        out.pop("engine")
+        out["n_workers"] = parallel["n_workers"]
+        out["executor"] = parallel["executor"]
+        if self.engine is not None:
+            out["engine"] = self.engine.to_json_value()
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "PosteriorConfig":
+        payload = dict(data)
+        try:
+            flat = {key: payload.pop(key)
+                    for key in ("n_workers", "executor") if key in payload}
+            if flat:
+                base = ParallelismConfig.coerce(payload.get("parallelism"))
+                payload["parallelism"] = dataclasses.replace(base, **flat)
+            return cls(**payload)
+        except TypeError as exc:
+            raise ReproError(
+                f"bad posterior-config dict: {exc}") from exc
+
+
+install_legacy_kwargs(PosteriorConfig, ("n_workers", "executor"))
 
 
 @dataclass(frozen=True)
@@ -198,7 +249,7 @@ class _WorldSpec:
     output_node: str
     input_source: Optional[str]
     grid: np.ndarray
-    engine_kind: str
+    engine: EngineSpec
     targets: Tuple[str, ...]
     nominal: Dict[str, object]
     fault_repl: Tuple[object, ...]
@@ -270,7 +321,7 @@ def _init_posterior_worker(spec: _WorldSpec) -> None:
     """Process-pool initializer: adopt the spec (attaching its shared
     output tensor) and stamp this worker's engine once."""
     _POOL_WORKER["spec"] = spec
-    _POOL_WORKER["engine"] = make_engine(spec.circuit, spec.engine_kind)
+    _POOL_WORKER["engine"] = make_engine(spec.circuit, spec.engine)
 
 
 def _posterior_pool_block(start: int, stop: int) -> Optional[np.ndarray]:
@@ -292,8 +343,7 @@ class _ThreadWorldRunner:
     def __call__(self, start: int, stop: int) -> Optional[np.ndarray]:
         engine = getattr(self._local, "engine", None)
         if engine is None:
-            engine = make_engine(self.spec.circuit,
-                                 self.spec.engine_kind)
+            engine = make_engine(self.spec.circuit, self.spec.engine)
             self._local.engine = engine
         return _run_world_block(self.spec, engine, start, stop)
 
@@ -315,8 +365,14 @@ class PosteriorDiagnoser:
         self.info = info
         self.config = config or PosteriorConfig()
         self.mapper = mapper
-        self._engine = engine if engine is not None else \
-            make_engine(info.circuit, "batched")
+        if self.config.engine is not None:
+            # An explicit engine pin on the config beats the inherited
+            # (warm) engine: the caller asked for these numerics.
+            self._engine = make_engine(info.circuit, self.config.engine)
+        elif engine is not None:
+            self._engine = engine
+        else:
+            self._engine = make_engine(info.circuit, "batched")
 
         faults = [fault for fault in universe.faults
                   if isinstance(fault, ParametricFault)]
@@ -384,11 +440,13 @@ class PosteriorDiagnoser:
         n_faults = len(self._faults)
 
         rows_per_sample = 1 + n_faults
-        kind = engine_kind(self._engine)
+        # Ship the full spec (kind + knobs), so pooled workers rebuild
+        # engines numerically identical to the parent's.
+        engine_full_spec = engine_spec(self._engine)
         spec = _WorldSpec(
             circuit=circuit, output_node=info.output_node,
             input_source=info.input_source, grid=grid,
-            engine_kind=kind or "batched", targets=targets,
+            engine=engine_full_spec or EngineSpec(), targets=targets,
             nominal=nominal, fault_repl=tuple(fault_repl),
             fault_labels=tuple(fault.label for fault in self._faults),
             eps=eps)
@@ -396,7 +454,8 @@ class PosteriorDiagnoser:
                               config.n_samples))
                   for start in range(0, config.n_samples,
                                      config.samples_per_block)]
-        if config.n_workers > 1 and len(blocks) > 1 and kind is not None:
+        if config.n_workers > 1 and len(blocks) > 1 \
+                and engine_full_spec is not None:
             mag_db, golden_db = self._sample_worlds_pooled(
                 spec, blocks, rows_per_sample, grid.size)
         else:

@@ -13,6 +13,19 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated repro spelling (keyword, string knob) was used.
+
+    Every backwards-compatibility shim in the library warns with this
+    category, so deployments can turn exactly the library's own
+    deprecations into errors (``-W
+    error::repro.errors.ReproDeprecationWarning``) without tripping on
+    third-party ``DeprecationWarning`` noise. CI runs the tier-1 suite
+    under that filter to prove no internal caller uses a deprecated
+    spelling.
+    """
+
+
 class CircuitError(ReproError):
     """Invalid circuit construction (duplicate names, bad nodes, ...)."""
 
@@ -54,6 +67,29 @@ class FaultError(ReproError):
 
 class DictionaryError(ReproError):
     """Fault dictionary construction, persistence or lookup failed."""
+
+
+class FamilyError(CircuitError):
+    """A parameterised circuit-family generator could not produce a
+    well-posed circuit.
+
+    Carries the family name and seed so fleet-scale corpus runs can
+    report exactly which generated instance failed.
+    """
+
+    def __init__(self, message: str, family: str | None = None,
+                 seed: int | None = None) -> None:
+        context = ""
+        if family is not None:
+            context = f" [family={family}" + \
+                (f" seed={seed}]" if seed is not None else "]")
+        super().__init__(f"{message}{context}")
+        self.family = family
+        self.seed = seed
+
+
+class CorpusError(ReproError):
+    """A corpus spec is invalid or a corpus run could not complete."""
 
 
 class TrajectoryError(ReproError):

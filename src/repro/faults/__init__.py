@@ -14,6 +14,7 @@ from .universe import (
     FaultUniverse,
     catastrophic_universe,
     parametric_universe,
+    synthesize_universe,
 )
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "FaultUniverse",
     "parametric_universe",
     "catastrophic_universe",
+    "synthesize_universe",
     "FaultDictionary",
     "DictionaryEntry",
     "ResponseSurface",

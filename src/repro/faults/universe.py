@@ -22,7 +22,8 @@ from .models import (
     paper_deviation_grid,
 )
 
-__all__ = ["FaultUniverse", "parametric_universe", "catastrophic_universe"]
+__all__ = ["FaultUniverse", "parametric_universe",
+           "catastrophic_universe", "synthesize_universe"]
 
 
 @dataclass(frozen=True)
@@ -160,3 +161,40 @@ def catastrophic_universe(circuit: Circuit,
         faults.append(CatastrophicFault(name, "open"))
         faults.append(CatastrophicFault(name, "short"))
     return FaultUniverse(circuit, tuple(faults))
+
+
+def synthesize_universe(info, deviations: Optional[Sequence[float]] = None,
+                        include_catastrophic: bool = False,
+                        max_targets: Optional[int] = None,
+                        seed: int = 0) -> FaultUniverse:
+    """Fault universe for a generated circuit (corpus runner path).
+
+    Builds the paper's parametric universe over the circuit's
+    ``faultable`` components (a :class:`~repro.circuits.library.
+    CircuitInfo` is expected), optionally appending open/short
+    catastrophic faults per target. ``max_targets`` deterministically
+    caps the number of fault-target components -- large generated
+    ladders would otherwise blow the dictionary up quadratically with
+    circuit size. The cap picks an evenly-spread, seed-shuffled subset
+    via ``numpy.random.default_rng((seed, ...))``, so the same
+    ``(circuit, seed)`` always yields the same universe.
+    """
+    targets = tuple(info.faultable)
+    if not targets:
+        raise FaultError(f"{info.circuit.name}: no faultable components")
+    if max_targets is not None:
+        if max_targets < 1:
+            raise FaultError("max_targets must be >= 1")
+        if len(targets) > max_targets:
+            import numpy as np
+            rng = np.random.default_rng((int(seed), 0xFA17))
+            chosen = sorted(rng.choice(len(targets), size=max_targets,
+                                       replace=False).tolist())
+            targets = tuple(targets[index] for index in chosen)
+    universe = parametric_universe(info.circuit, components=targets,
+                                   deviations=deviations)
+    if include_catastrophic:
+        hard = catastrophic_universe(info.circuit, components=targets)
+        universe = FaultUniverse(info.circuit,
+                                 universe.faults + hard.faults)
+    return universe

@@ -1,0 +1,143 @@
+"""One parallelism knob surface for every fan-out kernel.
+
+Historically each kernel grew its own worker-pool pair:
+``PipelineConfig.n_workers``/``executor`` (dictionary builds),
+``PipelineConfig.ga_workers``/``ga_executor`` (GA population scoring)
+and ``PosteriorConfig.n_workers``/``executor`` (Monte-Carlo sample
+blocks). :class:`ParallelismConfig` consolidates the sprawl into one
+frozen value object that both top-level configs embed and all three
+kernels consume.
+
+The old keyword arguments keep working as deprecation shims (see
+:func:`install_legacy_kwargs`): they warn with
+:class:`~repro.errors.ReproDeprecationWarning` and forward onto the
+embedded ``parallelism`` object, and the flat keys remain the JSON wire
+format so existing persisted configs round-trip byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .errors import ReproDeprecationWarning, ReproError
+
+__all__ = ["ParallelismConfig", "EXECUTOR_KINDS"]
+
+EXECUTOR_KINDS = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Worker-pool sizing for every parallel kernel.
+
+    Attributes
+    ----------
+    n_workers:
+        Pool size for parallel fault-dictionary builds and posterior
+        Monte-Carlo sample blocks. 0 or 1 keep the serial paths.
+    executor:
+        Pool kind for those builds: ``"process"`` (zero-copy
+        shared-memory hand-off, true multi-core; silently degrades to
+        threads where shared memory is unavailable -- see
+        ``repro.runtime.shm``) or ``"thread"``.
+    ga_workers:
+        GA population-scoring pool size; ``None`` inherits
+        ``n_workers``.
+    ga_executor:
+        Pool kind for GA scoring. Defaults to ``"thread"`` (shared memo
+        cache; wins only where BLAS drops the GIL) -- ``"process"``
+        publishes the response surface into shared memory and scores
+        shards across real cores, bitwise-identical either way.
+    """
+
+    n_workers: int = 0
+    executor: str = "process"
+    ga_workers: Optional[int] = None
+    ga_executor: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ReproError("n_workers must be >= 0")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ReproError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}")
+        if self.ga_workers is not None and self.ga_workers < 0:
+            raise ReproError("ga_workers must be >= 0 (or None to "
+                             "inherit n_workers)")
+        if self.ga_executor not in EXECUTOR_KINDS:
+            raise ReproError(
+                f"ga_executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.ga_executor!r}")
+
+    @property
+    def effective_ga_workers(self) -> int:
+        """The GA pool size: ``ga_workers``, or ``n_workers`` when
+        unset."""
+        return self.n_workers if self.ga_workers is None \
+            else self.ga_workers
+
+    # ------------------------------------------------------------------
+    # JSON (flat legacy keys are the wire format; see to_flat_dict)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]
+                       ) -> "ParallelismConfig":
+        try:
+            return cls(**dict(data))
+        except TypeError as exc:
+            raise ReproError(
+                f"bad parallelism-config dict: {exc}") from exc
+
+    @classmethod
+    def coerce(cls, value) -> "ParallelismConfig":
+        """Accept a :class:`ParallelismConfig`, a dict, or ``None``."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_json_dict(value)
+        raise ReproError(
+            "parallelism must be a ParallelismConfig or a dict, "
+            f"got {type(value).__name__}")
+
+
+def install_legacy_kwargs(cls, kwarg_names: Sequence[str],
+                          field: str = "parallelism") -> None:
+    """Wrap ``cls.__init__`` so deprecated flat worker kwargs forward.
+
+    ``cls`` must be a (frozen) dataclass with a ``field`` slot holding a
+    :class:`ParallelismConfig`. After installation,
+    ``cls(n_workers=4)`` warns :class:`ReproDeprecationWarning` and
+    behaves exactly like
+    ``cls(parallelism=ParallelismConfig(n_workers=4))``; mixing both
+    spellings applies the legacy keys on top of the given object.
+    ``dataclasses.replace`` flows through the same shim, so existing
+    ``replace(config, n_workers=...)`` call sites keep working too.
+    """
+    names: Tuple[str, ...] = tuple(kwarg_names)
+    original_init = cls.__init__
+
+    @functools.wraps(original_init)
+    def __init__(self, *args, **kwargs):
+        legacy = {name: kwargs.pop(name)
+                  for name in names if name in kwargs}
+        if legacy:
+            warnings.warn(
+                f"{cls.__name__}({', '.join(sorted(legacy))}=...) is "
+                f"deprecated; pass "
+                f"{field}=ParallelismConfig(...) instead",
+                ReproDeprecationWarning, stacklevel=2)
+            base = ParallelismConfig.coerce(kwargs.get(field))
+            kwargs[field] = dataclasses.replace(base, **legacy)
+        original_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__

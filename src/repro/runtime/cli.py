@@ -34,6 +34,7 @@ from typing import Optional
 from ..core.config import PipelineConfig
 from ..diagnosis.posterior import PosteriorConfig
 from ..errors import ReproError
+from ..sim.engine import EngineSpec
 from .backends import InMemoryBackend, LocalDirBackend, ShardedBackend
 from .cluster import LISTENING_PREFIX, WORKER_DEFAULTS, ClusterService
 from .server import AsyncDiagnosisService, DiagnosisHTTPServer
@@ -41,6 +42,13 @@ from .service import DiagnosisService
 from .store import ArtifactStore
 
 __all__ = ["main", "build_parser"]
+
+
+def _engine_arg(text: str) -> EngineSpec:
+    try:
+        return EngineSpec.parse(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,15 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config-json", default=None, metavar="JSON",
                         help="PipelineConfig as inline JSON or "
                              "@path/to/file.json (overrides --config)")
-    parser.add_argument("--engine",
-                        choices=("scalar", "batched", "factored"),
-                        default=None,
+    parser.add_argument("--engine", type=_engine_arg,
+                        default=None, metavar="SPEC",
                         help="simulation engine for circuit warm-ups: "
                              "'batched' (stamp-once dense solves), "
                              "'scalar' (reference path) or 'factored' "
                              "(factor-once Sherman-Morrison-Woodbury "
                              "low-rank updates, dense fallback on "
-                             "ill-conditioned faults); overrides the "
+                             "ill-conditioned faults), with optional "
+                             "knobs as 'factored:cond_limit=1e6,"
+                             "sparse=true'; overrides the "
                              "--config/--config-json engine field "
                              "(default: use the config's engine)")
     parser.add_argument("--ga-workers", type=int, default=None,
@@ -184,12 +193,16 @@ def load_config(args: argparse.Namespace) -> PipelineConfig:
             else PipelineConfig.quick()
     if getattr(args, "engine", None):
         config = dataclasses.replace(config, engine=args.engine)
+    parallelism = config.parallelism
     if getattr(args, "ga_workers", None) is not None:
-        config = dataclasses.replace(config,
-                                     ga_workers=args.ga_workers)
+        parallelism = dataclasses.replace(parallelism,
+                                          ga_workers=args.ga_workers)
     if getattr(args, "executor", None):
-        config = dataclasses.replace(config, executor=args.executor,
-                                     ga_executor=args.executor)
+        parallelism = dataclasses.replace(parallelism,
+                                          executor=args.executor,
+                                          ga_executor=args.executor)
+    if parallelism is not config.parallelism:
+        config = dataclasses.replace(config, parallelism=parallelism)
     return config
 
 

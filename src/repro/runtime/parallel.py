@@ -62,7 +62,7 @@ _BUILD_WORKER: Dict[str, object] = {}
 
 def _init_build_worker(circuit: Circuit, output_node: str,
                        freqs: np.ndarray, input_source: Optional[str],
-                       engine_kind: str) -> None:
+                       engine_kind: object) -> None:
     _BUILD_WORKER["circuit"] = circuit
     _BUILD_WORKER["output_node"] = output_node
     _BUILD_WORKER["freqs"] = freqs
@@ -89,7 +89,7 @@ class _ThreadBlockRunner:
 
     def __init__(self, circuit: Circuit, output_node: str,
                  freqs: np.ndarray, input_source: Optional[str],
-                 engine_kind: str) -> None:
+                 engine_kind: object) -> None:
         self.circuit = circuit
         self.output_node = output_node
         self.freqs = freqs
@@ -114,7 +114,7 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
                               n_workers: int = 0,
                               executor: str = "process",
                               chunk_size: Optional[int] = None,
-                              engine_kind: str = "batched"
+                              engine_kind: object = "batched"
                               ) -> FaultDictionary:
     """Build a fault dictionary across a worker pool.
 
@@ -122,8 +122,9 @@ def build_dictionary_parallel(universe: FaultUniverse, output_node: str,
     :meth:`FaultDictionary.build`. The result is equal to the serial
     build entry-for-entry (asserted in the test suite): workers
     delta-stamp the exact same variants and the blocks are reassembled
-    in submission order. ``engine_kind`` selects the per-worker engine
-    (``"batched"`` default, ``"scalar"`` reference).
+    in submission order. ``engine_kind`` selects the per-worker engine:
+    a kind string (``"batched"`` default, ``"scalar"`` reference) or a
+    full :class:`~repro.sim.engine.EngineSpec` carrying knobs.
     """
     if n_workers <= 1:
         return FaultDictionary.build(

@@ -360,6 +360,35 @@ class ArtifactStore:
                       lambda scratch: dictionary.save(scratch / "dictionary"))
 
     # ------------------------------------------------------------------
+    # Generic JSON artifacts (corpus per-circuit results, ...)
+    # ------------------------------------------------------------------
+    def load_json(self, kind: str, key: str) -> Optional[dict]:
+        """Load a JSON artifact saved by :meth:`save_json`, or ``None``
+        on a miss (including unreadable/corrupt slots, which self-heal
+        like every other artifact kind)."""
+        slot = self._open(kind, key)
+        if slot is None:
+            return None
+        try:
+            data = json.loads((slot / "data.json").read_text())
+        except self._UNREADABLE as exc:
+            self._vanished(kind, key, exc)
+            return None
+        self._hits_total.inc()
+        return data
+
+    def save_json(self, kind: str, key: str, data: dict) -> None:
+        """Publish a JSON-serialisable dict under ``(kind, key)``.
+
+        First-writer-wins like every artifact: concurrent writers must
+        produce identical content for one key (content-addressed keys
+        make that true by construction)."""
+        payload = json.dumps(data, sort_keys=True)
+        self._publish(
+            kind, key,
+            lambda scratch: (scratch / "data.json").write_text(payload))
+
+    # ------------------------------------------------------------------
     # GA results
     # ------------------------------------------------------------------
     def load_ga_result(self, key: str) -> Optional[GAResult]:

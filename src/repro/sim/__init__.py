@@ -4,12 +4,14 @@ from .ac import ACAnalysis, FrequencyResponse
 from .dc import DCAnalysis, OperatingPoint
 from .engine import (
     BatchedMnaEngine,
+    EngineSpec,
     FactoredMnaEngine,
     ResponseBlock,
     ScalarMnaEngine,
     SimulationEngine,
     VariantSpec,
     engine_kind,
+    engine_spec,
     make_engine,
 )
 from .mna import ComponentOps, MnaSolution, MnaSystem
@@ -39,8 +41,10 @@ __all__ = [
     "ScalarMnaEngine",
     "ResponseBlock",
     "VariantSpec",
+    "EngineSpec",
     "make_engine",
     "engine_kind",
+    "engine_spec",
     "ACAnalysis",
     "FrequencyResponse",
     "DCAnalysis",

@@ -44,6 +44,7 @@ complex transfer matrix that lazily slices into the familiar
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Protocol, Sequence, \
@@ -68,12 +69,157 @@ __all__ = [
     "ScalarMnaEngine",
     "BatchedMnaEngine",
     "FactoredMnaEngine",
+    "EngineSpec",
     "make_engine",
     "engine_kind",
+    "engine_spec",
     "ENGINE_KINDS",
 ]
 
 ENGINE_KINDS = ("batched", "scalar", "factored")
+
+#: Knobs only the factored engine understands (EngineSpec validation).
+_FACTORED_KNOBS = ("cond_limit", "max_rank", "sparse", "sparse_min_dim")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One engine selection, uniformly spelled everywhere.
+
+    Replaces the historical string-only engine spellings
+    (``make_engine`` kind, ``PipelineConfig.engine``,
+    ``repro-serve --engine``, ...) with a single value object carrying
+    the engine *name* plus its knobs. A knob of ``None`` means "the
+    engine's own default", so ``EngineSpec("factored")`` and the plain
+    string ``"factored"`` are interchangeable.
+
+    Accepted spellings (see :meth:`coerce`):
+
+    * an :class:`EngineSpec` -- passed through;
+    * a plain name string -- ``"batched"``, ``"scalar"``,
+      ``"factored"``;
+    * a compact knob string -- ``"factored:cond_limit=1e6,sparse=true"``
+      (what ``repro-serve --engine`` and ``repro-corpus`` accept);
+    * a JSON dict -- ``{"kind": "factored", "cond_limit": 1e6}``.
+
+    :meth:`to_json_value` renders the spec back to the plain name
+    string whenever every knob is default, so configs that never used
+    knobs keep their historical JSON byte-for-byte.
+    """
+
+    kind: str = "batched"
+    gmin: float = 0.0
+    cond_limit: Optional[float] = None
+    max_rank: Optional[int] = None
+    sparse: Optional[object] = None
+    sparse_min_dim: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ENGINE_KINDS:
+            raise SimulationError(
+                f"engine kind must be one of {ENGINE_KINDS}, "
+                f"got {self.kind!r}")
+        if self.gmin < 0.0:
+            raise SimulationError("engine gmin must be >= 0")
+        if self.kind != "factored":
+            set_knobs = [name for name in _FACTORED_KNOBS
+                         if getattr(self, name) is not None]
+            if set_knobs:
+                raise SimulationError(
+                    f"engine knobs {set_knobs} only apply to the "
+                    f"'factored' engine, not {self.kind!r}")
+        if self.cond_limit is not None and not self.cond_limit > 0.0:
+            raise SimulationError("cond_limit must be > 0")
+        if self.max_rank is not None and self.max_rank < 1:
+            raise SimulationError("max_rank must be >= 1")
+        if self.sparse is not None and \
+                self.sparse not in ("auto", True, False):
+            raise SimulationError(
+                f"sparse must be 'auto', True or False, "
+                f"got {self.sparse!r}")
+        if self.sparse_min_dim is not None and self.sparse_min_dim < 1:
+            raise SimulationError("sparse_min_dim must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def coerce(cls, value) -> "EngineSpec":
+        """Normalise any accepted engine spelling to an EngineSpec."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            try:
+                return cls(**{str(key): val
+                              for key, val in value.items()})
+            except TypeError as exc:
+                raise SimulationError(
+                    f"bad engine spec dict: {exc}") from exc
+        raise SimulationError(
+            "engine must be an EngineSpec, a name string or a dict, "
+            f"got {type(value).__name__}")
+
+    @classmethod
+    def parse(cls, text: str) -> "EngineSpec":
+        """Parse ``"name"`` or ``"name:knob=value,knob=value"``."""
+        name, _, tail = text.partition(":")
+        knobs: Dict[str, object] = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, raw = item.partition("=")
+                key = key.strip()
+                if not sep or not key:
+                    raise SimulationError(
+                        f"bad engine spec {text!r}: expected "
+                        "knob=value, got " f"{item!r}")
+                knobs[key] = cls._parse_knob_value(raw.strip())
+        return cls.coerce({"kind": name.strip(), **knobs})
+
+    @staticmethod
+    def _parse_knob_value(raw: str) -> object:
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            return lowered == "true"
+        if lowered == "auto":
+            return "auto"
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+        try:
+            return float(raw)
+        except ValueError:
+            raise SimulationError(
+                f"bad engine knob value {raw!r}") from None
+
+    # ------------------------------------------------------------------
+    def to_json_value(self) -> object:
+        """Plain name string when every knob is default, else a dict
+        (both accepted back by :meth:`coerce` -- and by the historical
+        string-only consumers when no knobs are set)."""
+        knobs: Dict[str, object] = {}
+        if self.gmin != 0.0:
+            knobs["gmin"] = self.gmin
+        for name in _FACTORED_KNOBS:
+            value = getattr(self, name)
+            if value is not None:
+                knobs[name] = value
+        if not knobs:
+            return self.kind
+        return {"kind": self.kind, **knobs}
+
+    def make(self, circuit: Circuit) -> "SimulationEngine":
+        """Instantiate this spec's engine for ``circuit``."""
+        if self.kind == "scalar":
+            return ScalarMnaEngine(circuit, gmin=self.gmin)
+        if self.kind == "batched":
+            return BatchedMnaEngine(circuit, gmin=self.gmin)
+        knobs = {name: getattr(self, name)
+                 for name in _FACTORED_KNOBS
+                 if getattr(self, name) is not None}
+        return FactoredMnaEngine(circuit, gmin=self.gmin, **knobs)
 
 # The (K, N, N) stacks handed to np.linalg.solve are chunked to roughly
 # this many bytes: big enough to amortise the gufunc dispatch, small
@@ -809,17 +955,19 @@ class FactoredMnaEngine(BatchedMnaEngine):
         return ResponseBlock(freqs, values, labels, output_node)
 
 
-def make_engine(circuit: Circuit, kind: str = "batched",
+def make_engine(circuit: Circuit, kind: object = "batched",
                 gmin: float = 0.0) -> SimulationEngine:
-    """Engine factory keyed by :class:`PipelineConfig`'s ``engine`` knob."""
-    if kind == "batched":
-        return BatchedMnaEngine(circuit, gmin=gmin)
-    if kind == "scalar":
-        return ScalarMnaEngine(circuit, gmin=gmin)
-    if kind == "factored":
-        return FactoredMnaEngine(circuit, gmin=gmin)
-    raise SimulationError(
-        f"engine kind must be one of {ENGINE_KINDS}, got {kind!r}")
+    """Engine factory keyed by :class:`PipelineConfig`'s ``engine`` knob.
+
+    ``kind`` accepts any :meth:`EngineSpec.coerce` spelling: a plain
+    name string (the historical API), a compact knob string, a dict or
+    an :class:`EngineSpec`. A non-zero ``gmin`` argument overrides the
+    spec's own ``gmin``.
+    """
+    spec = EngineSpec.coerce(kind)
+    if gmin:
+        spec = dataclasses.replace(spec, gmin=float(gmin))
+    return spec.make(circuit)
 
 
 def engine_kind(engine: SimulationEngine) -> Optional[str]:
@@ -832,3 +980,25 @@ def engine_kind(engine: SimulationEngine) -> Optional[str]:
     if isinstance(engine, ScalarMnaEngine):
         return "scalar"
     return None
+
+
+def engine_spec(engine: SimulationEngine) -> Optional[EngineSpec]:
+    """The :class:`EngineSpec` that rebuilds an equivalent engine.
+
+    Unlike :func:`engine_kind` this preserves the knobs (``gmin``, the
+    factored engine's conditioning/sparsity settings), so pool workers
+    reconstructing an engine from the spec match the parent's numerics
+    exactly. None for foreign engine implementations.
+    """
+    kind = engine_kind(engine)
+    if kind is None:
+        return None
+    gmin = float(getattr(engine, "gmin", 0.0))
+    if kind != "factored":
+        return EngineSpec(kind=kind, gmin=gmin)
+    return EngineSpec(
+        kind="factored", gmin=gmin,
+        cond_limit=float(engine.cond_limit),
+        max_rank=int(engine.max_rank),
+        sparse=engine._sparse_mode,
+        sparse_min_dim=int(engine.sparse_min_dim))

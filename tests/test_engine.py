@@ -427,7 +427,7 @@ class TestGADeterminism:
 
 class TestPipelineEngineKnob:
     def test_invalid_engine_rejected(self):
-        with pytest.raises(ReproError, match="engine must be one of"):
+        with pytest.raises(ReproError, match="kind must be one of"):
             PipelineConfig(engine="magic")
 
     def test_scalar_and_batched_pipelines_agree(self):
@@ -771,7 +771,10 @@ class TestFactoredSelection:
     def test_config_accepts_and_round_trips_factored(self):
         config = PipelineConfig(engine="factored")
         restored = PipelineConfig.from_json_dict(config.to_json_dict())
-        assert restored.engine == "factored"
+        assert restored.engine.kind == "factored"
+        assert restored.engine == config.engine
+        # The wire format keeps the original string spelling.
+        assert config.to_json_dict()["engine"] == "factored"
 
     def test_invalid_factored_knobs_rejected(self):
         circuit = rc_lowpass().circuit

@@ -1,0 +1,134 @@
+"""The curated top-level API: ``repro.__all__``, ``repro.run`` and the
+deprecation shims that keep old spellings alive."""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    CorpusSpec,
+    EngineSpec,
+    ParallelismConfig,
+    PipelineConfig,
+    PosteriorConfig,
+    ReproDeprecationWarning,
+)
+from repro.ga import GAConfig
+
+
+# ----------------------------------------------------------------------
+# Facade integrity
+# ----------------------------------------------------------------------
+def test_every_public_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_core_surface_is_exported():
+    required = {
+        "Circuit", "CircuitInfo", "run", "generate", "CIRCUIT_FAMILIES",
+        "FaultTrajectoryATPG", "ATPGResult", "PipelineConfig",
+        "ParallelismConfig", "EngineSpec", "PosteriorConfig",
+        "PosteriorDiagnoser", "CorpusSpec", "FamilySpec", "run_corpus",
+        "DiagnosisService", "ArtifactStore", "errors", "ReproError",
+        "ReproDeprecationWarning", "FamilyError", "CorpusError",
+        "synthesize_universe", "__version__",
+    }
+    missing = required - set(repro.__all__)
+    assert not missing, f"facade lost public names: {sorted(missing)}"
+
+
+def test_version_matches_package_metadata():
+    assert repro.__version__ == "1.8.0"
+
+
+def test_run_convenience_accepts_family_tuple():
+    config = PipelineConfig(
+        dictionary_points=48,
+        ga=GAConfig.quick(seeded_generations=2, population_size=12))
+    result = repro.run(("rc_ladder", 0), config=config, seed=1)
+    assert result.info.circuit.name == "rc_ladder_n5_s0"
+    assert len(result.test_vector_hz) == config.num_frequencies
+
+
+def test_run_convenience_accepts_benchmark_name():
+    config = PipelineConfig(
+        dictionary_points=48,
+        ga=GAConfig.quick(seeded_generations=2, population_size=12))
+    result = repro.run("rc_lowpass", config=config, seed=1)
+    assert result.info.circuit.name == "rc_lowpass"
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims: old flat kwargs still work, warn, and round-trip
+# through JSON unchanged.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls,kwargs,check", [
+    (PipelineConfig, {"n_workers": 3},
+     lambda c: c.parallelism.n_workers == 3),
+    (PipelineConfig, {"executor": "thread"},
+     lambda c: c.parallelism.executor == "thread"),
+    (PipelineConfig, {"ga_workers": 2, "ga_executor": "process"},
+     lambda c: c.parallelism.ga_workers == 2
+     and c.parallelism.ga_executor == "process"),
+    (PosteriorConfig, {"n_workers": 4},
+     lambda c: c.parallelism.n_workers == 4),
+    (PosteriorConfig, {"executor": "thread"},
+     lambda c: c.parallelism.executor == "thread"),
+])
+def test_legacy_kwargs_warn_and_forward(cls, kwargs, check):
+    with pytest.warns(ReproDeprecationWarning):
+        config = cls(**kwargs)
+    assert check(config)
+
+
+def test_new_spellings_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ReproDeprecationWarning)
+        PipelineConfig(parallelism=ParallelismConfig(
+            n_workers=3, ga_workers=2))
+        PosteriorConfig(parallelism=ParallelismConfig(n_workers=2))
+        dataclasses.replace(PipelineConfig(), engine="factored")
+
+
+def test_flat_wire_format_round_trips_without_warning():
+    """Configs persisted before the consolidation load silently and
+    serialise back to the identical flat document."""
+    wire = PipelineConfig().to_json_dict()
+    assert wire["n_workers"] == 0 and wire["engine"] == "batched"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ReproDeprecationWarning)
+        restored = PipelineConfig.from_json_dict(wire)
+    assert restored == PipelineConfig()
+    assert restored.to_json_dict() == wire
+
+    legacy = {"n_workers": 5, "executor": "thread", "ga_workers": 2}
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ReproDeprecationWarning)
+        restored = PipelineConfig.from_json_dict(legacy)
+    assert restored.parallelism == ParallelismConfig(
+        n_workers=5, executor="thread", ga_workers=2)
+    round_tripped = restored.to_json_dict()
+    for key, value in legacy.items():
+        assert round_tripped[key] == value
+
+
+def test_engine_spec_collapses_to_string_on_wire():
+    assert EngineSpec("batched").to_json_value() == "batched"
+    spec = EngineSpec.parse("factored:sparse=true")
+    assert spec.to_json_value() == {"kind": "factored", "sparse": True}
+    assert EngineSpec.coerce(spec.to_json_value()) == spec
+
+
+def test_corpus_spec_inherits_config_wire_compat():
+    """A corpus spec embedding flat legacy pipeline keys still loads."""
+    wire = CorpusSpec.quick().to_json_dict()
+    wire["pipeline"]["n_workers"] = 2          # legacy flat key
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ReproDeprecationWarning)
+        spec = CorpusSpec.from_json_dict(wire)
+    assert spec.pipeline.parallelism.n_workers == 2

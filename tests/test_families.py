@@ -1,0 +1,160 @@
+"""Circuit-family generators: determinism, well-posedness, errors."""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CIRCUIT_FAMILIES,
+    FAMILY_DEFAULT_SIZES,
+    butterworth_g_values,
+    generate,
+    parse_netlist,
+)
+from repro.errors import FamilyError, NetlistParseError
+from repro.sim import ACAnalysis
+
+ALL_FAMILIES = sorted(CIRCUIT_FAMILIES)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_same_seed_same_circuit(family):
+    first = generate(family, seed=7)
+    second = generate(family, seed=7)
+    assert first.circuit.content_hash() == second.circuit.content_hash()
+    assert first.circuit.name == second.circuit.name
+    assert first.faultable == second.faultable
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_different_seeds_differ(family):
+    hashes = {generate(family, seed=seed).circuit.content_hash()
+              for seed in range(6)}
+    assert len(hashes) > 1
+
+
+def test_generators_deterministic_cross_process():
+    """The per-seed content hash is identical in a fresh interpreter.
+
+    Guards the corpus resume keys: a hash that drifted between
+    processes would silently invalidate every cached record.
+    """
+    script = (
+        "from repro.circuits import generate\n"
+        "for family in ('rc_ladder', 'lc_ladder', 'biquad_chain', "
+        "'random_topology'):\n"
+        "    info = generate(family, seed=11)\n"
+        "    print(family, info.circuit.content_hash())\n")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        check=True, env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"})
+    child = dict(line.split() for line in out.stdout.splitlines())
+    for family in ALL_FAMILIES:
+        assert child[family] == generate(family,
+                                         seed=11).circuit.content_hash()
+
+
+# ----------------------------------------------------------------------
+# Family shapes
+# ----------------------------------------------------------------------
+def test_butterworth_g_values_order2():
+    g1, g2 = butterworth_g_values(2)
+    assert g1 == pytest.approx(math.sqrt(2.0), rel=1e-5)
+    assert g2 == pytest.approx(math.sqrt(2.0), rel=1e-5)
+
+
+def test_rc_ladder_structure():
+    info = generate("rc_ladder", seed=3, size=4)
+    assert len(info.faultable) == 8          # 4 R + 4 C
+    assert info.output_node == "n4"
+    assert info.circuit.name == "rc_ladder_n4_s3"
+
+
+def test_lc_ladder_faults_only_reactive():
+    info = generate("lc_ladder", seed=3, size=5)
+    assert all(name[0] in "LC" for name in info.faultable)
+    assert len(info.faultable) == 5          # order-N prototype
+
+
+def test_random_topology_goes_through_parser():
+    info = generate("random_topology", seed=5, size=4)
+    # Spine resistors guarantee DC connectivity; names come from the
+    # netlist text, so the parser really produced this circuit.
+    assert "R1" in info.circuit
+    assert info.circuit.name.startswith("random_topology_")
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_generated_circuits_are_well_posed(family):
+    info = generate(family, seed=1)
+    freqs = np.array([info.f_min_hz, info.f0_hz, info.f_max_hz])
+    response = ACAnalysis(info.circuit).transfer(
+        info.output_node, freqs, input_source=info.input_source)
+    assert np.all(np.isfinite(response.values))
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_unknown_family_raises_with_context():
+    with pytest.raises(FamilyError) as excinfo:
+        generate("nonexistent", seed=0)
+    assert excinfo.value.family == "nonexistent"
+    assert excinfo.value.seed == 0
+    assert "available" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_bad_size_raises_family_error(family):
+    with pytest.raises(FamilyError) as excinfo:
+        generate(family, seed=0, size=0)
+    assert excinfo.value.family == family
+    assert excinfo.value.seed == 0
+
+
+def test_parser_reports_offending_card_line():
+    """Bad element values surface as a parse error with the line."""
+    text = "* bad\nVIN in 0 AC 1\nR1 in out 1k\nC1 out 0 -3n\n.end\n"
+    with pytest.raises(NetlistParseError) as excinfo:
+        parse_netlist(text)
+    assert excinfo.value.line_number == 4
+    assert "C1" in (excinfo.value.line or "")
+
+
+def test_default_sizes_cover_every_family():
+    assert set(FAMILY_DEFAULT_SIZES) == set(CIRCUIT_FAMILIES)
+
+
+# ----------------------------------------------------------------------
+# Property: any (family, seed, size) yields a solvable, deterministic
+# circuit (hypothesis)
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(family=st.sampled_from(ALL_FAMILIES),
+       seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=2, max_value=7))
+def test_any_seed_yields_well_posed_mna(family, seed, size):
+    info = generate(family, seed, size=size)
+    again = generate(family, seed, size=size)
+    assert info.circuit.content_hash() == again.circuit.content_hash()
+    freqs = np.array([info.f_min_hz, info.f0_hz, info.f_max_hz])
+    response = ACAnalysis(info.circuit).transfer(
+        info.output_node, freqs, input_source=info.input_source)
+    assert np.all(np.isfinite(response.values))
+    assert info.faultable, "every generated circuit must be faultable"

@@ -17,7 +17,8 @@ from repro import FaultTrajectoryATPG, PipelineConfig
 from repro.circuits.library import BENCHMARK_CIRCUITS, get_benchmark
 from repro.diagnosis import (FAULT_FREE_LABEL, PosteriorConfig,
                              PosteriorDiagnoser)
-from repro.errors import DiagnosisError
+from repro.errors import DiagnosisError, ReproError
+from repro.parallelism import ParallelismConfig
 from repro.ga import GAConfig
 from repro.runtime import codec
 from repro.sim import ACAnalysis
@@ -163,11 +164,11 @@ class TestPosteriorConfig:
         {"noise_db": -1.0},
         {"n_candidates": 0},
         {"samples_per_block": 0},
-        {"n_workers": -1},
-        {"executor": "bogus"},
+        {"parallelism": {"n_workers": -1}},
+        {"parallelism": {"executor": "bogus"}},
     ])
     def test_invalid_knobs_rejected(self, kwargs):
-        with pytest.raises(DiagnosisError):
+        with pytest.raises(ReproError):
             PosteriorConfig(**kwargs)
 
     def test_wire_round_trip(self, atpg_cache):
@@ -199,8 +200,10 @@ class TestPooledBuild:
         base = dict(n_samples=24, samples_per_block=4, seed=11)
         serial = self._diagnoses(result, PosteriorConfig(**base))
         pooled = self._diagnoses(
-            result, PosteriorConfig(n_workers=3, executor=executor,
-                                    **base))
+            result, PosteriorConfig(
+                parallelism=ParallelismConfig(n_workers=3,
+                                              executor=executor),
+                **base))
         assert pooled == serial
         assert codec.encode_posterior_response(pooled) == \
             codec.encode_posterior_response(serial)
@@ -209,9 +212,10 @@ class TestPooledBuild:
         """Two pooled builds with one seed agree bitwise; a different
         seed actually changes the sampled worlds."""
         result = atpg_cache("rc_lowpass")
-        config = PosteriorConfig(n_samples=24, samples_per_block=4,
-                                 n_workers=2, executor="process",
-                                 seed=11)
+        config = PosteriorConfig(
+            n_samples=24, samples_per_block=4, seed=11,
+            parallelism=ParallelismConfig(n_workers=2,
+                                          executor="process"))
         first = self._diagnoses(result, config)
         again = self._diagnoses(result, config)
         assert first == again
@@ -228,6 +232,8 @@ class TestPooledBuild:
         serial = self._diagnoses(result, PosteriorConfig(**base))
         monkeypatch.setenv(shm.DISABLE_ENV, "1")
         pooled = self._diagnoses(
-            result, PosteriorConfig(n_workers=2, executor="process",
-                                    **base))
+            result, PosteriorConfig(
+                parallelism=ParallelismConfig(n_workers=2,
+                                              executor="process"),
+                **base))
         assert pooled == serial

@@ -88,9 +88,10 @@ def test_pipeline_config_threads_workers():
     ga = GAConfig(population_size=8, generations=2)
     serial_cfg = PipelineConfig(dictionary_points=32,
                                 deviations=(-0.2, 0.2), ga=ga)
-    pooled_cfg = PipelineConfig(dictionary_points=32,
-                                deviations=(-0.2, 0.2), ga=ga,
-                                n_workers=2, executor="thread")
+    from repro.parallelism import ParallelismConfig
+    pooled_cfg = PipelineConfig(
+        dictionary_points=32, deviations=(-0.2, 0.2), ga=ga,
+        parallelism=ParallelismConfig(n_workers=2, executor="thread"))
     serial = FaultTrajectoryATPG(info, serial_cfg).run(seed=7)
     pooled = FaultTrajectoryATPG(info, pooled_cfg).run(seed=7)
     assert pooled.test_vector_hz == serial.test_vector_hz

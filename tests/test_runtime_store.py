@@ -80,8 +80,9 @@ class TestKeys:
         must share cache slots."""
         import dataclasses
         info, config, universe, grid = problem
-        for variant in (dataclasses.replace(config, n_workers=8,
-                                            executor="thread"),
+        from repro.parallelism import ParallelismConfig
+        pooled = ParallelismConfig(n_workers=8, executor="thread")
+        for variant in (dataclasses.replace(config, parallelism=pooled),
                         dataclasses.replace(config,
                                             ambiguity_threshold=0.5)):
             assert ga_search_key("b" * 64, info, variant, 1) == \

@@ -315,10 +315,21 @@ class TestEngineSelection:
         from repro.runtime.cli import build_parser, load_config
         args = build_parser().parse_args(
             ["--engine", "factored", "--config", "quick"])
-        assert load_config(args).engine == "factored"
+        assert load_config(args).engine.kind == "factored"
         # Without the flag the config's own engine field stands.
         assert load_config(
-            build_parser().parse_args([])).engine == "batched"
+            build_parser().parse_args([])).engine.kind == "batched"
+
+    def test_cli_engine_flag_accepts_knob_specs(self):
+        from repro.runtime.cli import build_parser, load_config
+        args = build_parser().parse_args(
+            ["--engine", "factored:cond_limit=1e6,sparse=false"])
+        engine = load_config(args).engine
+        assert engine.kind == "factored"
+        assert engine.cond_limit == 1e6
+        assert engine.sparse is False
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "magic"])
 
     def test_cli_engine_flag_documented_in_help(self):
         from repro.runtime.cli import build_parser
@@ -617,7 +628,7 @@ class TestHTTPServer:
                 assert status == 200
                 assert b"batch_size_histogram" in payload
                 assert json.loads(payload)["engine_kind"] == \
-                    warm_service.config.engine
+                    warm_service.config.engine.kind
 
                 status, payload = await _http(host, port, "GET",
                                               "/v1/circuits")
